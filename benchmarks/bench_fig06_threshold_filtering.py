@@ -1,0 +1,45 @@
+"""Fig. 6: search-point projections remaining under a distance threshold.
+
+The number of candidate projections that survive a distance threshold (and
+therefore require L2-LUT lookups and accumulations) shrinks roughly linearly
+as the threshold tightens -- the saving the selective construction exploits.
+"""
+
+import numpy as np
+
+from repro.analysis.locality import remaining_points_vs_threshold
+from repro.bench.report import emit, format_table
+
+
+def test_fig06_remaining_points_vs_threshold(deep_workload, benchmark):
+    workload = deep_workload
+    curve = benchmark.pedantic(
+        remaining_points_vs_threshold,
+        args=(workload.juno, workload.dataset.queries[:12]),
+        kwargs={"num_thresholds": 11, "nprobs": 8},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "threshold_fraction": float(f),
+            "remaining_mean": float(m),
+            "remaining_q1": float(q1),
+            "remaining_q3": float(q3),
+        }
+        for f, m, q1, q3 in zip(curve["threshold_fraction"], curve["mean"], curve["q1"], curve["q3"])
+    ]
+    emit()
+    emit(
+        format_table(
+            rows,
+            title="Fig 6: fraction of point projections remaining vs threshold (DEEP surrogate)",
+        )
+    )
+    # Monotone decrease towards tighter thresholds, reaching everything at the max.
+    means = curve["mean"]
+    assert (np.diff(means) >= -1e-9).all()
+    assert means[-1] == 1.0
+    # Tightening the threshold to half the maximum removes a substantial
+    # fraction of the lookups.
+    assert means[len(means) // 2] < 0.9

@@ -1,0 +1,60 @@
+"""Fig. 7(a): threshold-to-contain-top-100 vs region density.
+Fig. 7(b): fraction of the top-100 retained as the threshold is scaled down.
+
+Together these justify the dynamic (density-driven) threshold and the
+user-facing scaling knob: denser regions need smaller thresholds, and
+shrinking the threshold to ~half still retains ~90% of the top-100.
+"""
+
+import numpy as np
+
+from repro.analysis.density_threshold import density_threshold_relation
+from repro.analysis.locality import top_k_retention_vs_scaling
+from repro.bench.report import emit, format_table
+
+
+def test_fig07a_density_vs_threshold(deep_workload, benchmark):
+    rows = benchmark.pedantic(
+        density_threshold_relation, args=(deep_workload.juno,), kwargs={"num_bins": 6},
+        rounds=1, iterations=1,
+    )
+    emit()
+    emit(
+        format_table(
+            rows,
+            columns=["density", "mean", "q1", "q3", "count"],
+            title="Fig 7(a): containing threshold vs region density (DEEP surrogate)",
+        )
+    )
+    assert len(rows) >= 3
+    # Negative correlation: the densest bin needs a smaller threshold than
+    # the sparsest bin.
+    assert rows[-1]["mean"] < rows[0]["mean"]
+
+
+def test_fig07b_retention_vs_scaling(deep_workload, benchmark):
+    workload = deep_workload
+    curve = benchmark.pedantic(
+        top_k_retention_vs_scaling,
+        args=(
+            workload.juno,
+            workload.dataset.queries[:12],
+            workload.dataset.ground_truth[:12],
+        ),
+        kwargs={"scaling_factors": np.linspace(0.0, 1.0, 11), "top_k": 100},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {"scaling_factor": float(f), "retained_mean": float(m), "retained_q1": float(q1), "retained_q3": float(q3)}
+        for f, m, q1, q3 in zip(curve["scaling_factor"], curve["mean"], curve["q1"], curve["q3"])
+    ]
+    emit()
+    emit(format_table(rows, title="Fig 7(b): top-100 retained vs threshold scaling factor"))
+    means = curve["mean"]
+    assert means[-1] == 1.0
+    assert (np.diff(means) >= -1e-9).all()
+    # Power-law shape: half the threshold keeps the large majority of the
+    # top-100 (paper: ~90%).
+    half_index = int(np.argmin(np.abs(curve["scaling_factor"] - 0.5)))
+    assert means[half_index] > 0.7

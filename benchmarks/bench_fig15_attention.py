@@ -1,0 +1,40 @@
+"""Fig. 15: attention quality vs fraction of attention kept (LLM case study).
+
+The paper shows Llama-7B keeps its perplexity when only the most significant
+attention entries (a MIPS top-k) are attended, collapsing only when almost
+everything is dropped.  The substitute substrate is a small numpy attention
+stack; the reported score is a pseudo-perplexity against the dense model (see
+``repro.llm``), which exhibits the same saturation-then-blow-up shape.
+"""
+
+from repro.bench.report import emit, format_table
+from repro.llm.sparse_attention import attention_quality_vs_topk
+
+KEEP_FRACTIONS = [0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8]
+
+
+def test_fig15_attention_sparsity(benchmark):
+    rows = benchmark.pedantic(
+        attention_quality_vs_topk,
+        args=(KEEP_FRACTIONS,),
+        kwargs={"seq_len": 96, "model_dim": 128, "num_heads": 4, "vocab_size": 256, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    emit()
+    emit(
+        format_table(
+            rows,
+            title="Fig 15: pseudo-perplexity vs fraction of attention kept",
+        )
+    )
+    by_fraction = {row["keep_fraction"]: row["pseudo_perplexity"] for row in rows}
+    dense = by_fraction[1.0]
+    # Keeping a modest fraction (>= 20%) of attention stays close to dense
+    # quality; keeping almost nothing blows up relative to that.
+    assert by_fraction[0.2] <= dense * 1.3
+    assert by_fraction[0.02] >= by_fraction[0.4]
+    # Quality degrades monotonically (within tolerance) as less is kept.
+    fractions = sorted(by_fraction)
+    values = [by_fraction[f] for f in fractions]
+    assert values[0] >= values[-1] - 1e-9

@@ -1,0 +1,96 @@
+"""Shared workloads for the per-figure benchmarks.
+
+Each fixture builds a scaled-down surrogate of one of the paper's datasets
+and trains both JUNO and the FAISS-style baseline on it.  Sizes are chosen so
+the whole benchmark suite completes in minutes on a laptop while keeping the
+clustered structure that produces the paper's sparsity and locality.
+Fixtures are session-scoped: the offline training cost is paid once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.core.index import JunoIndex
+from repro.datasets.synthetic import Dataset, make_deep_like, make_sift_like, make_tti_like
+from repro.gpu.cost_model import CostModel
+
+
+@dataclass
+class BenchWorkload:
+    """A dataset plus the indexes trained on it."""
+
+    dataset: Dataset
+    juno: JunoIndex
+    baseline: IVFPQIndex
+    baseline_hnsw: IVFPQIndex
+
+
+def _build_workload(dataset: Dataset, num_clusters: int, num_entries: int) -> BenchWorkload:
+    dataset.ensure_ground_truth(k=100)
+    juno = JunoIndex.for_dataset(
+        dataset,
+        num_clusters=num_clusters,
+        num_entries=num_entries,
+        num_threshold_samples=64,
+        kmeans_iters=10,
+        seed=7,
+    )
+    juno.train(dataset.points)
+    baseline = IVFPQIndex(
+        num_clusters=num_clusters,
+        num_subspaces=dataset.dim // 2,
+        num_entries=num_entries,
+        metric=dataset.metric,
+        seed=7,
+    )
+    baseline.train(dataset.points)
+    baseline_hnsw = IVFPQIndex(
+        num_clusters=num_clusters,
+        num_subspaces=dataset.dim // 2,
+        num_entries=num_entries,
+        metric=dataset.metric,
+        coarse_search="hnsw",
+        seed=7,
+    )
+    baseline_hnsw.train(dataset.points)
+    return BenchWorkload(dataset=dataset, juno=juno, baseline=baseline, baseline_hnsw=baseline_hnsw)
+
+
+@pytest.fixture(scope="session")
+def deep_workload() -> BenchWorkload:
+    """DEEP1M surrogate (96-d, L2)."""
+    return _build_workload(
+        make_deep_like(num_points=8_000, num_queries=64, seed=21),
+        num_clusters=64,
+        num_entries=128,
+    )
+
+
+@pytest.fixture(scope="session")
+def sift_workload() -> BenchWorkload:
+    """SIFT1M surrogate (128-d, L2)."""
+    return _build_workload(
+        make_sift_like(num_points=8_000, num_queries=64, seed=22),
+        num_clusters=64,
+        num_entries=128,
+    )
+
+
+@pytest.fixture(scope="session")
+def tti_workload() -> BenchWorkload:
+    """TTI1M surrogate (200-d, inner product / MIPS)."""
+    return _build_workload(
+        make_tti_like(num_points=4_000, num_queries=48, seed=23),
+        num_clusters=48,
+        num_entries=96,
+    )
+
+
+@pytest.fixture(scope="session")
+def rtx4090() -> CostModel:
+    """Cost model of the paper's primary evaluation GPU."""
+    return CostModel("rtx4090")

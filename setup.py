@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+``pip install -e .`` uses the pyproject.toml metadata; this file only exists
+so that ``python setup.py develop`` works on minimal offline environments
+where PEP 660 editable installs are unavailable.
+"""
+from setuptools import setup
+
+setup()

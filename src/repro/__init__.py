@@ -1,0 +1,62 @@
+"""repro: a from-scratch Python reproduction of JUNO (ASPLOS 2024).
+
+JUNO is a high-dimensional approximate nearest neighbour search system that
+exploits the sparsity and spatial locality of product-quantization codebook
+usage, and maps its selective lookup-table construction onto GPU ray-tracing
+cores.  This package reimplements the full system in pure Python/NumPy: the
+IVF+PQ substrate, the baselines, a software ray-tracing engine, an analytical
+GPU performance model and the JUNO algorithm itself.
+
+Quickstart::
+
+    from repro import JunoIndex, make_deep_like, recall_at
+
+    dataset = make_deep_like(num_points=10_000, num_queries=100)
+    ground_truth = dataset.ensure_ground_truth(k=100)
+
+    index = JunoIndex.for_dataset(dataset, num_clusters=64).train(dataset.points)
+    result = index.search(dataset.queries, k=100, nprobs=8)
+    print("R1@100:", recall_at(result.ids, ground_truth, 100))
+"""
+
+from repro.core import JunoConfig, JunoIndex, JunoSearchResult, QualityMode, ThresholdStrategy
+from repro.baselines import ExactSearch, HNSWIndex, IVFPQIndex
+from repro.datasets import (
+    Dataset,
+    load_dataset,
+    make_clustered_dataset,
+    make_deep_like,
+    make_sift_like,
+    make_tti_like,
+)
+from repro.gpu import CostModel, GPUDevice, PipelineModel, SearchWork, get_device
+from repro.metrics import Metric, recall_1_at_100, recall_100_at_1000, recall_at
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JunoConfig",
+    "JunoIndex",
+    "JunoSearchResult",
+    "QualityMode",
+    "ThresholdStrategy",
+    "ExactSearch",
+    "HNSWIndex",
+    "IVFPQIndex",
+    "Dataset",
+    "load_dataset",
+    "make_clustered_dataset",
+    "make_deep_like",
+    "make_sift_like",
+    "make_tti_like",
+    "CostModel",
+    "GPUDevice",
+    "PipelineModel",
+    "SearchWork",
+    "get_device",
+    "Metric",
+    "recall_at",
+    "recall_1_at_100",
+    "recall_100_at_1000",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Motivation-study tooling (Sec. 3 and Sec. 4.1 of the paper).
+
+These modules compute the statistics behind the paper's motivation figures:
+codebook-entry usage sparsity (Fig. 3(b), 4(a), 5(a)), spatial-locality
+coverage CDFs (Fig. 4(b), 5(b)), the threshold filtering curve (Fig. 6), the
+density/threshold relation (Fig. 7) and the stage-time breakdown (Fig. 3(a)).
+They operate on any trained IVF+PQ index, so the same code analyses both the
+baseline and JUNO.
+"""
+
+from repro.analysis.sparsity import entry_usage_counts, entry_usage_ratio_stats, usage_heatmap
+from repro.analysis.locality import (
+    coverage_cdf,
+    remaining_points_vs_threshold,
+    top_k_retention_vs_scaling,
+)
+from repro.analysis.breakdown import stage_breakdown_vs_nprobs
+from repro.analysis.density_threshold import density_threshold_relation
+
+__all__ = [
+    "entry_usage_counts",
+    "entry_usage_ratio_stats",
+    "usage_heatmap",
+    "coverage_cdf",
+    "remaining_points_vs_threshold",
+    "top_k_retention_vs_scaling",
+    "stage_breakdown_vs_nprobs",
+    "density_threshold_relation",
+]

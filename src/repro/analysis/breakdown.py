@@ -1,0 +1,49 @@
+"""Stage-time breakdown of the baseline pipeline vs ``nprobs`` (Fig. 3(a))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.gpu.cost_model import CostModel
+
+
+def stage_breakdown_vs_nprobs(
+    index: IVFPQIndex,
+    queries: np.ndarray,
+    nprobs_values: list[int],
+    cost_model: CostModel | None = None,
+    scale_to_queries: int = 10_000,
+) -> list[dict[str, float]]:
+    """Per-stage modelled latency for a sweep over ``nprobs``.
+
+    Args:
+        index: a trained :class:`IVFPQIndex` baseline.
+        queries: query batch used to measure the per-stage work.
+        nprobs_values: the ``nprobs`` sweep (the paper uses 4..512).
+        cost_model: cost model to convert work into latency; defaults to the
+            RTX 4090 model.
+        scale_to_queries: report times scaled to this many queries (the paper
+            reports "time for 10k queries").
+
+    Returns:
+        One dict per ``nprobs`` value with keys ``nprobs``, ``filter_ms``,
+        ``lut_ms``, ``distance_ms`` and ``total_ms``.
+    """
+    cost_model = cost_model or CostModel("rtx4090")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    rows: list[dict[str, float]] = []
+    for nprobs in nprobs_values:
+        result = index.search(queries, k=100, nprobs=nprobs)
+        latency = cost_model.serial_latency(result.work)
+        scale = scale_to_queries / float(result.work.num_queries)
+        rows.append(
+            {
+                "nprobs": float(nprobs),
+                "filter_ms": latency.filter_s * 1e3 * scale,
+                "lut_ms": latency.lut_s * 1e3 * scale,
+                "distance_ms": latency.distance_s * 1e3 * scale,
+                "total_ms": latency.total_s * 1e3 * scale,
+            }
+        )
+    return rows

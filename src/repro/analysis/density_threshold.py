@@ -1,0 +1,48 @@
+"""Relation between region density and the containing threshold (Fig. 7(a))."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import JunoIndex
+
+
+def density_threshold_relation(
+    index: JunoIndex, num_bins: int = 8
+) -> list[dict[str, float]]:
+    """Binned statistics of the (density, threshold) training samples.
+
+    The samples are exactly the observations the dynamic-threshold regressor
+    of :class:`repro.core.threshold.ThresholdModel` was trained on; binning
+    them by log-density reproduces the negative correlation of Fig. 7(a).
+
+    Args:
+        index: a trained :class:`JunoIndex`.
+        num_bins: number of log-density bins.
+
+    Returns:
+        One dict per non-empty bin with keys ``density`` (bin centre, raw
+        density units), ``mean``, ``q1``, ``q3`` and ``count``.
+    """
+    samples = index.threshold_model.samples_
+    if not samples:
+        raise RuntimeError("the index's threshold model has no training samples")
+    densities = np.array([s.density for s in samples], dtype=np.float64)
+    thresholds = np.array([s.threshold for s in samples], dtype=np.float64)
+    log_density = np.log10(densities + 1.0)
+    edges = np.linspace(log_density.min(), log_density.max() + 1e-9, num_bins + 1)
+    rows: list[dict[str, float]] = []
+    for b in range(num_bins):
+        mask = (log_density >= edges[b]) & (log_density < edges[b + 1])
+        if not mask.any():
+            continue
+        rows.append(
+            {
+                "density": float(10 ** ((edges[b] + edges[b + 1]) / 2.0) - 1.0),
+                "mean": float(thresholds[mask].mean()),
+                "q1": float(np.percentile(thresholds[mask], 25)),
+                "q3": float(np.percentile(thresholds[mask], 75)),
+                "count": float(mask.sum()),
+            }
+        )
+    return rows

@@ -1,0 +1,163 @@
+"""Spatial locality of used codebook entries (Sec. 3.3, Fig. 4(b), 5(b), 6).
+
+Sparsity alone would be hard to exploit if the used entries were scattered;
+the paper shows they are concentrated among the entries *closest* to the
+query projection.  The functions here compute:
+
+* the coverage CDF -- walking entries from closest to farthest, what fraction
+  of the top-k true neighbours has been covered (Fig. 4(b)/5(b));
+* the fraction of candidate point projections remaining under a distance
+  threshold (Fig. 6);
+* the fraction of top-k neighbours retained when the containing threshold is
+  scaled down (Fig. 7(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import JunoIndex
+from repro.metrics.distances import Metric
+
+
+def _query_subspace_projection(index: JunoIndex, query: np.ndarray) -> np.ndarray:
+    """The query's per-subspace projection in the frame rays are cast from.
+
+    For L2 this is the residual against the query's closest coarse centroid;
+    for inner product it is the raw query projection.
+    """
+    query = np.asarray(query, dtype=np.float64).ravel()
+    if index.metric is Metric.L2:
+        cluster = int(index.ivf.select_clusters(query[None, :], 1)[0, 0])
+        residual = query - index.ivf.centroids[cluster]
+        return residual.reshape(index.config.num_subspaces, 2)
+    return query.reshape(index.config.num_subspaces, 2)
+
+
+def coverage_cdf(
+    index: JunoIndex,
+    queries: np.ndarray,
+    ground_truth: np.ndarray,
+    top_k: int = 100,
+) -> dict[str, np.ndarray]:
+    """Coverage of top-k neighbours as entries are added closest-first.
+
+    Returns:
+        Dict with ``"fraction_of_entries"`` (the x axis, ``(E,)``) and
+        ``"mean"`` / ``"q1"`` / ``"median"`` / ``"q3"`` coverage curves
+        aggregated over all (query, subspace) pairs.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    ground_truth = np.atleast_2d(np.asarray(ground_truth, dtype=np.int64))
+    num_entries = index.config.num_entries
+    curves: list[np.ndarray] = []
+    for qi in range(queries.shape[0]):
+        projection = _query_subspace_projection(index, queries[qi])
+        neighbour_codes = index.codes[ground_truth[qi, :top_k]]
+        for s in range(index.config.num_subspaces):
+            entries = index.pq.codebooks[s].entries
+            if index.metric is Metric.L2:
+                dist = np.sum((entries - projection[s]) ** 2, axis=1)
+                order = np.argsort(dist, kind="stable")
+            else:
+                order = np.argsort(-(entries @ projection[s]), kind="stable")
+            rank_of_entry = np.empty(entries.shape[0], dtype=np.int64)
+            rank_of_entry[order] = np.arange(entries.shape[0])
+            neighbour_ranks = rank_of_entry[neighbour_codes[:, s]]
+            covered = np.zeros(num_entries, dtype=np.float64)
+            counts = np.bincount(neighbour_ranks, minlength=num_entries)
+            covered = np.cumsum(counts) / float(neighbour_codes.shape[0])
+            curves.append(covered[:num_entries])
+    stacked = np.vstack(curves)
+    return {
+        "fraction_of_entries": (np.arange(num_entries) + 1) / float(num_entries),
+        "mean": stacked.mean(axis=0),
+        "q1": np.percentile(stacked, 25, axis=0),
+        "median": np.percentile(stacked, 50, axis=0),
+        "q3": np.percentile(stacked, 75, axis=0),
+    }
+
+
+def remaining_points_vs_threshold(
+    index: JunoIndex,
+    queries: np.ndarray,
+    num_thresholds: int = 20,
+    nprobs: int = 8,
+) -> dict[str, np.ndarray]:
+    """Fraction of candidate point projections within a distance threshold (Fig. 6).
+
+    The threshold axis is normalised to the maximum projection distance seen
+    for each (query, subspace) pair, matching the figure's x axis.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    fractions = np.linspace(0.0, 1.0, num_thresholds)
+    curves: list[np.ndarray] = []
+    for qi in range(queries.shape[0]):
+        query = queries[qi]
+        clusters = index.ivf.select_clusters(query[None, :], nprobs)[0]
+        members = np.concatenate(
+            [index.subspace_index.cluster_members(int(c)) for c in clusters]
+        )
+        if members.size == 0:
+            continue
+        projection = _query_subspace_projection(index, query)
+        member_codes = index.codes[members]
+        for s in range(index.config.num_subspaces):
+            entries = index.pq.codebooks[s].entries[member_codes[:, s]]
+            dist = np.sqrt(np.sum((entries - projection[s]) ** 2, axis=1))
+            max_dist = float(dist.max()) if dist.size else 1.0
+            if max_dist <= 0:
+                continue
+            curve = np.array(
+                [(dist <= f * max_dist).mean() for f in fractions], dtype=np.float64
+            )
+            curves.append(curve)
+    stacked = np.vstack(curves) if curves else np.zeros((1, num_thresholds))
+    return {
+        "threshold_fraction": fractions,
+        "mean": stacked.mean(axis=0),
+        "q1": np.percentile(stacked, 25, axis=0),
+        "q3": np.percentile(stacked, 75, axis=0),
+    }
+
+
+def top_k_retention_vs_scaling(
+    index: JunoIndex,
+    queries: np.ndarray,
+    ground_truth: np.ndarray,
+    scaling_factors: np.ndarray | None = None,
+    top_k: int = 100,
+) -> dict[str, np.ndarray]:
+    """Fraction of top-k neighbours retained under a scaled-down threshold (Fig. 7(b)).
+
+    For each (query, subspace) pair the full containing threshold is the
+    maximum distance from the query projection to the entries used by the
+    top-k neighbours; scaling it by ``f`` keeps only the neighbours whose
+    entry lies within ``f`` times that distance.
+    """
+    if scaling_factors is None:
+        scaling_factors = np.linspace(0.0, 1.0, 11)
+    scaling_factors = np.asarray(scaling_factors, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    ground_truth = np.atleast_2d(np.asarray(ground_truth, dtype=np.int64))
+    curves: list[np.ndarray] = []
+    for qi in range(queries.shape[0]):
+        projection = _query_subspace_projection(index, queries[qi])
+        neighbour_codes = index.codes[ground_truth[qi, :top_k]]
+        for s in range(index.config.num_subspaces):
+            entries = index.pq.codebooks[s].entries[neighbour_codes[:, s]]
+            dist = np.sqrt(np.sum((entries - projection[s]) ** 2, axis=1))
+            full = float(dist.max())
+            if full <= 0:
+                continue
+            curve = np.array(
+                [(dist <= f * full).mean() for f in scaling_factors], dtype=np.float64
+            )
+            curves.append(curve)
+    stacked = np.vstack(curves) if curves else np.zeros((1, scaling_factors.size))
+    return {
+        "scaling_factor": scaling_factors,
+        "mean": stacked.mean(axis=0),
+        "q1": np.percentile(stacked, 25, axis=0),
+        "q3": np.percentile(stacked, 75, axis=0),
+    }

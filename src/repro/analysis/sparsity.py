@@ -1,0 +1,96 @@
+"""Codebook-entry usage sparsity (Sec. 3.2, Fig. 3(b), 4(a), 5(a)).
+
+For a query, the *usage frequency* of codebook entry ``e`` in subspace ``s``
+is the number of the query's top-k true neighbours that are encoded with
+``e`` in ``s``.  The paper's key observation is that only a small fraction of
+the ``E`` entries per subspace is used at all (< 30% on average), which is
+the sparsity JUNO exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def entry_usage_counts(
+    codes: np.ndarray, neighbour_ids: np.ndarray, num_entries: int
+) -> np.ndarray:
+    """Usage-frequency heatmap of one query (Fig. 3(b)).
+
+    Args:
+        codes: ``(N, S)`` PQ codes of the whole corpus.
+        neighbour_ids: ids of the query's top-k true neighbours.
+        num_entries: number of codebook entries per subspace ``E``.
+
+    Returns:
+        ``(S, E)`` integer array; cell ``[s][e]`` counts how many of the
+        neighbours are encoded with entry ``e`` in subspace ``s``.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+    neighbour_ids = np.asarray(neighbour_ids, dtype=np.int64).ravel()
+    num_subspaces = codes.shape[1]
+    counts = np.zeros((num_subspaces, num_entries), dtype=np.int64)
+    neighbour_codes = codes[neighbour_ids]
+    for s in range(num_subspaces):
+        np.add.at(counts[s], neighbour_codes[:, s], 1)
+    return counts
+
+
+def usage_heatmap(
+    codes: np.ndarray,
+    neighbour_ids: np.ndarray,
+    num_entries: int,
+    entry_order: np.ndarray | None = None,
+) -> np.ndarray:
+    """Usage heatmap with entries optionally re-ordered per subspace.
+
+    The paper sorts entries by their distance to the query projection before
+    plotting, which makes the locality visible; pass ``entry_order`` of shape
+    ``(S, E)`` to apply such an ordering.
+    """
+    counts = entry_usage_counts(codes, neighbour_ids, num_entries)
+    if entry_order is None:
+        return counts
+    entry_order = np.asarray(entry_order, dtype=np.int64)
+    if entry_order.shape != counts.shape:
+        raise ValueError("entry_order must have shape (S, E)")
+    return np.take_along_axis(counts, entry_order, axis=1)
+
+
+def entry_usage_ratio_stats(
+    codes: np.ndarray,
+    ground_truth: np.ndarray,
+    num_entries: int,
+    top_k: int = 100,
+) -> dict[str, np.ndarray]:
+    """Per-subspace entry-usage ratios aggregated over queries (Fig. 4(a), 5(a)).
+
+    Args:
+        codes: ``(N, S)`` PQ codes of the corpus.
+        ground_truth: ``(Q, >=top_k)`` true neighbour ids per query.
+        num_entries: entries per subspace ``E``.
+        top_k: how many neighbours define "used".
+
+    Returns:
+        Dict with keys ``"mean"``, ``"max"`` and ``"per_query"``:
+        ``mean``/``max`` are ``(S,)`` arrays of the mean/max used-entry ratio
+        per subspace across queries; ``per_query`` is the full ``(Q, S)``
+        ratio matrix.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+    ground_truth = np.atleast_2d(np.asarray(ground_truth, dtype=np.int64))
+    if ground_truth.shape[1] < top_k:
+        raise ValueError(f"ground truth provides fewer than top_k={top_k} neighbours")
+    num_queries = ground_truth.shape[0]
+    num_subspaces = codes.shape[1]
+    ratios = np.empty((num_queries, num_subspaces), dtype=np.float64)
+    for qi in range(num_queries):
+        neighbour_codes = codes[ground_truth[qi, :top_k]]
+        for s in range(num_subspaces):
+            used = np.unique(neighbour_codes[:, s]).size
+            ratios[qi, s] = used / float(num_entries)
+    return {
+        "mean": ratios.mean(axis=0),
+        "max": ratios.max(axis=0),
+        "per_query": ratios,
+    }

@@ -1,0 +1,15 @@
+"""Baselines JUNO is compared against.
+
+* :class:`repro.baselines.ivfpq.IVFPQIndex` -- the FAISS-style IVFPQ pipeline
+  of Sec. 2.1 (filtering, dense L2-LUT construction, distance calculation).
+* :class:`repro.baselines.hnsw.HNSWIndex` -- hierarchical navigable small
+  world graphs, used both standalone and as the coarse-quantizer accelerator
+  of the paper's ``+HNSW`` baselines.
+* :class:`repro.baselines.exact.ExactSearch` -- brute-force reference.
+"""
+
+from repro.baselines.exact import ExactSearch
+from repro.baselines.hnsw import HNSWIndex
+from repro.baselines.ivfpq import IVFPQIndex, IVFPQSearchResult
+
+__all__ = ["ExactSearch", "HNSWIndex", "IVFPQIndex", "IVFPQSearchResult"]

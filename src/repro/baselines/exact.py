@@ -1,0 +1,50 @@
+"""Exact brute-force search.
+
+Thin wrapper over :class:`repro.ivf.flat.FlatIndex` that also reports the
+work performed, so the cost model can place the exact search on the same QPS
+axis as the approximate methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.work import SearchWork
+from repro.ivf.flat import FlatIndex
+from repro.metrics.distances import Metric
+
+
+class ExactSearch:
+    """Brute-force top-k search with work accounting.
+
+    Args:
+        metric: ranking metric.
+    """
+
+    def __init__(self, metric: Metric = Metric.L2) -> None:
+        self.metric = Metric(metric)
+        self._flat = FlatIndex(metric=self.metric)
+
+    def add(self, points: np.ndarray) -> "ExactSearch":
+        """Store the corpus."""
+        self._flat.add(points)
+        return self
+
+    @property
+    def num_points(self) -> int:
+        """Number of stored points."""
+        return self._flat.num_points
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, SearchWork]:
+        """Exact top-``k`` search returning ids, scores and work counters."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids, scores = self._flat.search(queries, k)
+        num_queries, dim = queries.shape
+        work = SearchWork(
+            num_queries=num_queries,
+            filter_flops=2.0 * num_queries * dim * self.num_points,
+            sorted_candidates=float(num_queries * self.num_points),
+        )
+        return ids, scores, work

@@ -1,0 +1,233 @@
+"""Hierarchical Navigable Small World (HNSW) graphs.
+
+HNSW [Malkov & Yashunin, 2018] is the graph-based indexing technique the
+paper's ``+HNSW`` baselines use (Sec. 6.1): FAISS's ``IVFx_HNSWy,PQz``
+factory accelerates the coarse-quantizer search (finding the ``nprobs``
+closest IVF centroids) with an HNSW graph over the centroids.  This module
+implements HNSW from scratch: multi-layer graph construction with the
+neighbour-selection heuristic, greedy descent through the upper layers and
+beam search (``ef``) at layer 0.
+
+The implementation is usable both standalone (as a pure graph ANN index) and
+as the coarse search accelerator plugged into
+:class:`repro.baselines.ivfpq.IVFPQIndex`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.metrics.distances import Metric
+
+
+class HNSWIndex:
+    """Hierarchical navigable small world graph index.
+
+    Args:
+        metric: ranking metric (L2 or inner product).
+        m: maximum number of neighbours per node on layers > 0; layer 0
+            allows ``2 * m``.
+        ef_construction: beam width used while inserting points.
+        ef_search: default beam width used at query time.
+        seed: RNG seed controlling the level assignment.
+    """
+
+    def __init__(
+        self,
+        metric: Metric = Metric.L2,
+        m: int = 16,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if m < 2:
+            raise ValueError("m must be at least 2")
+        self.metric = Metric(metric)
+        self.m = int(m)
+        self.m0 = 2 * self.m
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self._rng = np.random.default_rng(seed)
+        self._level_mult = 1.0 / np.log(self.m)
+
+        self.points: list[np.ndarray] = []
+        # layers[level][node_id] -> list of neighbour ids
+        self.layers: list[dict[int, list[int]]] = []
+        self.entry_point: int | None = None
+        self.max_level: int = -1
+        # Search-effort accounting (distance evaluations since last reset).
+        self.distance_evaluations: int = 0
+
+    # ------------------------------------------------------------ distances
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        self.distance_evaluations += 1
+        if self.metric is Metric.L2:
+            diff = a - b
+            return float(diff @ diff)
+        return -float(a @ b)
+
+    # --------------------------------------------------------------- insert
+    @property
+    def num_points(self) -> int:
+        """Number of indexed points."""
+        return len(self.points)
+
+    def _random_level(self) -> int:
+        uniform = self._rng.random()
+        return int(-np.log(max(uniform, 1e-12)) * self._level_mult)
+
+    def add(self, points: np.ndarray) -> "HNSWIndex":
+        """Insert a batch of points one at a time."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        for row in points:
+            self._insert(row)
+        return self
+
+    def _insert(self, point: np.ndarray) -> None:
+        node_id = len(self.points)
+        self.points.append(point)
+        level = self._random_level()
+        while len(self.layers) <= level:
+            self.layers.append({})
+        for lc in range(level + 1):
+            self.layers[lc][node_id] = []
+
+        if self.entry_point is None:
+            self.entry_point = node_id
+            self.max_level = level
+            return
+
+        current = self.entry_point
+        # Greedy descent through layers above the new node's level.
+        for lc in range(self.max_level, level, -1):
+            current = self._greedy_closest(point, current, lc)
+        # Insert with beam search on the remaining layers.
+        for lc in range(min(level, self.max_level), -1, -1):
+            candidates = self._search_layer(point, [current], lc, self.ef_construction)
+            max_degree = self.m0 if lc == 0 else self.m
+            neighbours = self._select_neighbours(point, candidates, max_degree)
+            self.layers[lc][node_id] = [n for _, n in neighbours]
+            for _, neighbour in neighbours:
+                links = self.layers[lc][neighbour]
+                links.append(node_id)
+                if len(links) > max_degree:
+                    pruned = self._select_neighbours(
+                        self.points[neighbour],
+                        [(self._distance(self.points[neighbour], self.points[x]), x) for x in links],
+                        max_degree,
+                    )
+                    self.layers[lc][neighbour] = [n for _, n in pruned]
+            if candidates:
+                current = min(candidates)[1]
+        if level > self.max_level:
+            self.max_level = level
+            self.entry_point = node_id
+
+    def _greedy_closest(self, query: np.ndarray, start: int, level: int) -> int:
+        current = start
+        current_dist = self._distance(query, self.points[current])
+        improved = True
+        while improved:
+            improved = False
+            for neighbour in self.layers[level].get(current, []):
+                dist = self._distance(query, self.points[neighbour])
+                if dist < current_dist:
+                    current, current_dist = neighbour, dist
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry_points: list[int], level: int, ef: int
+    ) -> list[tuple[float, int]]:
+        """Beam search on one layer; returns (distance, node) pairs."""
+        visited = set(entry_points)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []
+        for entry in entry_points:
+            dist = self._distance(query, self.points[entry])
+            heapq.heappush(candidates, (dist, entry))
+            heapq.heappush(results, (-dist, entry))
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            worst = -results[0][0]
+            if dist > worst and len(results) >= ef:
+                break
+            for neighbour in self.layers[level].get(node, []):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                neighbour_dist = self._distance(query, self.points[neighbour])
+                worst = -results[0][0]
+                if len(results) < ef or neighbour_dist < worst:
+                    heapq.heappush(candidates, (neighbour_dist, neighbour))
+                    heapq.heappush(results, (-neighbour_dist, neighbour))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-neg, node) for neg, node in results)
+
+    def _select_neighbours(
+        self, query: np.ndarray, candidates: list[tuple[float, int]], m: int
+    ) -> list[tuple[float, int]]:
+        """The HNSW heuristic: prefer diverse neighbours over purely closest ones."""
+        selected: list[tuple[float, int]] = []
+        for dist, node in sorted(candidates):
+            if len(selected) >= m:
+                break
+            keep = True
+            for _, chosen in selected:
+                if self._distance(self.points[node], self.points[chosen]) < dist:
+                    keep = False
+                    break
+            if keep:
+                selected.append((dist, node))
+        if not selected and candidates:
+            selected = sorted(candidates)[:m]
+        return selected
+
+    # --------------------------------------------------------------- search
+    def search(
+        self, query: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` search for one query vector.
+
+        Args:
+            query: ``(D,)`` query.
+            k: number of neighbours to return.
+            ef: beam width at layer 0 (defaults to ``max(ef_search, k)``).
+
+        Returns:
+            ``(ids, scores)`` ordered best-first; scores are squared L2
+            distances or negated inner products depending on the metric.
+        """
+        if self.entry_point is None:
+            raise RuntimeError("HNSWIndex.search called on an empty index")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        ef = max(ef if ef is not None else self.ef_search, k)
+        current = self.entry_point
+        for level in range(self.max_level, 0, -1):
+            current = self._greedy_closest(query, current, level)
+        results = self._search_layer(query, [current], 0, ef)[:k]
+        ids = np.array([node for _, node in results], dtype=np.int64)
+        scores = np.array([dist for dist, _ in results], dtype=np.float64)
+        if self.metric is Metric.INNER_PRODUCT:
+            scores = -scores
+        return ids, scores
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`search`; rows are padded with ``-1`` if needed."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+        scores = np.full((queries.shape[0], k), np.nan, dtype=np.float64)
+        for i, query in enumerate(queries):
+            row_ids, row_scores = self.search(query, k, ef)
+            ids[i, : len(row_ids)] = row_ids
+            scores[i, : len(row_scores)] = row_scores
+        return ids, scores
+
+    def reset_counters(self) -> None:
+        """Zero the distance-evaluation counter."""
+        self.distance_evaluations = 0

@@ -1,0 +1,219 @@
+"""The FAISS-style IVFPQ baseline (Sec. 2.1).
+
+This is the pipeline the paper profiles and improves: coarse filtering with
+an inverted file index, dense per-subspace L2-LUT construction and
+asymmetric distance calculation over all candidate points.  It matches the
+FAISS ``IVFx,PQy`` factory, and when constructed with ``coarse_search="hnsw"``
+it matches ``IVFx_HNSWy,PQz`` -- the ``+HNSW`` baselines of Fig. 12 -- where
+an HNSW graph over the coarse centroids accelerates cluster selection.
+
+The index records a :class:`repro.gpu.work.SearchWork` per batch so the GPU
+cost model can place it on the same QPS axis as JUNO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.hnsw import HNSWIndex
+from repro.gpu.work import SearchWork
+from repro.ivf.inverted_file import InvertedFileIndex
+from repro.metrics.distances import Metric, top_k
+from repro.quantization.product_quantizer import ProductQuantizer
+
+
+@dataclass
+class IVFPQSearchResult:
+    """Output of one batched IVFPQ search.
+
+    Attributes:
+        ids: ``(Q, k)`` neighbour ids, best-first; padded with ``-1`` when a
+            query's candidate set is smaller than ``k``.
+        scores: ``(Q, k)`` approximate scores aligned with ``ids``.
+        work: operation counts for the whole batch.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    work: SearchWork
+
+
+class IVFPQIndex:
+    """From-scratch IVF + PQ index with the three-stage online pipeline.
+
+    Args:
+        num_clusters: coarse cluster count ``C`` (FAISS ``IVFx``).
+        num_subspaces: PQ subspace count ``D/M`` (FAISS ``PQy``).
+        num_entries: codebook entries per subspace ``E``.
+        metric: ranking metric (L2 or inner product).
+        coarse_search: ``"flat"`` scores all centroids per query;
+            ``"hnsw"`` accelerates centroid selection with an HNSW graph,
+            reproducing the ``+HNSW`` baseline configuration.
+        hnsw_ef: beam width of the centroid HNSW graph.
+        seed: RNG seed for IVF and PQ training.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        num_subspaces: int,
+        num_entries: int = 256,
+        metric: Metric = Metric.L2,
+        coarse_search: str = "flat",
+        hnsw_ef: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if coarse_search not in ("flat", "hnsw"):
+            raise ValueError("coarse_search must be 'flat' or 'hnsw'")
+        self.metric = Metric(metric)
+        self.num_clusters = int(num_clusters)
+        self.num_subspaces = int(num_subspaces)
+        self.num_entries = int(num_entries)
+        self.coarse_search = coarse_search
+        self.hnsw_ef = int(hnsw_ef)
+        self.seed = int(seed)
+
+        self.ivf = InvertedFileIndex(num_clusters, metric=self.metric, seed=seed)
+        self.pq: ProductQuantizer | None = None
+        self.codes: np.ndarray | None = None
+        self.centroid_hnsw: HNSWIndex | None = None
+        self.dim: int | None = None
+        self.num_points: int = 0
+
+    # ----------------------------------------------------------------- train
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has completed."""
+        return self.codes is not None
+
+    def train(self, points: np.ndarray) -> "IVFPQIndex":
+        """Run the offline component: IVF clustering, PQ training, encoding."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.dim = points.shape[1]
+        self.num_points = points.shape[0]
+        if self.dim % self.num_subspaces != 0:
+            raise ValueError(
+                f"dim {self.dim} is not divisible by num_subspaces {self.num_subspaces}"
+            )
+        self.ivf.train(points)
+        residuals = self.ivf.point_residuals(points)
+        self.pq = ProductQuantizer(
+            dim=self.dim,
+            num_subspaces=self.num_subspaces,
+            num_entries=self.num_entries,
+            seed=self.seed,
+        ).train(residuals)
+        self.codes = self.pq.encode(residuals)
+        if self.coarse_search == "hnsw":
+            self.centroid_hnsw = HNSWIndex(metric=self.metric, seed=self.seed)
+            self.centroid_hnsw.add(self.ivf.centroids)
+        return self
+
+    # ----------------------------------------------------------------- query
+    def _select_clusters(
+        self, queries: np.ndarray, nprobs: int, work: SearchWork
+    ) -> np.ndarray:
+        """Coarse filtering via brute force or the centroid HNSW graph."""
+        num_queries, dim = queries.shape
+        nprobs = min(nprobs, self.ivf.num_clusters)
+        if self.coarse_search == "flat" or self.centroid_hnsw is None:
+            work.filter_flops += 2.0 * num_queries * dim * self.ivf.num_clusters
+            return self.ivf.select_clusters(queries, nprobs)
+        self.centroid_hnsw.reset_counters()
+        selected = np.empty((num_queries, nprobs), dtype=np.int64)
+        for i, query in enumerate(queries):
+            ids, _ = self.centroid_hnsw.search(query, nprobs, ef=max(self.hnsw_ef, nprobs))
+            if len(ids) < nprobs:
+                fallback = self.ivf.select_clusters(query[None, :], nprobs)[0]
+                merged = list(dict.fromkeys(list(ids) + list(fallback)))[:nprobs]
+                ids = np.array(merged, dtype=np.int64)
+            selected[i] = ids[:nprobs]
+        work.filter_flops += 2.0 * dim * self.centroid_hnsw.distance_evaluations
+        return selected
+
+    def search(self, queries: np.ndarray, k: int, nprobs: int = 8) -> IVFPQSearchResult:
+        """The online pipeline of Fig. 1 (bottom): filter, LUT, distance calc.
+
+        Args:
+            queries: ``(Q, D)`` query batch.
+            k: number of neighbours per query.
+            nprobs: number of coarse clusters probed per query.
+
+        Returns:
+            An :class:`IVFPQSearchResult` with ids, scores and work counters.
+        """
+        self._require_trained()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}")
+        num_queries = queries.shape[0]
+        work = SearchWork(
+            num_queries=num_queries,
+            lut_pairwise_dims=float(self.pq.subspace_dim),
+        )
+        selected = self._select_clusters(queries, nprobs, work)
+        nprobs = selected.shape[1]
+
+        all_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        all_scores = np.full(
+            (num_queries, k), self.metric.worst_value(), dtype=np.float64
+        )
+        for qi in range(num_queries):
+            candidate_ids, candidate_scores = self._score_query(
+                queries[qi], selected[qi], work
+            )
+            if candidate_ids.size == 0:
+                continue
+            idx, scr = top_k(candidate_scores[None, :], k, self.metric)
+            count = min(k, candidate_ids.size)
+            all_ids[qi, :count] = candidate_ids[idx[0, :count]]
+            all_scores[qi, :count] = scr[0, :count]
+        return IVFPQSearchResult(ids=all_ids, scores=all_scores, work=work)
+
+    def _score_query(
+        self, query: np.ndarray, cluster_ids: np.ndarray, work: SearchWork
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """L2-LUT construction + distance calculation for a single query.
+
+        For L2 the table holds distances between the *residual* query
+        projection and the codebook entries (Fig. 1).  For inner product the
+        decomposition ``IP(q, c + r) = IP(q, c) + IP(q, r)`` is used instead:
+        the table holds inner products between the raw query projection and
+        the entries, and the per-cluster constant ``IP(q, c)`` is added to
+        every member's score.
+        """
+        residuals = self.ivf.residuals(query, cluster_ids)
+        candidate_ids: list[np.ndarray] = []
+        candidate_scores: list[np.ndarray] = []
+        for residual, cluster_id in zip(residuals, cluster_ids):
+            members = self.ivf.cluster_members(int(cluster_id))
+            # Dense L2-LUT construction: all E entries in every subspace.
+            if self.metric is Metric.L2:
+                lookup = self.pq.lookup_table(residual, self.metric)
+                cluster_constant = 0.0
+            else:
+                lookup = self.pq.lookup_table(query, self.metric)
+                cluster_constant = float(query @ self.ivf.centroids[int(cluster_id)])
+            work.lut_pairwise += float(self.pq.num_subspaces * self.pq.num_entries)
+            if members.size == 0:
+                continue
+            # Distance calculation: accumulate LUT values over subspaces for
+            # every encoded point of the cluster.
+            member_codes = self.codes[members]
+            scores = self.pq.adc_scores(lookup, member_codes) + cluster_constant
+            work.adc_lookups += float(member_codes.size)
+            work.adc_candidates += float(members.size)
+            candidate_ids.append(members)
+            candidate_scores.append(scores)
+        if not candidate_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        ids = np.concatenate(candidate_ids)
+        scores = np.concatenate(candidate_scores)
+        work.sorted_candidates += float(ids.size)
+        return ids, scores
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("IVFPQIndex must be trained before searching")

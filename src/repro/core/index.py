@@ -1,0 +1,462 @@
+"""The end-to-end JUNO index (Sec. 5).
+
+:class:`JunoIndex` ties the substrates together:
+
+* offline (:meth:`JunoIndex.train`, Alg. 1): coarse IVF clustering, PQ
+  codebook training and encoding, the subspace-level inverted indices, the
+  density maps, the polynomial threshold regressor and the traversable RT
+  scene (one sphere per codebook entry per subspace);
+* online (:meth:`JunoIndex.search`, Alg. 2): coarse filtering, dynamic
+  per-ray thresholds converted to ``t_max``, the selective L2-LUT
+  construction on the ray-tracing engine, and the distance-calculation stage
+  that only touches points whose entries were selected.
+
+The three quality modes map onto the scoring strategy used in the last
+stage: JUNO-H decodes exact distances from hit times, JUNO-M uses the
+reward/penalty hit count and JUNO-L the plain hit count (Sec. 5.4 / 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import JunoConfig, QualityMode, ThresholdStrategy
+from repro.core.density import DensityMap
+from repro.core.hit_count import HitCountScorer
+from repro.core.inner_product import (
+    adjusted_radii_for_inner_product,
+    inner_product_threshold_to_tmax,
+)
+from repro.core.selective_lut import SelectiveLUT, SelectiveLUTConstructor
+from repro.core.subspace_index import SubspaceInvertedIndex
+from repro.core.threshold import ThresholdModel, ThresholdTrainingSample
+from repro.datasets.ground_truth import compute_ground_truth
+from repro.gpu.work import SearchWork
+from repro.ivf.inverted_file import InvertedFileIndex
+from repro.metrics.distances import Metric
+from repro.quantization.product_quantizer import ProductQuantizer
+from repro.rt.scene import TraversableScene
+from repro.rt.tracer import RayTracer
+
+
+@dataclass
+class JunoSearchResult:
+    """Output of one batched JUNO search.
+
+    Attributes:
+        ids: ``(Q, k)`` neighbour ids, best-first, padded with ``-1``.
+        scores: ``(Q, k)`` scores aligned with ``ids``.  JUNO-H reports
+            approximate distances (L2) or similarities (inner product);
+            JUNO-L/M report hit-count scores (higher is better).
+        work: operation counters for the whole batch (feeds the GPU cost
+            model).
+        quality_mode: the mode the search ran in.
+        threshold_scale: the scaling factor that was applied.
+        selected_entry_fraction: average fraction of codebook entries
+            selected per (ray, subspace) -- the sparsity actually exploited.
+        extra: additional diagnostics (candidate counts, hit counts, ...).
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    work: SearchWork
+    quality_mode: QualityMode
+    threshold_scale: float
+    selected_entry_fraction: float
+    extra: dict = field(default_factory=dict)
+
+
+class JunoIndex:
+    """Sparsity-aware ANN index with the RT-core mapping.
+
+    Args:
+        config: a :class:`repro.core.config.JunoConfig`; its
+            ``num_subspaces`` must equal ``dim / 2`` of the corpus passed to
+            :meth:`train` (the RT mapping requires 2-D subspaces).
+    """
+
+    def __init__(self, config: JunoConfig) -> None:
+        self.config = config
+        self.metric = config.metric
+        self.dim: int | None = None
+        self.num_points: int = 0
+        self.ivf = InvertedFileIndex(
+            config.num_clusters,
+            metric=self.metric,
+            seed=config.seed,
+            kmeans_iters=config.kmeans_iters,
+        )
+        self.pq: ProductQuantizer | None = None
+        self.codes: np.ndarray | None = None
+        self.subspace_index: SubspaceInvertedIndex | None = None
+        self.density_map: DensityMap | None = None
+        self.threshold_model: ThresholdModel | None = None
+        self.scene: TraversableScene | None = None
+        self.tracer: RayTracer | None = None
+        self.sphere_radius: float = 1.0
+        self.origin_offsets: np.ndarray | None = None
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def from_dim(cls, dim: int, **config_overrides) -> "JunoIndex":
+        """Build an index whose subspace count matches ``dim`` (``M = 2``)."""
+        if dim % 2 != 0:
+            raise ValueError("the RT-core mapping requires an even dimensionality")
+        overrides = dict(config_overrides)
+        overrides.setdefault("num_subspaces", dim // 2)
+        return cls(JunoConfig(**overrides))
+
+    @classmethod
+    def for_dataset(cls, dataset, **config_overrides) -> "JunoIndex":
+        """Build an index configured for a :class:`repro.datasets.Dataset`."""
+        overrides = dict(config_overrides)
+        overrides.setdefault("metric", dataset.metric)
+        return cls.from_dim(dataset.dim, **overrides)
+
+    # ----------------------------------------------------------------- train
+    @property
+    def is_trained(self) -> bool:
+        """Whether the offline phase (Alg. 1) has completed."""
+        return self.scene is not None
+
+    def train(self, points: np.ndarray) -> "JunoIndex":
+        """Offline preparation: clustering, codebooks, scene and regressor."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.dim = points.shape[1]
+        self.num_points = points.shape[0]
+        expected_dim = self.config.required_dim()
+        if self.dim != expected_dim:
+            raise ValueError(
+                f"config expects dim {expected_dim} (num_subspaces * 2) but corpus has dim {self.dim}"
+            )
+
+        # 1. Coarse clustering and PQ codebooks over residuals (Alg. 1, 2-9).
+        self.ivf.train(points)
+        residuals = self.ivf.point_residuals(points)
+        self.pq = ProductQuantizer(
+            dim=self.dim,
+            num_subspaces=self.config.num_subspaces,
+            num_entries=self.config.num_entries,
+            seed=self.config.seed,
+            kmeans_iters=self.config.kmeans_iters,
+        ).train(residuals)
+        self.codes = self.pq.encode(residuals)
+
+        # 2. Subspace-level inverted indices (Alg. 1, 12-14).
+        self.subspace_index = SubspaceInvertedIndex(self.config.num_entries).build(
+            self.ivf.posting_lists, self.codes
+        )
+
+        # 3. Density maps over the projections rays will originate from:
+        #    residual projections for L2, raw point projections for MIPS
+        #    (the MIPS decomposition keeps the query whole and only adds the
+        #    per-cluster constant IP(q, c)).
+        num_subspaces = self.config.num_subspaces
+        if self.metric is Metric.L2:
+            projection_source = residuals.reshape(self.num_points, num_subspaces, 2)
+        else:
+            projection_source = points.reshape(self.num_points, num_subspaces, 2)
+        self.density_map = DensityMap(grid=self.config.density_grid).fit(projection_source)
+
+        # 4. Threshold regressor trained on sampled corpus points.
+        samples = self._collect_threshold_samples(points, projection_source)
+        self.threshold_model = ThresholdModel(
+            self.density_map,
+            degree=self.config.regression_degree,
+            strategy=self.config.threshold_strategy,
+        ).fit(samples)
+
+        # 5. Traversable scene: one sphere per codebook entry per subspace.
+        self._build_scene(projection_source)
+        return self
+
+    def _collect_threshold_samples(
+        self, points: np.ndarray, projection_source: np.ndarray
+    ) -> list[ThresholdTrainingSample]:
+        """Gather (density, threshold) pairs from sampled corpus points.
+
+        For every sampled point we find its exact top-k neighbours, look at
+        the codebook entries those neighbours are encoded with, and record --
+        per subspace -- the smallest threshold that would have selected all of
+        them (max distance for L2, min inner product for MIPS), together with
+        the region density at the sample's projection.
+
+        For L2, only neighbours sharing the sample's coarse cluster are used:
+        entry coordinates live in the residual frame of their own cluster, so
+        mixing frames would inflate the thresholds.  If no neighbour shares
+        the cluster the full neighbour set is used as a fallback.
+        """
+        config = self.config
+        rng = np.random.default_rng(config.seed + 97)
+        sample_size = min(config.num_threshold_samples, self.num_points)
+        sample_ids = rng.choice(self.num_points, size=sample_size, replace=False)
+        top_k = min(config.threshold_top_k, self.num_points)
+        neighbours = compute_ground_truth(
+            points, points[sample_ids], k=top_k, metric=self.metric
+        )
+        samples: list[ThresholdTrainingSample] = []
+        for row, sample_id in enumerate(sample_ids):
+            neighbour_ids = neighbours[row]
+            if self.metric is Metric.L2:
+                same_cluster = self.ivf.labels[neighbour_ids] == self.ivf.labels[sample_id]
+                if same_cluster.any():
+                    neighbour_ids = neighbour_ids[same_cluster]
+            neighbour_codes = self.codes[neighbour_ids]
+            sample_proj = projection_source[sample_id]
+            for s in range(config.num_subspaces):
+                entries = self.pq.codebooks[s].entries[neighbour_codes[:, s]]
+                if self.metric is Metric.L2:
+                    distances = np.sqrt(np.sum((entries - sample_proj[s]) ** 2, axis=1))
+                    threshold = float(distances.max())
+                else:
+                    threshold = float((entries @ sample_proj[s]).min())
+                density = float(self.density_map.lookup(s, sample_proj[s]))
+                samples.append(
+                    ThresholdTrainingSample(
+                        subspace_id=s, density=density, threshold=threshold
+                    )
+                )
+        return samples
+
+    def _build_scene(self, projection_source: np.ndarray) -> None:
+        """Place one sphere per codebook entry per subspace (Alg. 1, 10-11)."""
+        config = self.config
+        if self.metric is Metric.L2:
+            self.sphere_radius = max(
+                self.threshold_model.max_threshold_ * config.sphere_radius_margin, 1e-6
+            )
+        else:
+            # For MIPS the base radius must be large enough that even the
+            # lowest trained inner-product threshold is reachable for the
+            # largest query-projection norm: R^2 >= |q|^2 - 2 * ip_min.
+            max_norm_sq = float(np.max(np.sum(projection_source**2, axis=2)))
+            needed = max_norm_sq - 2.0 * min(self.threshold_model.min_threshold_, 0.0)
+            self.sphere_radius = float(
+                np.sqrt(max(needed, 1.0)) * config.sphere_radius_margin
+            )
+        self.scene = TraversableScene(leaf_size=config.leaf_size)
+        offsets = np.empty(config.num_subspaces, dtype=np.float64)
+        for s in range(config.num_subspaces):
+            entries = self.pq.codebooks[s].entries
+            if self.metric is Metric.L2:
+                radii: np.ndarray | float = self.sphere_radius
+                offsets[s] = self.sphere_radius
+            else:
+                radii = adjusted_radii_for_inner_product(entries, self.sphere_radius)
+                offsets[s] = float(np.max(radii))
+            self.scene.add_layer(s, entries, radii=radii, z=2.0 * s + 1.0)
+        self.origin_offsets = offsets
+        self.tracer = RayTracer(self.scene)
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobs: int = 8,
+        quality_mode: QualityMode | str | None = None,
+        threshold_scale: float | None = None,
+    ) -> JunoSearchResult:
+        """The online pipeline (Alg. 2 plus the distance-calculation stage).
+
+        Args:
+            queries: ``(Q, D)`` query batch.
+            k: neighbours to return per query.
+            nprobs: coarse clusters probed per query.
+            quality_mode: override of the configured JUNO-L/M/H mode.
+            threshold_scale: override of the configured threshold scaling
+                factor (< 1 trades recall for throughput).
+
+        Returns:
+            A :class:`JunoSearchResult`.
+        """
+        self._require_trained()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        mode = QualityMode(quality_mode) if quality_mode is not None else self.config.quality_mode
+        scale = float(threshold_scale) if threshold_scale is not None else self.config.threshold_scale
+        if scale <= 0:
+            raise ValueError("threshold_scale must be positive")
+
+        num_queries = queries.shape[0]
+        num_subspaces = self.config.num_subspaces
+        work = SearchWork(num_queries=num_queries, lut_pairwise_dims=2.0)
+
+        # Stage A: coarse filtering (identical to the baseline).
+        selected = self.ivf.select_clusters(queries, nprobs)
+        nprobs = selected.shape[1]
+        work.filter_flops += 2.0 * num_queries * self.dim * self.ivf.num_clusters
+
+        # Stage B: selective L2-LUT construction on the RT engine.
+        origins, query_cluster_ip = self._ray_origins(queries, selected)
+        thresholds, t_max = self._thresholds_and_tmax(origins, scale, work)
+        constructor = SelectiveLUTConstructor(
+            tracer=self.tracer,
+            base_radius=self.sphere_radius,
+            origin_offsets=self.origin_offsets,
+            metric=self.metric,
+            inner_sphere_ratio=self.config.inner_sphere_ratio if mode.uses_inner_sphere else None,
+        )
+        lut = constructor.construct(origins, t_max, thresholds=thresholds)
+        work.rt_rays += lut.stats.rays
+        work.rt_node_visits += lut.stats.node_visits
+        work.rt_aabb_tests += lut.stats.aabb_tests
+        work.rt_prim_tests += lut.stats.prim_tests
+        work.rt_hits += lut.stats.hits
+
+        # Stage C: distance calculation over the selected points only.
+        ids, scores, candidate_total = self._score_batch(
+            queries, selected, lut, thresholds, mode, k, query_cluster_ip, work
+        )
+        work.sorted_candidates += candidate_total
+        return JunoSearchResult(
+            ids=ids,
+            scores=scores,
+            work=work,
+            quality_mode=mode,
+            threshold_scale=scale,
+            selected_entry_fraction=lut.selected_fraction(),
+            extra={"num_candidates": candidate_total, "rt_hits": lut.stats.hits},
+        )
+
+    # ------------------------------------------------------------ internals
+    def _ray_origins(
+        self, queries: np.ndarray, selected: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Per-(query, cluster) ray origins and (for MIPS) the IP(q, c) constants."""
+        num_queries, nprobs = selected.shape
+        num_subspaces = self.config.num_subspaces
+        if self.metric is Metric.L2:
+            centroids = self.ivf.centroids[selected]  # (Q, nprobs, D)
+            residual = queries[:, None, :] - centroids
+            origins = residual.reshape(num_queries * nprobs, num_subspaces, 2)
+            return origins, None
+        # MIPS: rays originate at the raw query projections (identical for
+        # every probed cluster); the per-cluster constant IP(q, c) is added to
+        # the accumulated scores afterwards.
+        origins = np.repeat(
+            queries.reshape(num_queries, 1, num_subspaces, 2), nprobs, axis=1
+        ).reshape(num_queries * nprobs, num_subspaces, 2)
+        query_cluster_ip = np.einsum("qd,qpd->qp", queries, self.ivf.centroids[selected])
+        return origins, query_cluster_ip
+
+    def _thresholds_and_tmax(
+        self, origins: np.ndarray, scale: float, work: SearchWork
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dynamic thresholds per (ray, subspace) and their ``t_max`` encoding."""
+        num_rays, num_subspaces, _ = origins.shape
+        thresholds = np.empty((num_rays, num_subspaces))
+        t_max = np.empty((num_rays, num_subspaces))
+        for s in range(num_subspaces):
+            density = self.density_map.lookup(s, origins[:, s, :])
+            predicted = self.threshold_model.predict_from_density(density)
+            offset = float(self.origin_offsets[s])
+            if self.metric is Metric.L2:
+                effective = predicted * scale
+                thresholds[:, s] = effective
+                t_max[:, s] = ThresholdModel.threshold_to_tmax(
+                    effective, self.sphere_radius, offset
+                )
+            else:
+                query_norm_sq = np.sum(origins[:, s, :] ** 2, axis=1)
+                base_tmax = inner_product_threshold_to_tmax(
+                    predicted, query_norm_sq, self.sphere_radius, offset
+                )
+                # Scaling < 1 must make the selection *more* selective; for
+                # MIPS that means shrinking the travel budget towards zero.
+                scaled_tmax = np.clip(offset - (offset - base_tmax) / scale, 0.0, offset)
+                t_max[:, s] = scaled_tmax
+                thresholds[:, s] = (
+                    query_norm_sq - self.sphere_radius**2 + (offset - scaled_tmax) ** 2
+                ) / 2.0
+        work.threshold_inferences += float(num_rays * num_subspaces)
+        return thresholds, t_max
+
+    def _score_batch(
+        self,
+        queries: np.ndarray,
+        selected: np.ndarray,
+        lut: SelectiveLUT,
+        thresholds: np.ndarray,
+        mode: QualityMode,
+        k: int,
+        query_cluster_ip: np.ndarray | None,
+        work: SearchWork,
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Distance calculation + top-k selection for the whole batch."""
+        num_queries, nprobs = selected.shape
+        num_subspaces = self.config.num_subspaces
+        subspace_range = np.arange(num_subspaces)
+        scorer = HitCountScorer(
+            use_inner_sphere=mode.uses_inner_sphere,
+            miss_penalty=self.config.hit_count_penalty,
+        )
+        higher_is_better = (not mode.uses_exact_distance) or (self.metric is Metric.INNER_PRODUCT)
+        fill_value = -np.inf if higher_is_better else np.inf
+
+        all_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        all_scores = np.full((num_queries, k), fill_value, dtype=np.float64)
+        candidate_total = 0.0
+        for qi in range(num_queries):
+            candidate_ids: list[np.ndarray] = []
+            candidate_scores: list[np.ndarray] = []
+            for ci in range(nprobs):
+                cluster_id = int(selected[qi, ci])
+                ray_id = qi * nprobs + ci
+                members = self.subspace_index.cluster_members(cluster_id)
+                if members.size == 0:
+                    continue
+                codes = self.subspace_index.cluster_codes(cluster_id)
+                if mode.uses_exact_distance:
+                    rows = lut.dense_rows(ray_id)
+                    values = rows[subspace_range[None, :], codes]
+                    miss = np.isnan(values)
+                    matched = (~miss).sum(axis=1)
+                    penalties = self._miss_penalties(thresholds[ray_id])
+                    scores = np.where(miss, penalties[None, :], values).sum(axis=1)
+                    if query_cluster_ip is not None:
+                        scores = scores + query_cluster_ip[qi, ci]
+                else:
+                    hit_mask = lut.hit_mask_rows(ray_id)
+                    inner_mask = (
+                        lut.inner_mask_rows(ray_id) if mode.uses_inner_sphere else None
+                    )
+                    scores, matched = scorer.score_members(hit_mask, inner_mask, codes)
+                keep = matched >= 1
+                work.adc_lookups += float(matched.sum())
+                work.adc_candidates += float(keep.sum())
+                if not keep.any():
+                    continue
+                candidate_ids.append(members[keep])
+                candidate_scores.append(scores[keep])
+            if not candidate_ids:
+                continue
+            ids = np.concatenate(candidate_ids)
+            scores = np.concatenate(candidate_scores)
+            candidate_total += float(ids.size)
+            order = np.argsort(-scores if higher_is_better else scores, kind="stable")[:k]
+            count = order.size
+            all_ids[qi, :count] = ids[order]
+            all_scores[qi, :count] = scores[order]
+        return all_ids, all_scores, candidate_total
+
+    def _miss_penalties(self, row_thresholds: np.ndarray) -> np.ndarray:
+        """Per-subspace score contribution of unselected entries.
+
+        For L2 the true per-subspace distance of a miss is at least the
+        threshold, so the squared threshold (scaled by
+        ``miss_penalty_factor``) is a conservative stand-in.  For MIPS the
+        true contribution is at most the threshold, which is used directly.
+        """
+        if self.metric is Metric.L2:
+            return (row_thresholds**2) * self.config.miss_penalty_factor
+        return row_thresholds * self.config.miss_penalty_factor
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("JunoIndex must be trained before searching")

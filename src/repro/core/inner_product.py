@@ -1,0 +1,93 @@
+"""Inner-product (MIPS) support without extra dimensions (Sec. 4.2).
+
+Earlier MIPS-to-L2 reductions append extra dimensions to queries and points.
+JUNO instead observes that the hit time already encodes the in-plane
+distance, and that enlarging each entry's sphere radius from ``R`` to
+``sqrt(R^2 + |e|^2)`` *offline* makes the hit time directly decodable into an
+inner product at query time, with no per-hit memory accesses:
+
+    IP(e, q) = (|q|^2 - R^2 + (z_off - t_hit)^2) / 2
+
+where ``z_off`` is the distance from the ray origin plane to the sphere
+centre plane (the paper uses ``z_off = 1``; this reproduction generalises it
+so that enlarged spheres never swallow the ray origin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def adjusted_radii_for_inner_product(
+    entries_xy: np.ndarray, base_radius: float
+) -> np.ndarray:
+    """Per-entry sphere radii ``R' = sqrt(R^2 + |e|^2)`` for the MIPS mapping.
+
+    Args:
+        entries_xy: ``(E, 2)`` codebook entry coordinates in the subspace.
+        base_radius: the constant base radius ``R``.
+
+    Returns:
+        ``(E,)`` adjusted radii.
+    """
+    entries_xy = np.atleast_2d(np.asarray(entries_xy, dtype=np.float64))
+    norms_sq = np.sum(entries_xy**2, axis=1)
+    return np.sqrt(base_radius**2 + norms_sq)
+
+
+def l2_distance_from_hit_time(
+    t_hit: np.ndarray, sphere_radius: float, origin_offset: float
+) -> np.ndarray:
+    """Recover the in-plane (subspace) L2 distance from the hit time.
+
+    ``d = sqrt(R^2 - (z_off - t_hit)^2)`` -- the left half of Fig. 9.
+    """
+    t_hit = np.asarray(t_hit, dtype=np.float64)
+    inside = sphere_radius**2 - (origin_offset - t_hit) ** 2
+    return np.sqrt(np.maximum(inside, 0.0))
+
+
+def inner_product_from_hit_time(
+    t_hit: np.ndarray,
+    query_norm_sq: np.ndarray | float,
+    base_radius: float,
+    origin_offset: float,
+) -> np.ndarray:
+    """Recover the subspace inner product from the hit time.
+
+    Args:
+        t_hit: hit times against the *enlarged* spheres.
+        query_norm_sq: ``|q|^2`` of the query projection(s); scalar or
+            broadcastable to ``t_hit``.
+        base_radius: the base radius ``R`` (before per-entry enlargement).
+        origin_offset: distance from the ray-origin plane to the sphere
+            centre plane.
+
+    Returns:
+        Subspace inner products ``IP(e, q)``.
+    """
+    t_hit = np.asarray(t_hit, dtype=np.float64)
+    return (np.asarray(query_norm_sq, dtype=np.float64) - base_radius**2 + (origin_offset - t_hit) ** 2) / 2.0
+
+
+def inner_product_threshold_to_tmax(
+    ip_threshold: np.ndarray,
+    query_norm_sq: np.ndarray | float,
+    base_radius: float,
+    origin_offset: float,
+) -> np.ndarray:
+    """Convert a minimum-inner-product threshold into a ``t_max``.
+
+    Selecting entries with ``IP >= ip_threshold`` is equivalent to accepting
+    hits with ``t_hit <= t_max`` where::
+
+        t_max = z_off - sqrt(max(R^2 - |q|^2 + 2 * ip_threshold, 0))
+
+    When the argument of the square root would exceed ``z_off^2`` (a very low
+    threshold), ``t_max`` is clamped to ``z_off`` so every enlarged sphere
+    remains reachable.
+    """
+    ip_threshold = np.asarray(ip_threshold, dtype=np.float64)
+    inside = base_radius**2 - np.asarray(query_norm_sq, dtype=np.float64) + 2.0 * ip_threshold
+    inside = np.clip(inside, 0.0, origin_offset**2)
+    return origin_offset - np.sqrt(inside)

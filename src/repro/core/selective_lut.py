@@ -1,0 +1,231 @@
+"""Threshold-based selective L2-LUT construction on the RT engine (Sec. 4.2).
+
+The baseline builds a dense ``(nprobs, S, E)`` lookup table by computing all
+pairwise (query projection, entry) distances.  JUNO instead casts one ray per
+(query, cluster, subspace) into the traversable scene with a per-ray
+``t_max`` encoding the dynamic threshold; the hit shader recovers the
+distance (or inner product) from the hit time alone, and only the selected
+entries ever receive a LUT value.
+
+The constructor operates on a whole query batch: rays of all
+(query, cluster) pairs are traced subspace by subspace through the vectorised
+tracer and the resulting hits are stored in a compressed (CSR-like) per-ray
+layout that the distance-calculation stage consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inner_product import (
+    inner_product_from_hit_time,
+    l2_distance_from_hit_time,
+)
+from repro.metrics.distances import Metric
+from repro.rt.tracer import RayTracer, TraversalStats
+
+
+@dataclass
+class SelectiveLUT:
+    """Sparse per-ray lookup tables produced by the RT pass.
+
+    Hits are stored per subspace in CSR form over ray ids: for subspace ``s``
+    and ray ``r``, the selected entries are
+    ``entries[s][offsets[s][r]:offsets[s][r + 1]]`` and their values (squared
+    L2 distances or inner products) are the matching slice of ``values[s]``.
+
+    Attributes:
+        num_rays: number of rays per subspace (``Q * nprobs``).
+        num_entries: codebook entries per subspace ``E``.
+        metric: the metric the values are expressed in.
+        offsets: per-subspace ``(num_rays + 1,)`` CSR offsets.
+        entries: per-subspace hit entry ids, grouped by ray.
+        values: per-subspace hit values, grouped by ray.
+        inner_flags: per-subspace booleans marking hits that also fall inside
+            the reward/penalty inner sphere (JUNO-M); ``None`` when the inner
+            sphere was not evaluated.
+        stats: traversal statistics accumulated over all subspaces.
+    """
+
+    num_rays: int
+    num_entries: int
+    metric: Metric
+    offsets: list[np.ndarray]
+    entries: list[np.ndarray]
+    values: list[np.ndarray]
+    inner_flags: list[np.ndarray] | None
+    stats: TraversalStats
+
+    @property
+    def num_subspaces(self) -> int:
+        """Number of subspaces covered by the LUT."""
+        return len(self.offsets)
+
+    @property
+    def total_hits(self) -> int:
+        """Total number of selected (ray, entry) pairs."""
+        return int(sum(e.shape[0] for e in self.entries))
+
+    def ray_slice(self, subspace_id: int, ray_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(entry_ids, values)`` selected for one ray in one subspace."""
+        start = self.offsets[subspace_id][ray_id]
+        stop = self.offsets[subspace_id][ray_id + 1]
+        return (
+            self.entries[subspace_id][start:stop],
+            self.values[subspace_id][start:stop],
+        )
+
+    def dense_rows(self, ray_id: int) -> np.ndarray:
+        """Dense ``(S, E)`` table for one ray with ``nan`` marking unselected entries."""
+        table = np.full((self.num_subspaces, self.num_entries), np.nan)
+        for s in range(self.num_subspaces):
+            entry_ids, values = self.ray_slice(s, ray_id)
+            table[s, entry_ids] = values
+        return table
+
+    def hit_mask_rows(self, ray_id: int) -> np.ndarray:
+        """Dense boolean ``(S, E)`` selection mask for one ray."""
+        mask = np.zeros((self.num_subspaces, self.num_entries), dtype=bool)
+        for s in range(self.num_subspaces):
+            entry_ids, _ = self.ray_slice(s, ray_id)
+            mask[s, entry_ids] = True
+        return mask
+
+    def inner_mask_rows(self, ray_id: int) -> np.ndarray:
+        """Dense boolean ``(S, E)`` inner-sphere mask for one ray (JUNO-M)."""
+        if self.inner_flags is None:
+            raise RuntimeError("inner sphere flags were not computed for this LUT")
+        mask = np.zeros((self.num_subspaces, self.num_entries), dtype=bool)
+        for s in range(self.num_subspaces):
+            start = self.offsets[s][ray_id]
+            stop = self.offsets[s][ray_id + 1]
+            mask[s, self.entries[s][start:stop]] = self.inner_flags[s][start:stop]
+        return mask
+
+    def selected_fraction(self) -> float:
+        """Average fraction of entries selected per (ray, subspace); the
+        sparsity actually exploited."""
+        total_slots = self.num_rays * self.num_subspaces * self.num_entries
+        if total_slots == 0:
+            return 0.0
+        return self.total_hits / total_slots
+
+
+class SelectiveLUTConstructor:
+    """Casts the per-subspace ray batches and decodes hit times into values.
+
+    Args:
+        tracer: ray tracer over the offline-built traversable scene.
+        base_radius: the constant sphere radius ``R`` (L2 spheres use exactly
+            ``R``; inner-product spheres were enlarged per entry offline).
+        origin_offsets: ``(S,)`` distance from the ray-origin plane to the
+            sphere-centre plane for every subspace layer.
+        metric: L2 or inner product.
+        inner_sphere_ratio: if not ``None``, hits are additionally classified
+            against an inner sphere of ``ratio * threshold`` (JUNO-M).
+    """
+
+    def __init__(
+        self,
+        tracer: RayTracer,
+        base_radius: float,
+        origin_offsets: np.ndarray,
+        metric: Metric = Metric.L2,
+        inner_sphere_ratio: float | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.base_radius = float(base_radius)
+        self.origin_offsets = np.asarray(origin_offsets, dtype=np.float64)
+        self.metric = Metric(metric)
+        self.inner_sphere_ratio = inner_sphere_ratio
+
+    def construct(
+        self,
+        origins: np.ndarray,
+        t_max: np.ndarray,
+        thresholds: np.ndarray | None = None,
+    ) -> SelectiveLUT:
+        """Trace all rays and build the selective LUT.
+
+        Args:
+            origins: ``(R, S, 2)`` ray origins per ray and subspace (residual
+                projections for L2, raw query projections for inner product).
+            t_max: ``(R, S)`` per-ray maximum travel times.
+            thresholds: ``(R, S)`` distance thresholds (needed to evaluate the
+                inner sphere for JUNO-M; ignored otherwise).
+
+        Returns:
+            The populated :class:`SelectiveLUT`.
+        """
+        origins = np.asarray(origins, dtype=np.float64)
+        t_max = np.asarray(t_max, dtype=np.float64)
+        if origins.ndim != 3 or origins.shape[2] != 2:
+            raise ValueError("origins must have shape (R, S, 2)")
+        num_rays, num_subspaces, _ = origins.shape
+        if t_max.shape != (num_rays, num_subspaces):
+            raise ValueError("t_max must have shape (R, S)")
+        want_inner = self.inner_sphere_ratio is not None
+        if want_inner and thresholds is None:
+            raise ValueError("thresholds are required to evaluate the inner sphere")
+
+        offsets: list[np.ndarray] = []
+        entries: list[np.ndarray] = []
+        values: list[np.ndarray] = []
+        inner_flags: list[np.ndarray] | None = [] if want_inner else None
+        stats = TraversalStats()
+        num_entries = 0
+        for s in range(num_subspaces):
+            layer = self.tracer.scene.layer(s)
+            num_entries = max(num_entries, layer.num_spheres)
+            origin_z = layer.z - float(self.origin_offsets[s])
+            hits, layer_stats = self.tracer.trace_vertical_batch(
+                s, origins[:, s, :], t_max[:, s], origin_z=origin_z
+            )
+            stats.merge(layer_stats)
+            order = np.argsort(hits.ray_index, kind="stable")
+            ray_sorted = hits.ray_index[order]
+            entry_sorted = hits.entry_index[order]
+            t_sorted = hits.t_hit[order]
+            ray_offsets = np.searchsorted(ray_sorted, np.arange(num_rays + 1), side="left")
+            offsets.append(ray_offsets.astype(np.int64))
+            entries.append(entry_sorted.astype(np.int64))
+            if self.metric is Metric.L2:
+                distance = l2_distance_from_hit_time(
+                    t_sorted, self.base_radius, float(self.origin_offsets[s])
+                )
+                values.append(distance**2)
+            else:
+                # The query-projection norm depends on the ray that produced
+                # each hit; gather it per hit before decoding.
+                query_norm_sq = np.sum(origins[ray_sorted, s, :] ** 2, axis=1)
+                values.append(
+                    inner_product_from_hit_time(
+                        t_sorted,
+                        query_norm_sq,
+                        self.base_radius,
+                        float(self.origin_offsets[s]),
+                    )
+                )
+            if want_inner:
+                per_hit_threshold = thresholds[ray_sorted, s]
+                if self.metric is Metric.L2:
+                    distance = np.sqrt(values[-1])
+                    inner_flags.append(distance <= per_hit_threshold * self.inner_sphere_ratio)
+                else:
+                    # For inner product "inside the inner sphere" means an
+                    # inner product comfortably above the selection bound; the
+                    # margin shrinks with the inner-sphere ratio.
+                    margin = (1.0 - self.inner_sphere_ratio) * np.abs(per_hit_threshold)
+                    inner_flags.append(values[-1] >= per_hit_threshold + margin)
+        return SelectiveLUT(
+            num_rays=num_rays,
+            num_entries=num_entries,
+            metric=self.metric,
+            offsets=offsets,
+            entries=entries,
+            values=values,
+            inner_flags=inner_flags,
+            stats=stats,
+        )

@@ -1,0 +1,109 @@
+"""Subspace-level inverted indices (Alg. 1, lines 12-14).
+
+The conventional IVFPQ layout stores, per coarse cluster, the PQ codes of its
+member points.  JUNO additionally needs the *reverse* mapping -- from a
+(cluster, subspace, entry) triple to the search points encoded with that
+entry -- so that the distance-calculation stage only iterates over points
+whose entries were selected by the ray tracing pass.
+
+The index is stored in a compact sorted-array form per (cluster, subspace):
+member ids sorted by their code, plus ``searchsorted``-style group
+boundaries, which keeps lookups vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SubspaceInvertedIndex:
+    """Entry -> points mapping for every (cluster, subspace) pair.
+
+    Args:
+        num_entries: number of codebook entries per subspace ``E``.
+    """
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = int(num_entries)
+        # Per cluster: (member_ids, codes) plus per-subspace sorted views.
+        self._members: list[np.ndarray] = []
+        self._codes: list[np.ndarray] = []
+        self._sorted_members: list[np.ndarray] = []  # (S, n_c) member ids per cluster
+        self._group_offsets: list[np.ndarray] = []  # (S, E + 1) boundaries per cluster
+        self.num_subspaces: int | None = None
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters the index has been built over."""
+        return len(self._members)
+
+    def build(self, posting_lists: list[np.ndarray], codes: np.ndarray) -> "SubspaceInvertedIndex":
+        """Build the inverted structure for every cluster.
+
+        Args:
+            posting_lists: per-cluster arrays of member point ids (the IVF's
+                posting lists).
+            codes: ``(N, S)`` PQ codes of the whole corpus.
+
+        Returns:
+            ``self`` for chaining.
+        """
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        self.num_subspaces = codes.shape[1]
+        self._members = []
+        self._codes = []
+        self._sorted_members = []
+        self._group_offsets = []
+        for members in posting_lists:
+            members = np.asarray(members, dtype=np.int64)
+            cluster_codes = codes[members]
+            self._members.append(members)
+            self._codes.append(cluster_codes)
+            sorted_members = np.empty((self.num_subspaces, members.shape[0]), dtype=np.int64)
+            offsets = np.empty((self.num_subspaces, self.num_entries + 1), dtype=np.int64)
+            for s in range(self.num_subspaces):
+                order = np.argsort(cluster_codes[:, s], kind="stable")
+                sorted_codes = cluster_codes[order, s]
+                sorted_members[s] = members[order]
+                offsets[s] = np.searchsorted(
+                    sorted_codes, np.arange(self.num_entries + 1), side="left"
+                )
+            self._sorted_members.append(sorted_members)
+            self._group_offsets.append(offsets)
+        return self
+
+    # --------------------------------------------------------------- lookups
+    def cluster_members(self, cluster_id: int) -> np.ndarray:
+        """Member point ids of one cluster."""
+        return self._members[int(cluster_id)]
+
+    def cluster_codes(self, cluster_id: int) -> np.ndarray:
+        """``(n_c, S)`` PQ codes of one cluster's members."""
+        return self._codes[int(cluster_id)]
+
+    def points_for_entry(self, cluster_id: int, subspace_id: int, entry_id: int) -> np.ndarray:
+        """Point ids of ``cluster_id`` encoded with ``entry_id`` in subspace ``subspace_id``."""
+        offsets = self._group_offsets[int(cluster_id)][int(subspace_id)]
+        start, stop = offsets[int(entry_id)], offsets[int(entry_id) + 1]
+        return self._sorted_members[int(cluster_id)][int(subspace_id)][start:stop]
+
+    def points_for_entries(
+        self, cluster_id: int, subspace_id: int, entry_ids: np.ndarray
+    ) -> np.ndarray:
+        """Union of point ids under several entries (vectorised)."""
+        entry_ids = np.asarray(entry_ids, dtype=np.int64)
+        offsets = self._group_offsets[int(cluster_id)][int(subspace_id)]
+        sorted_members = self._sorted_members[int(cluster_id)][int(subspace_id)]
+        pieces = [
+            sorted_members[offsets[e] : offsets[e + 1]] for e in entry_ids
+        ]
+        if not pieces:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def entry_usage(self, cluster_id: int, subspace_id: int) -> np.ndarray:
+        """Number of member points per entry (used by the sparsity analysis)."""
+        offsets = self._group_offsets[int(cluster_id)][int(subspace_id)]
+        return np.diff(offsets)

@@ -1,0 +1,30 @@
+"""Synthetic dataset generators and ground-truth computation.
+
+The paper evaluates on SIFT1M/100M, DEEP1M/100M and TTI1M.  Those datasets
+are not redistributable here and a 100M-point corpus is far beyond what pure
+Python should hold, so this package provides *synthetic surrogates* that
+reproduce the statistical structure JUNO exploits (clustered,
+high-dimensional embeddings) at configurable scale.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.datasets.ground_truth import compute_ground_truth
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.synthetic import (
+    Dataset,
+    make_clustered_dataset,
+    make_deep_like,
+    make_sift_like,
+    make_tti_like,
+)
+
+__all__ = [
+    "Dataset",
+    "make_clustered_dataset",
+    "make_sift_like",
+    "make_deep_like",
+    "make_tti_like",
+    "compute_ground_truth",
+    "load_dataset",
+    "DATASET_BUILDERS",
+]

@@ -1,0 +1,42 @@
+"""Dataset registry used by the examples and benchmark harness.
+
+The registry maps short names like ``"sift1m"`` or ``"deep100m"`` onto
+surrogate builders whose default sizes are *scaled down* from the paper's
+sizes so the pure-Python pipeline stays tractable; the mapping to the paper's
+datasets is recorded in DESIGN.md.  All sizes can be overridden by the
+caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.synthetic import Dataset, make_deep_like, make_sift_like, make_tti_like
+
+# Scaled default sizes: "1M" datasets become 20k surrogates and "100M"
+# datasets become 100k surrogates; both keep the paper's dimensionality.
+DATASET_BUILDERS: dict[str, Callable[..., Dataset]] = {
+    "sift1m": lambda **kw: make_sift_like(**{"num_points": 20_000, **kw}),
+    "deep1m": lambda **kw: make_deep_like(**{"num_points": 20_000, **kw}),
+    "tti1m": lambda **kw: make_tti_like(**{"num_points": 20_000, **kw}),
+    "sift100m": lambda **kw: make_sift_like(**{"num_points": 100_000, "seed": 11, **kw}),
+    "deep100m": lambda **kw: make_deep_like(**{"num_points": 100_000, "seed": 12, **kw}),
+}
+
+
+def load_dataset(name: str, **overrides) -> Dataset:
+    """Build a surrogate dataset by registry name.
+
+    Args:
+        name: one of :data:`DATASET_BUILDERS` (case-insensitive).
+        **overrides: keyword overrides forwarded to the builder, e.g.
+            ``num_points=5_000`` or ``num_queries=50``.
+
+    Raises:
+        KeyError: for unknown names, listing the available ones.
+    """
+    key = name.lower()
+    if key not in DATASET_BUILDERS:
+        available = ", ".join(sorted(DATASET_BUILDERS))
+        raise KeyError(f"unknown dataset {name!r}; available: {available}")
+    return DATASET_BUILDERS[key](**overrides)

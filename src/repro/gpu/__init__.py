@@ -1,0 +1,27 @@
+"""GPU execution model.
+
+The paper measures wall-clock throughput on RTX 4090 / A40 / A100 GPUs with
+CUDA, Tensor and RT cores.  None of that hardware is available to a pure
+Python reproduction, so this package provides an *analytical performance
+model*: each search records the amount of work it performed per pipeline
+stage (:mod:`repro.gpu.work`), a device catalog describes the relative
+throughput of each core type (:mod:`repro.gpu.device`), and the cost model
+(:mod:`repro.gpu.cost_model`) converts work into stage latencies, including
+the MPS-partitioned RT/Tensor pipeline overlap of Sec. 5.3.
+"""
+
+from repro.gpu.device import GPUDevice, get_device, list_devices
+from repro.gpu.work import SearchWork
+from repro.gpu.cost_model import CostModel, StageLatency
+from repro.gpu.pipeline import PipelineModel, PipelineSchedule
+
+__all__ = [
+    "GPUDevice",
+    "get_device",
+    "list_devices",
+    "SearchWork",
+    "CostModel",
+    "StageLatency",
+    "PipelineModel",
+    "PipelineSchedule",
+]

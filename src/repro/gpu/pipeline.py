@@ -1,0 +1,112 @@
+"""Heterogeneous-core pipelining model (Sec. 5.3).
+
+NVIDIA GPUs from Ampere onwards can co-run RT, Tensor and CUDA cores.  The
+paper shows (Fig. 11(a)) that naive co-running causes interference because
+the long CUDA-core distance calculation contends for SM resources; JUNO fixes
+this by (i) mapping the accumulation onto Tensor cores and (ii) partitioning
+SMs with CUDA MPS in a 9:1 ratio between LUT construction and distance
+calculation.  This module models those three execution modes so the Fig. 11
+and Fig. 13 benchmarks can reproduce the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cost_model import CostModel
+from repro.gpu.work import SearchWork
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Latency of one execution strategy for the LUT + distance stages.
+
+    Attributes:
+        mode: one of ``"solo"``, ``"naive-corun"`` or ``"pipelined"``.
+        lut_s: effective LUT-construction latency under this mode.
+        distance_s: effective distance-calculation latency under this mode.
+        total_s: combined latency of the two stages under this mode.
+    """
+
+    mode: str
+    lut_s: float
+    distance_s: float
+    total_s: float
+
+
+class PipelineModel:
+    """Model solo-run, naive co-run and MPS-partitioned pipelined execution.
+
+    Args:
+        cost_model: underlying per-stage cost model.
+        interference_factor: slow-down applied to both stages under naive
+            co-running (resource contention, Fig. 11(a) shows ~1.5-2x).
+        mps_lut_share: fraction of SM resources given to LUT construction
+            under MPS partitioning (the paper uses 0.9).
+        pipeline_overhead: data padding/transformation overhead of the
+            pipelined mode (< 5% in the paper).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        interference_factor: float = 1.8,
+        mps_lut_share: float = 0.9,
+        pipeline_overhead: float = 0.05,
+    ) -> None:
+        if not 0.0 < mps_lut_share < 1.0:
+            raise ValueError("mps_lut_share must be in (0, 1)")
+        self.cost_model = cost_model
+        self.interference_factor = float(interference_factor)
+        self.mps_lut_share = float(mps_lut_share)
+        self.pipeline_overhead = float(pipeline_overhead)
+
+    def solo(self, work: SearchWork) -> PipelineSchedule:
+        """Both stages run serially with the whole GPU each."""
+        lut_s = self.cost_model.lut_latency(work)
+        distance_s = self.cost_model.distance_latency(work)
+        return PipelineSchedule("solo", lut_s, distance_s, lut_s + distance_s)
+
+    def naive_corun(self, work: SearchWork) -> PipelineSchedule:
+        """Stages overlap with no resource partitioning.
+
+        Both stages contend for SMs; each is slowed by
+        ``interference_factor`` and the pipeline is bound by the slower one.
+        """
+        lut_s = self.cost_model.lut_latency(work) * self.interference_factor
+        distance_s = self.cost_model.distance_latency(work) * self.interference_factor
+        return PipelineSchedule("naive-corun", lut_s, distance_s, max(lut_s, distance_s))
+
+    def pipelined(self, work: SearchWork) -> PipelineSchedule:
+        """MPS-partitioned pipelined execution (JUNO's strategy).
+
+        LUT construction keeps ``mps_lut_share`` of the SMs; since it mostly
+        runs on RT cores, losing CUDA SMs barely hurts it.  The distance
+        calculation runs in the remaining share, but it is Tensor-core and
+        memory-bandwidth bound (neither is partitioned by MPS), so it only
+        pays a modest slowdown.  Total latency is the slower stage plus the
+        pipeline's data-padding overhead.
+        """
+        lut_s = self.cost_model.lut_latency(work) / self.mps_lut_share
+        distance_s = self.cost_model.distance_latency(work) * self._distance_partition_penalty()
+        total = max(lut_s, distance_s) * (1.0 + self.pipeline_overhead)
+        return PipelineSchedule("pipelined", lut_s, distance_s, total)
+
+    def _distance_partition_penalty(self) -> float:
+        """Slowdown of the distance stage from running in the small MPS share.
+
+        Interpolates between no penalty (the stage is entirely Tensor/memory
+        bound) and the full inverse-share penalty, weighted by the small CUDA
+        fraction the stage retains after the Tensor-core mapping.
+        """
+        cuda_fraction = 0.25
+        inverse_share = 1.0 / (1.0 - self.mps_lut_share)
+        return (1.0 - cuda_fraction) + cuda_fraction * min(inverse_share, 4.0)
+
+    def compare(self, work: SearchWork) -> dict[str, PipelineSchedule]:
+        """All three schedules, keyed by mode name (for the Fig. 11(a) bench)."""
+        return {
+            "solo": self.solo(work),
+            "naive-corun": self.naive_corun(work),
+            "pipelined": self.pipelined(work),
+        }

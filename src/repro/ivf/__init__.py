@@ -1,0 +1,12 @@
+"""Inverted file index (IVF) substrate.
+
+The IVF is the coarse-grained filtering stage of the IVFPQ pipeline
+(Sec. 2.1, step A): search points are clustered into ``C`` coarse clusters
+and, at query time, only the points belonging to the ``nprobs`` closest
+clusters are scored.
+"""
+
+from repro.ivf.inverted_file import InvertedFileIndex
+from repro.ivf.flat import FlatIndex
+
+__all__ = ["InvertedFileIndex", "FlatIndex"]

@@ -1,0 +1,53 @@
+"""Flat (exhaustive) index.
+
+The trivial index mentioned in Sec. 7: stores the complete database and
+scores every point for every query.  It doubles as the lossless fallback the
+robustness discussion (Sec. 6.5) describes, and as a reference in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.distances import Metric, pairwise_distance, top_k
+
+
+class FlatIndex:
+    """Brute-force index over the raw vectors.
+
+    Args:
+        metric: ranking metric.
+    """
+
+    def __init__(self, metric: Metric = Metric.L2) -> None:
+        self.metric = Metric(metric)
+        self.points: np.ndarray | None = None
+
+    def add(self, points: np.ndarray) -> "FlatIndex":
+        """Store the corpus (appending to any previously added points)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if self.points is None:
+            self.points = points.copy()
+        else:
+            if points.shape[1] != self.points.shape[1]:
+                raise ValueError("dimension mismatch with previously added points")
+            self.points = np.vstack([self.points, points])
+        return self
+
+    @property
+    def num_points(self) -> int:
+        """Number of stored points."""
+        return 0 if self.points is None else int(self.points.shape[0])
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` search.
+
+        Returns:
+            ``(ids, scores)`` arrays of shape ``(Q, k)``, best-first.
+        """
+        if self.points is None:
+            raise RuntimeError("FlatIndex.search called before add")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scores = pairwise_distance(queries, self.points, self.metric)
+        return top_k(scores, k, self.metric)

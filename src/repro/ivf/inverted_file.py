@@ -1,0 +1,130 @@
+"""The inverted file index (coarse quantizer + per-cluster posting lists)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.distances import Metric, pairwise_distance, top_k
+from repro.quantization.kmeans import KMeans
+
+
+class InvertedFileIndex:
+    """Coarse clustering of the corpus with per-cluster member lists.
+
+    Args:
+        num_clusters: number of coarse clusters ``C``.
+        metric: metric used when selecting the closest clusters for a query.
+            Following Sec. 4.2, the filtering metric follows the dataset
+            metric (L2 or inner product).
+        seed: RNG seed for the coarse k-means.
+        kmeans_iters: Lloyd iterations for the coarse k-means.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        metric: Metric = Metric.L2,
+        seed: int = 0,
+        kmeans_iters: int = 20,
+    ) -> None:
+        if num_clusters <= 0:
+            raise ValueError("num_clusters must be positive")
+        self.num_clusters = int(num_clusters)
+        self.metric = Metric(metric)
+        self.seed = int(seed)
+        self.kmeans_iters = int(kmeans_iters)
+        self.centroids: np.ndarray | None = None
+        self.labels: np.ndarray | None = None
+        self.posting_lists: list[np.ndarray] = []
+
+    # ----------------------------------------------------------------- train
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has been called."""
+        return self.centroids is not None
+
+    def train(self, points: np.ndarray) -> "InvertedFileIndex":
+        """Cluster the corpus and build posting lists.
+
+        Args:
+            points: ``(N, D)`` search corpus.
+
+        Returns:
+            ``self`` for chaining.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        kmeans = KMeans(
+            n_clusters=min(self.num_clusters, points.shape[0]),
+            max_iter=self.kmeans_iters,
+            seed=self.seed,
+        )
+        result = kmeans.fit(points)
+        self.centroids = result.centroids
+        self.labels = result.labels
+        self.num_clusters = result.centroids.shape[0]
+        self.posting_lists = [
+            np.flatnonzero(self.labels == cluster_id).astype(np.int64)
+            for cluster_id in range(self.num_clusters)
+        ]
+        return self
+
+    # ----------------------------------------------------------------- query
+    def select_clusters(self, queries: np.ndarray, nprobs: int) -> np.ndarray:
+        """The filtering stage: the ``nprobs`` closest coarse clusters per query.
+
+        Args:
+            queries: ``(Q, D)`` query batch.
+            nprobs: number of clusters to probe.
+
+        Returns:
+            ``(Q, nprobs)`` int array of cluster ids, closest first.
+        """
+        self._require_trained()
+        if nprobs <= 0:
+            raise ValueError("nprobs must be positive")
+        nprobs = min(nprobs, self.num_clusters)
+        scores = pairwise_distance(queries, self.centroids, self.metric)
+        idx, _ = top_k(scores, nprobs, self.metric)
+        return idx
+
+    def residuals(self, query: np.ndarray, cluster_ids: np.ndarray) -> np.ndarray:
+        """Residuals between one query and the selected cluster centroids.
+
+        Args:
+            query: ``(D,)`` query vector.
+            cluster_ids: ``(nprobs,)`` selected cluster ids.
+
+        Returns:
+            ``(nprobs, D)`` residual matrix ``query - centroid``.
+        """
+        self._require_trained()
+        query = np.asarray(query, dtype=np.float64).ravel()
+        return query[None, :] - self.centroids[np.asarray(cluster_ids, dtype=np.int64)]
+
+    def cluster_members(self, cluster_id: int) -> np.ndarray:
+        """Point ids stored in the posting list of ``cluster_id``."""
+        self._require_trained()
+        return self.posting_lists[int(cluster_id)]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points per cluster (useful for balance diagnostics)."""
+        self._require_trained()
+        return np.array([len(lst) for lst in self.posting_lists], dtype=np.int64)
+
+    def point_residuals(self, points: np.ndarray) -> np.ndarray:
+        """Residuals of all corpus points relative to their own centroid.
+
+        This is what PQ codebooks are trained on (Alg. 1 line 4).
+        """
+        self._require_trained()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                "points must be the same corpus the index was trained on "
+                f"({self.labels.shape[0]} points), got {points.shape[0]}"
+            )
+        return points - self.centroids[self.labels]
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("InvertedFileIndex must be trained before use")

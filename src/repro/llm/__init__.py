@@ -1,0 +1,23 @@
+"""LLM attention case study (Sec. 6.5, Fig. 15).
+
+The paper motivates JUNO's future relevance by showing that a Llama-7B model
+keeps its perplexity when only the most significant attention entries are
+kept -- exactly the maximum-inner-product search JUNO accelerates.  Without
+model weights, this package substitutes a small numpy multi-head-attention
+stack over synthetic-but-structured activations and measures how the model's
+output distribution degrades as attention is restricted to the top fraction
+of keys retrieved by inner-product search (exact or via an ANN index).
+"""
+
+from repro.llm.attention import MultiHeadAttention, softmax
+from repro.llm.sparse_attention import (
+    attention_quality_vs_topk,
+    sparse_attention_outputs,
+)
+
+__all__ = [
+    "MultiHeadAttention",
+    "softmax",
+    "sparse_attention_outputs",
+    "attention_quality_vs_topk",
+]

@@ -1,0 +1,97 @@
+"""A small numpy multi-head attention layer.
+
+This is the substrate of the Fig. 15 case study: attention scores are inner
+products between query and key vectors, so restricting each query to its
+top-k keys is precisely an approximate maximum-inner-product search problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadAttention:
+    """Multi-head scaled dot-product attention with random projections.
+
+    Args:
+        model_dim: embedding dimensionality of the token stream.
+        num_heads: number of attention heads; must divide ``model_dim``.
+        seed: RNG seed for the projection matrices.
+    """
+
+    def __init__(self, model_dim: int = 128, num_heads: int = 4, seed: int = 0) -> None:
+        if model_dim % num_heads != 0:
+            raise ValueError("model_dim must be divisible by num_heads")
+        self.model_dim = int(model_dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = self.model_dim // self.num_heads
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(self.model_dim)
+        self.w_query = rng.standard_normal((model_dim, model_dim)) * scale
+        self.w_key = rng.standard_normal((model_dim, model_dim)) * scale
+        self.w_value = rng.standard_normal((model_dim, model_dim)) * scale
+        self.w_output = rng.standard_normal((model_dim, model_dim)) * scale
+
+    def _split_heads(self, tensor: np.ndarray) -> np.ndarray:
+        seq_len = tensor.shape[0]
+        return tensor.reshape(seq_len, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+    def project(self, tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project a ``(T, D)`` token sequence into per-head Q, K, V tensors."""
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.float64))
+        queries = self._split_heads(tokens @ self.w_query)
+        keys = self._split_heads(tokens @ self.w_key)
+        values = self._split_heads(tokens @ self.w_value)
+        return queries, keys, values
+
+    def attend(
+        self,
+        queries: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+        causal: bool = True,
+    ) -> np.ndarray:
+        """Scaled dot-product attention for pre-projected tensors.
+
+        Args:
+            queries / keys / values: ``(H, T, head_dim)`` tensors.
+            mask: optional ``(H, T, T)`` boolean mask; ``False`` entries are
+                excluded from attention (this is how the ANN-sparsified
+                variants are expressed).
+            causal: apply the usual autoregressive causal mask.
+
+        Returns:
+            ``(T, D)`` attended and output-projected sequence.
+        """
+        scores = queries @ keys.transpose(0, 2, 1) / np.sqrt(self.head_dim)
+        seq_len = scores.shape[1]
+        if causal:
+            causal_mask = np.tril(np.ones((seq_len, seq_len), dtype=bool))
+            scores = np.where(causal_mask[None, :, :], scores, -np.inf)
+        if mask is not None:
+            scores = np.where(mask, scores, -np.inf)
+        # Guard against rows that lost every key: fall back to self-attention.
+        all_masked = ~np.isfinite(scores).any(axis=2, keepdims=True)
+        scores = np.where(
+            all_masked & (np.arange(seq_len)[None, :, None] == np.arange(seq_len)[None, None, :]),
+            0.0,
+            scores,
+        )
+        weights = softmax(scores, axis=2)
+        attended = weights @ values  # (H, T, head_dim)
+        merged = attended.transpose(1, 0, 2).reshape(seq_len, self.model_dim)
+        return merged @ self.w_output
+
+    def forward(self, tokens: np.ndarray, causal: bool = True) -> np.ndarray:
+        """Full (dense) attention over a ``(T, D)`` token sequence."""
+        queries, keys, values = self.project(tokens)
+        return self.attend(queries, keys, values, mask=None, causal=causal)

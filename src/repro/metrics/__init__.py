@@ -1,0 +1,35 @@
+"""Distance metrics, recall measures and throughput accounting.
+
+This package contains the numerical kernels shared by every other subsystem:
+
+* :mod:`repro.metrics.distances` -- pairwise L2 / inner-product kernels and
+  the :class:`Metric` enum used throughout the code base.
+* :mod:`repro.metrics.recall` -- the two search-quality measures used in the
+  paper's evaluation, Recall-1@100 and Recall-100@1000.
+* :mod:`repro.metrics.qps` -- query-per-second accounting helpers used by the
+  benchmark harness.
+"""
+
+from repro.metrics.distances import (
+    Metric,
+    inner_product_matrix,
+    l2_squared_matrix,
+    pairwise_distance,
+    pairwise_similarity_argsort,
+)
+from repro.metrics.qps import ThroughputRecord, queries_per_second
+from repro.metrics.recall import recall_at, recall_k_at_n, recall_1_at_100, recall_100_at_1000
+
+__all__ = [
+    "Metric",
+    "inner_product_matrix",
+    "l2_squared_matrix",
+    "pairwise_distance",
+    "pairwise_similarity_argsort",
+    "recall_at",
+    "recall_k_at_n",
+    "recall_1_at_100",
+    "recall_100_at_1000",
+    "queries_per_second",
+    "ThroughputRecord",
+]

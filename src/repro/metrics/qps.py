@@ -1,0 +1,77 @@
+"""Query-per-second accounting.
+
+The paper reports throughput as QPS (queries per second).  In this
+reproduction throughput comes from the GPU cost model
+(:mod:`repro.gpu.cost_model`), which estimates a batch latency in seconds;
+these helpers convert latencies to QPS and carry the bookkeeping used by the
+benchmark harness and its Pareto-frontier extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ThroughputRecord:
+    """One (configuration, quality, throughput) measurement.
+
+    Attributes:
+        label: human readable configuration name (e.g. ``"JUNO-H"`` or
+            ``"PQ48"``).
+        recall: search quality in ``[0, 1]`` for the metric being swept.
+        qps: modelled queries per second.
+        latency_s: modelled latency for the whole query batch, in seconds.
+        num_queries: batch size the latency corresponds to.
+        extra: free-form parameters (nprobs, scaling factor, ...), kept so a
+            report can explain where each Pareto point came from.
+    """
+
+    label: str
+    recall: float
+    qps: float
+    latency_s: float
+    num_queries: int
+    extra: dict = field(default_factory=dict)
+
+
+def queries_per_second(num_queries: int, latency_s: float) -> float:
+    """Convert a batch latency into QPS.
+
+    Args:
+        num_queries: number of queries processed in the batch.
+        latency_s: total latency in seconds; must be positive.
+
+    Returns:
+        Queries per second.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if latency_s <= 0:
+        raise ValueError("latency_s must be positive")
+    return float(num_queries) / float(latency_s)
+
+
+def pareto_frontier(records: list[ThroughputRecord]) -> list[ThroughputRecord]:
+    """Extract the recall/QPS Pareto frontier from a list of measurements.
+
+    A record is on the frontier if no other record has both higher (or equal,
+    with one strict) recall and higher QPS.  The result is sorted by recall
+    ascending, which matches how Fig. 12 draws the bold JUNO frontier.
+    """
+    frontier: list[ThroughputRecord] = []
+    for candidate in records:
+        dominated = False
+        for other in records:
+            if other is candidate:
+                continue
+            if (
+                other.recall >= candidate.recall
+                and other.qps >= candidate.qps
+                and (other.recall > candidate.recall or other.qps > candidate.qps)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda r: (r.recall, r.qps))

@@ -1,0 +1,84 @@
+"""Search-quality metrics used in the paper's evaluation (Sec. 6.1).
+
+Two metrics are reported by the paper:
+
+* **Recall-1@100 (R1@100)** -- the fraction of queries whose 100 retrieved
+  neighbours contain the single true nearest neighbour.
+* **Recall-100@1000 (R100@1000)** -- the average fraction of the 100 true
+  nearest neighbours that appear among 1000 retrieved neighbours.
+
+Both are special cases of the generic ``recall_k_at_n`` implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d_int(array: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(array)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1- or 2-dimensional, got shape {arr.shape}")
+    return arr.astype(np.int64, copy=False)
+
+
+def recall_k_at_n(
+    retrieved: np.ndarray, ground_truth: np.ndarray, k: int, n: int
+) -> float:
+    """Generic Recall-k@n.
+
+    For each query, counts how many of the ``k`` true nearest neighbours
+    (``ground_truth[:, :k]``) appear among the first ``n`` retrieved
+    neighbours (``retrieved[:, :n]``) and averages the fraction over queries.
+
+    Args:
+        retrieved: ``(Q, >=n)`` integer array of retrieved neighbour ids,
+            best-first.  Rows shorter than ``n`` (padded with ``-1``) are
+            allowed; ``-1`` never matches.
+        ground_truth: ``(Q, >=k)`` integer array of true neighbour ids,
+            best-first.
+        k: number of true neighbours that must be found.
+        n: number of retrieved results inspected.
+
+    Returns:
+        Recall in ``[0, 1]``.
+    """
+    retrieved = _as_2d_int(retrieved, "retrieved")
+    ground_truth = _as_2d_int(ground_truth, "ground_truth")
+    if retrieved.shape[0] != ground_truth.shape[0]:
+        raise ValueError(
+            "retrieved and ground_truth must have the same number of queries, "
+            f"got {retrieved.shape[0]} and {ground_truth.shape[0]}"
+        )
+    if k <= 0 or n <= 0:
+        raise ValueError("k and n must be positive")
+    if ground_truth.shape[1] < k:
+        raise ValueError(
+            f"ground_truth provides only {ground_truth.shape[1]} neighbours, need {k}"
+        )
+    hits = 0.0
+    num_queries = retrieved.shape[0]
+    for row_retrieved, row_truth in zip(retrieved, ground_truth):
+        window = row_retrieved[:n]
+        window = window[window >= 0]
+        truth = row_truth[:k]
+        hits += len(np.intersect1d(window, truth, assume_unique=False)) / float(k)
+    return hits / float(num_queries) if num_queries else 0.0
+
+
+def recall_at(retrieved: np.ndarray, ground_truth: np.ndarray, n: int) -> float:
+    """Recall-1@n: fraction of queries whose first ``n`` results contain the
+    true nearest neighbour."""
+    return recall_k_at_n(retrieved, ground_truth, k=1, n=n)
+
+
+def recall_1_at_100(retrieved: np.ndarray, ground_truth: np.ndarray) -> float:
+    """The paper's R1@100 metric."""
+    return recall_k_at_n(retrieved, ground_truth, k=1, n=100)
+
+
+def recall_100_at_1000(retrieved: np.ndarray, ground_truth: np.ndarray) -> float:
+    """The paper's R100@1000 metric."""
+    return recall_k_at_n(retrieved, ground_truth, k=100, n=1000)

@@ -1,0 +1,176 @@
+"""Lloyd's k-means, the clustering primitive of the whole pipeline.
+
+Both stages of IVFPQ training are k-means runs (Alg. 1 in the paper):
+
+* the coarse ``C``-way clustering that builds the inverted file index, and
+* the ``E``-way clustering of residual projections in every subspace that
+  builds each PQ codebook.
+
+The implementation is deliberately self-contained (no scikit-learn) with
+k-means++ initialisation, empty-cluster repair and batched assignment so the
+distance matrix never exceeds ``batch_size x k`` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.distances import l2_squared_matrix
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means fit.
+
+    Attributes:
+        centroids: ``(k, D)`` cluster centres.
+        labels: ``(N,)`` assignment of each training point.
+        inertia: final sum of squared distances to assigned centroids.
+        iterations: number of Lloyd iterations actually run.
+        converged: whether the centroid shift fell below tolerance.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Args:
+        n_clusters: number of clusters ``k``.
+        max_iter: maximum Lloyd iterations.
+        tol: relative centroid-shift tolerance for convergence.
+        seed: RNG seed for initialisation.
+        batch_size: assignment batch size (rows of the distance matrix).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 25,
+        tol: float = 1e-4,
+        seed: int = 0,
+        batch_size: int = 4096,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = int(seed)
+        self.batch_size = int(batch_size)
+        self.result_: KMeansResult | None = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster ``points`` and return (and cache) the :class:`KMeansResult`."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-dimensional, got shape {points.shape}")
+        n, _ = points.shape
+        if n == 0:
+            raise ValueError("cannot cluster an empty point set")
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centroids = self._kmeanspp_init(points, k, rng)
+
+        labels = np.zeros(n, dtype=np.int64)
+        inertia = np.inf
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            labels, inertia = self._assign(points, centroids)
+            new_centroids = self._update(points, labels, centroids, rng)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            scale = float(np.linalg.norm(centroids)) + 1e-12
+            centroids = new_centroids
+            if shift / scale < self.tol:
+                converged = True
+                break
+        labels, inertia = self._assign(points, centroids)
+        self.result_ = KMeansResult(
+            centroids=centroids,
+            labels=labels,
+            inertia=inertia,
+            iterations=iteration,
+            converged=converged,
+        )
+        return self.result_
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Assign new points to the trained centroids."""
+        if self.result_ is None:
+            raise RuntimeError("KMeans.predict called before fit")
+        labels, _ = self._assign(np.asarray(points, dtype=np.float64), self.result_.centroids)
+        return labels
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Trained centroid matrix ``(k, D)``."""
+        if self.result_ is None:
+            raise RuntimeError("KMeans has not been fitted")
+        return self.result_.centroids
+
+    # ------------------------------------------------------------ internals
+    def _kmeanspp_init(
+        self, points: np.ndarray, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = points.shape[0]
+        centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+        first = rng.integers(0, n)
+        centroids[0] = points[first]
+        closest_sq = l2_squared_matrix(points, centroids[0:1]).ravel()
+        for i in range(1, k):
+            total = float(closest_sq.sum())
+            if total <= 0.0:
+                # All remaining points coincide with existing centroids;
+                # fall back to uniform sampling.
+                choice = rng.integers(0, n)
+            else:
+                probs = closest_sq / total
+                choice = rng.choice(n, p=probs)
+            centroids[i] = points[choice]
+            new_sq = l2_squared_matrix(points, centroids[i : i + 1]).ravel()
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centroids
+
+    def _assign(
+        self, points: np.ndarray, centroids: np.ndarray
+    ) -> tuple[np.ndarray, float]:
+        n = points.shape[0]
+        labels = np.empty(n, dtype=np.int64)
+        inertia = 0.0
+        for start in range(0, n, self.batch_size):
+            batch = points[start : start + self.batch_size]
+            dist = l2_squared_matrix(batch, centroids)
+            batch_labels = np.argmin(dist, axis=1)
+            labels[start : start + batch.shape[0]] = batch_labels
+            inertia += float(dist[np.arange(batch.shape[0]), batch_labels].sum())
+        return labels, inertia
+
+    def _update(
+        self,
+        points: np.ndarray,
+        labels: np.ndarray,
+        centroids: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        k, dim = centroids.shape
+        sums = np.zeros((k, dim), dtype=np.float64)
+        counts = np.zeros(k, dtype=np.int64)
+        np.add.at(sums, labels, points)
+        np.add.at(counts, labels, 1)
+        new_centroids = centroids.copy()
+        nonempty = counts > 0
+        new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        # Empty-cluster repair: reseed from a random point so every codebook
+        # entry remains usable (matters for small subspace codebooks).
+        for cluster_id in np.flatnonzero(~nonempty):
+            new_centroids[cluster_id] = points[rng.integers(0, points.shape[0])]
+        return new_centroids

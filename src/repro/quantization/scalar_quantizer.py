@@ -1,0 +1,64 @@
+"""Scalar quantization (SQ), an encoding alternative from Sec. 7.
+
+SQ maps each vector component independently and linearly onto ``2^bits``
+levels.  It is included to let the benchmark harness compare PQ against the
+simpler encoding the related-work section mentions, and as a sanity baseline
+for reconstruction-error tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ScalarQuantizer:
+    """Uniform per-dimension scalar quantizer.
+
+    Args:
+        bits: number of bits per component (1..16).
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be between 1 and 16")
+        self.bits = int(bits)
+        self.levels = (1 << self.bits) - 1
+        self.min_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether per-dimension ranges have been learned."""
+        return self.min_ is not None
+
+    def train(self, points: np.ndarray) -> "ScalarQuantizer":
+        """Learn per-dimension min/max ranges from training points."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.min_ = points.min(axis=0)
+        span = points.max(axis=0) - self.min_
+        span[span <= 0] = 1.0
+        self.scale_ = span / self.levels
+        return self
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Quantize points to integer codes of shape ``(N, D)``."""
+        self._require_trained()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        codes = np.round((points - self.min_) / self.scale_)
+        return np.clip(codes, 0, self.levels).astype(np.uint16)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        self._require_trained()
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.float64))
+        return codes * self.scale_ + self.min_
+
+    def reconstruction_error(self, points: np.ndarray) -> float:
+        """Mean squared reconstruction error over ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        decoded = self.decode(self.encode(points))
+        return float(np.mean(np.sum((points - decoded) ** 2, axis=1)))
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("ScalarQuantizer must be trained before use")

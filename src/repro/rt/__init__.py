@@ -1,0 +1,35 @@
+"""Software ray-tracing engine standing in for NVIDIA RT cores.
+
+JUNO maps its selective L2-LUT construction onto the two hardware functions
+RT cores provide (Sec. 2.2): axis-aligned bounding box (AABB) intersection
+tests and bounding volume hierarchy (BVH) traversal.  This package implements
+both in software, together with the OptiX-style concepts the algorithm relies
+on: ray ``t_max`` clipping, hit shaders and the hit time ``t_hit``.
+
+Two execution paths are provided:
+
+* an exact per-ray traversal (:meth:`repro.rt.tracer.RayTracer.trace`) used by
+  unit tests and small examples, and
+* a vectorised batch traversal for the axis-aligned rays JUNO casts
+  (:meth:`repro.rt.tracer.RayTracer.trace_vertical_batch`), which produces the
+  *same hit sets, hit times and traversal statistics* but amortises Python
+  overhead over the whole query batch.
+"""
+
+from repro.rt.aabb import AABB
+from repro.rt.primitives import HitRecord, Ray, Sphere
+from repro.rt.bvh import BVH, BVHNode
+from repro.rt.scene import TraversableScene
+from repro.rt.tracer import RayTracer, TraversalStats
+
+__all__ = [
+    "AABB",
+    "Sphere",
+    "Ray",
+    "HitRecord",
+    "BVH",
+    "BVHNode",
+    "TraversableScene",
+    "RayTracer",
+    "TraversalStats",
+]

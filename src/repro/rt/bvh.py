@@ -1,0 +1,240 @@
+"""Bounding volume hierarchy construction and traversal.
+
+The BVH is the tree the RT core traverses in hardware (Sec. 2.2): interior
+nodes hold an AABB covering their children, leaves hold a few primitives.
+Finding all spheres intersected by a ray costs ``O(log E + hits)`` node
+visits instead of ``E`` pairwise tests, which is exactly the saving JUNO's
+selective L2-LUT construction relies on.
+
+Besides the per-ray traversal, the BVH exposes a *flattened* array form
+(:meth:`BVH.flatten`) used by the vectorised batch tracer: node bounds, the
+tree topology and per-leaf primitive ranges as plain numpy arrays, so a whole
+batch of axis-aligned rays can be traversed with boolean-mask propagation
+while producing identical hit sets and traversal counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rt.aabb import AABB
+from repro.rt.primitives import Sphere
+
+
+@dataclass
+class BVHNode:
+    """One node of the hierarchy.
+
+    Attributes:
+        aabb: bounding box of everything below this node.
+        left: left child, or ``None`` for a leaf.
+        right: right child, or ``None`` for a leaf.
+        primitive_indices: indices (into the BVH's sphere list) stored at a
+            leaf; empty for interior nodes.
+    """
+
+    aabb: AABB
+    left: "BVHNode | None" = None
+    right: "BVHNode | None" = None
+    primitive_indices: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node stores primitives directly."""
+        return self.left is None and self.right is None
+
+
+@dataclass
+class FlatBVH:
+    """Array representation of a BVH for vectorised traversal.
+
+    Nodes are stored in breadth-first order; node 0 is the root.
+
+    Attributes:
+        node_min: ``(num_nodes, 3)`` lower AABB corners.
+        node_max: ``(num_nodes, 3)`` upper AABB corners.
+        left: ``(num_nodes,)`` child indices (``-1`` for leaves).
+        right: ``(num_nodes,)`` child indices (``-1`` for leaves).
+        leaf_start: ``(num_nodes,)`` start offsets into ``leaf_primitives``.
+        leaf_count: ``(num_nodes,)`` number of primitives per leaf (0 for
+            interior nodes).
+        leaf_primitives: concatenated primitive indices of all leaves.
+    """
+
+    node_min: np.ndarray
+    node_max: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_start: np.ndarray
+    leaf_count: np.ndarray
+    leaf_primitives: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the flattened tree."""
+        return int(self.node_min.shape[0])
+
+
+class BVH:
+    """Median-split BVH over a list of spheres.
+
+    Args:
+        spheres: primitives to index.
+        leaf_size: maximum number of primitives per leaf.
+    """
+
+    def __init__(self, spheres: list[Sphere], leaf_size: int = 4) -> None:
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be at least 1")
+        self.spheres = list(spheres)
+        self.leaf_size = int(leaf_size)
+        self.root: BVHNode | None = None
+        self._flat: FlatBVH | None = None
+        if self.spheres:
+            centres = np.array([s.centre for s in self.spheres])
+            self.root = self._build(np.arange(len(self.spheres)), centres)
+
+    # ---------------------------------------------------------------- build
+    def _build(self, indices: np.ndarray, centres: np.ndarray) -> BVHNode:
+        aabb = AABB.empty()
+        for idx in indices:
+            aabb = aabb.union(self.spheres[int(idx)].aabb())
+        if len(indices) <= self.leaf_size:
+            return BVHNode(aabb=aabb, primitive_indices=[int(i) for i in indices])
+        axis = aabb.longest_axis()
+        order = np.argsort(centres[indices, axis], kind="stable")
+        sorted_indices = indices[order]
+        mid = len(sorted_indices) // 2
+        left = self._build(sorted_indices[:mid], centres)
+        right = self._build(sorted_indices[mid:], centres)
+        return BVHNode(aabb=aabb, left=left, right=right)
+
+    # ----------------------------------------------------------- statistics
+    def depth(self) -> int:
+        """Maximum depth of the tree (root = 1); 0 for an empty BVH."""
+
+        def _depth(node: BVHNode | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root)
+
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+
+        def _count(node: BVHNode | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self.root)
+
+    # ------------------------------------------------------------- traverse
+    def traverse(
+        self,
+        origin: np.ndarray,
+        direction: np.ndarray,
+        t_max: float = np.inf,
+        counters: dict | None = None,
+    ) -> list[tuple[int, float]]:
+        """All primitive intersections of one ray, as ``(sphere_index, t_hit)``.
+
+        Args:
+            origin: ray origin.
+            direction: ray direction.
+            t_max: maximum travel time.
+            counters: optional dict whose ``node_visits`` / ``aabb_tests`` /
+                ``prim_tests`` keys are incremented with the traversal work.
+
+        Returns:
+            List of hits sorted by ``t_hit``.
+        """
+        if self.root is None:
+            return []
+        hits: list[tuple[int, float]] = []
+        stack = [self.root]
+        node_visits = 0
+        aabb_tests = 0
+        prim_tests = 0
+        while stack:
+            node = stack.pop()
+            node_visits += 1
+            aabb_tests += 1
+            if not node.aabb.intersects_ray(origin, direction, 0.0, t_max):
+                continue
+            if node.is_leaf:
+                for prim_index in node.primitive_indices:
+                    prim_tests += 1
+                    t_hit = self.spheres[prim_index].intersect(origin, direction, t_max)
+                    if t_hit is not None:
+                        hits.append((prim_index, t_hit))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if counters is not None:
+            counters["node_visits"] = counters.get("node_visits", 0) + node_visits
+            counters["aabb_tests"] = counters.get("aabb_tests", 0) + aabb_tests
+            counters["prim_tests"] = counters.get("prim_tests", 0) + prim_tests
+        hits.sort(key=lambda pair: pair[1])
+        return hits
+
+    # -------------------------------------------------------------- flatten
+    def flatten(self) -> FlatBVH:
+        """Breadth-first array form of the tree (cached)."""
+        if self._flat is not None:
+            return self._flat
+        if self.root is None:
+            self._flat = FlatBVH(
+                node_min=np.zeros((0, 3)),
+                node_max=np.zeros((0, 3)),
+                left=np.zeros(0, dtype=np.int64),
+                right=np.zeros(0, dtype=np.int64),
+                leaf_start=np.zeros(0, dtype=np.int64),
+                leaf_count=np.zeros(0, dtype=np.int64),
+                leaf_primitives=np.zeros(0, dtype=np.int64),
+            )
+            return self._flat
+        nodes: list[BVHNode] = []
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            nodes.append(node)
+            if not node.is_leaf:
+                queue.append(node.left)
+                queue.append(node.right)
+        index_of = {id(node): i for i, node in enumerate(nodes)}
+        count = len(nodes)
+        node_min = np.empty((count, 3))
+        node_max = np.empty((count, 3))
+        left = np.full(count, -1, dtype=np.int64)
+        right = np.full(count, -1, dtype=np.int64)
+        leaf_start = np.zeros(count, dtype=np.int64)
+        leaf_count = np.zeros(count, dtype=np.int64)
+        leaf_primitives: list[int] = []
+        for i, node in enumerate(nodes):
+            node_min[i] = node.aabb.minimum
+            node_max[i] = node.aabb.maximum
+            if node.is_leaf:
+                leaf_start[i] = len(leaf_primitives)
+                leaf_count[i] = len(node.primitive_indices)
+                leaf_primitives.extend(node.primitive_indices)
+            else:
+                left[i] = index_of[id(node.left)]
+                right[i] = index_of[id(node.right)]
+        self._flat = FlatBVH(
+            node_min=node_min,
+            node_max=node_max,
+            left=left,
+            right=right,
+            leaf_start=leaf_start,
+            leaf_count=leaf_count,
+            leaf_primitives=np.asarray(leaf_primitives, dtype=np.int64),
+        )
+        return self._flat

@@ -1,0 +1,143 @@
+"""The traversable scene: layered sphere sets with per-layer BVHs.
+
+JUNO places the codebook entries of subspace ``s`` at depth ``z = 2s + 1``
+(Alg. 1, lines 10-13) so that rays cast from ``z = 2s`` with ``t_max <= 1``
+can only interact with the entries of their own subspace.  The scene mirrors
+that organisation: each *layer* owns the spheres of one subspace and its own
+BVH, which is also how an OptiX geometry-acceleration structure per subspace
+would behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rt.bvh import BVH
+from repro.rt.primitives import HitRecord, Ray, Sphere
+
+
+@dataclass
+class SceneLayer:
+    """All spheres of one subspace, plus their acceleration structure.
+
+    Attributes:
+        layer_id: subspace index ``s``.
+        z: depth of the sphere centres (``2s + 1`` in JUNO's convention).
+        centres_xy: ``(E, 2)`` sphere centres in the subspace plane.
+        radii: ``(E,)`` sphere radii.
+        spheres: the :class:`Sphere` objects (payload carries entry ids).
+        bvh: BVH over the layer's spheres.
+    """
+
+    layer_id: int
+    z: float
+    centres_xy: np.ndarray
+    radii: np.ndarray
+    spheres: list[Sphere] = field(default_factory=list)
+    bvh: BVH | None = None
+
+    @property
+    def num_spheres(self) -> int:
+        """Number of spheres (codebook entries) in this layer."""
+        return int(self.centres_xy.shape[0])
+
+
+class TraversableScene:
+    """Layered sphere scene with one BVH per layer.
+
+    Args:
+        leaf_size: BVH leaf size used for every layer.
+    """
+
+    def __init__(self, leaf_size: int = 4) -> None:
+        self.leaf_size = int(leaf_size)
+        self.layers: dict[int, SceneLayer] = {}
+
+    # ------------------------------------------------------------ building
+    def add_layer(
+        self,
+        layer_id: int,
+        centres_xy: np.ndarray,
+        radii: np.ndarray | float,
+        z: float | None = None,
+        payloads: list[dict] | None = None,
+    ) -> SceneLayer:
+        """Create a layer of spheres for one subspace.
+
+        Args:
+            layer_id: subspace index ``s``.
+            centres_xy: ``(E, 2)`` entry coordinates in the subspace plane.
+            radii: scalar or ``(E,)`` sphere radii.
+            z: depth of the sphere centres; defaults to ``2 * layer_id + 1``.
+            payloads: optional per-sphere payload dicts; defaults to
+                ``{"entry_id": e, "subspace_id": layer_id}``.
+
+        Returns:
+            The constructed :class:`SceneLayer`.
+        """
+        centres_xy = np.atleast_2d(np.asarray(centres_xy, dtype=np.float64))
+        if centres_xy.shape[1] != 2:
+            raise ValueError("centres_xy must have shape (E, 2)")
+        num_entries = centres_xy.shape[0]
+        radii_arr = np.broadcast_to(
+            np.asarray(radii, dtype=np.float64), (num_entries,)
+        ).copy()
+        if np.any(radii_arr <= 0):
+            raise ValueError("all sphere radii must be positive")
+        if z is None:
+            z = 2.0 * layer_id + 1.0
+        spheres = []
+        for entry_id in range(num_entries):
+            payload = (
+                payloads[entry_id]
+                if payloads is not None
+                else {"entry_id": entry_id, "subspace_id": layer_id}
+            )
+            centre = np.array([centres_xy[entry_id, 0], centres_xy[entry_id, 1], z])
+            spheres.append(Sphere(centre=centre, radius=float(radii_arr[entry_id]), payload=payload))
+        layer = SceneLayer(
+            layer_id=int(layer_id),
+            z=float(z),
+            centres_xy=centres_xy,
+            radii=radii_arr,
+            spheres=spheres,
+            bvh=BVH(spheres, leaf_size=self.leaf_size),
+        )
+        self.layers[int(layer_id)] = layer
+        return layer
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers (subspaces) in the scene."""
+        return len(self.layers)
+
+    @property
+    def num_spheres(self) -> int:
+        """Total number of spheres across all layers."""
+        return sum(layer.num_spheres for layer in self.layers.values())
+
+    def layer(self, layer_id: int) -> SceneLayer:
+        """Look up one layer by id."""
+        if layer_id not in self.layers:
+            raise KeyError(f"layer {layer_id} has not been added to the scene")
+        return self.layers[layer_id]
+
+    # ------------------------------------------------------------ tracing
+    def cast(self, ray: Ray, counters: dict | None = None) -> list[HitRecord]:
+        """Exact intersection of one ray against every layer's BVH.
+
+        Used by tests and small examples; the batched tracer in
+        :mod:`repro.rt.tracer` is the production path.
+        """
+        hits: list[HitRecord] = []
+        for layer in self.layers.values():
+            if layer.bvh is None:
+                continue
+            for prim_index, t_hit in layer.bvh.traverse(
+                ray.origin, ray.direction, ray.t_max, counters
+            ):
+                hits.append(HitRecord(sphere=layer.spheres[prim_index], t_hit=t_hit, ray=ray))
+        hits.sort(key=lambda record: record.t_hit)
+        return hits

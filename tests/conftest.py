@@ -1,0 +1,115 @@
+"""Shared fixtures: small datasets and pre-trained indexes.
+
+The heavier fixtures are session-scoped so the offline training cost (k-means
+for IVF and for every PQ subspace) is paid once per test session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.core.config import JunoConfig
+from repro.core.index import JunoIndex
+from repro.datasets.synthetic import make_clustered_dataset
+from repro.metrics.distances import Metric
+
+
+@pytest.fixture(scope="session")
+def l2_dataset():
+    """A small but non-trivial clustered L2 dataset (N=1500, D=16)."""
+    dataset = make_clustered_dataset(
+        name="test-l2",
+        num_points=1500,
+        num_queries=24,
+        dim=16,
+        num_components=24,
+        query_jitter=0.2,
+        seed=11,
+    )
+    dataset.ensure_ground_truth(k=100)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def ip_dataset():
+    """A small clustered inner-product (MIPS) dataset (N=1200, D=12)."""
+    dataset = make_clustered_dataset(
+        name="test-ip",
+        num_points=1200,
+        num_queries=20,
+        dim=12,
+        num_components=20,
+        metric=Metric.INNER_PRODUCT,
+        query_jitter=0.2,
+        seed=13,
+    )
+    dataset.ensure_ground_truth(k=100)
+    return dataset
+
+
+def _small_juno_config(dataset, **overrides) -> JunoConfig:
+    defaults = dict(
+        num_clusters=12,
+        num_subspaces=dataset.dim // 2,
+        num_entries=16,
+        metric=dataset.metric,
+        num_threshold_samples=32,
+        threshold_top_k=50,
+        kmeans_iters=8,
+        density_grid=20,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return JunoConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def juno_l2(l2_dataset):
+    """A trained JUNO index over the L2 dataset."""
+    index = JunoIndex(_small_juno_config(l2_dataset))
+    index.train(l2_dataset.points)
+    return index
+
+
+@pytest.fixture(scope="session")
+def juno_ip(ip_dataset):
+    """A trained JUNO index over the inner-product dataset."""
+    index = JunoIndex(_small_juno_config(ip_dataset))
+    index.train(ip_dataset.points)
+    return index
+
+
+@pytest.fixture(scope="session")
+def ivfpq_l2(l2_dataset):
+    """A trained FAISS-style IVFPQ baseline over the L2 dataset."""
+    index = IVFPQIndex(
+        num_clusters=12,
+        num_subspaces=l2_dataset.dim // 2,
+        num_entries=16,
+        metric=Metric.L2,
+        seed=3,
+    )
+    index.train(l2_dataset.points)
+    return index
+
+
+@pytest.fixture(scope="session")
+def ivfpq_ip(ip_dataset):
+    """A trained IVFPQ baseline over the inner-product dataset."""
+    index = IVFPQIndex(
+        num_clusters=12,
+        num_subspaces=ip_dataset.dim // 2,
+        num_entries=16,
+        metric=Metric.INNER_PRODUCT,
+        seed=3,
+    )
+    index.train(ip_dataset.points)
+    return index
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

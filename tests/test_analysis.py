@@ -1,0 +1,101 @@
+"""Unit tests for the motivation-study analysis tooling (Sec. 3 figures)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import stage_breakdown_vs_nprobs
+from repro.analysis.density_threshold import density_threshold_relation
+from repro.analysis.locality import (
+    coverage_cdf,
+    remaining_points_vs_threshold,
+    top_k_retention_vs_scaling,
+)
+from repro.analysis.sparsity import (
+    entry_usage_counts,
+    entry_usage_ratio_stats,
+    usage_heatmap,
+)
+from repro.gpu.cost_model import CostModel
+
+
+class TestSparsity:
+    def test_usage_counts_sum_to_topk(self, juno_l2, l2_dataset):
+        gt = l2_dataset.ground_truth
+        counts = entry_usage_counts(juno_l2.codes, gt[0, :50], juno_l2.config.num_entries)
+        assert counts.shape == (juno_l2.config.num_subspaces, juno_l2.config.num_entries)
+        np.testing.assert_array_equal(counts.sum(axis=1), 50)
+
+    def test_usage_heatmap_reordering(self, juno_l2, l2_dataset):
+        gt = l2_dataset.ground_truth
+        counts = entry_usage_counts(juno_l2.codes, gt[0, :50], juno_l2.config.num_entries)
+        order = np.argsort(-counts, axis=1)
+        reordered = usage_heatmap(juno_l2.codes, gt[0, :50], juno_l2.config.num_entries, order)
+        # After sorting by usage the first column holds each subspace's maximum.
+        np.testing.assert_array_equal(reordered[:, 0], counts.max(axis=1))
+
+    def test_usage_ratio_stats_sparse(self, juno_l2, l2_dataset):
+        """The paper's key observation: only a fraction of entries is used."""
+        stats = entry_usage_ratio_stats(
+            juno_l2.codes, l2_dataset.ground_truth, juno_l2.config.num_entries, top_k=50
+        )
+        assert stats["mean"].shape == (juno_l2.config.num_subspaces,)
+        assert (stats["mean"] <= stats["max"] + 1e-12).all()
+        assert stats["mean"].mean() < 0.95
+        assert (stats["per_query"] <= 1.0).all()
+
+    def test_usage_ratio_requires_enough_ground_truth(self, juno_l2):
+        with pytest.raises(ValueError):
+            entry_usage_ratio_stats(juno_l2.codes, np.zeros((2, 10), dtype=int), 16, top_k=50)
+
+
+class TestLocality:
+    def test_coverage_cdf_monotone_and_complete(self, juno_l2, l2_dataset):
+        cdf = coverage_cdf(juno_l2, l2_dataset.queries[:6], l2_dataset.ground_truth[:6], top_k=50)
+        assert cdf["mean"].shape == (juno_l2.config.num_entries,)
+        assert (np.diff(cdf["mean"]) >= -1e-12).all()
+        assert cdf["mean"][-1] == pytest.approx(1.0)
+        assert (cdf["q1"] <= cdf["q3"] + 1e-12).all()
+
+    def test_coverage_front_loaded(self, juno_l2, l2_dataset):
+        """Spatial locality: the closest half of the entries covers most of the top-k."""
+        cdf = coverage_cdf(juno_l2, l2_dataset.queries[:6], l2_dataset.ground_truth[:6], top_k=50)
+        halfway = cdf["mean"][juno_l2.config.num_entries // 2]
+        assert halfway > 0.6
+
+    def test_remaining_points_decreases_with_tighter_threshold(self, juno_l2, l2_dataset):
+        curve = remaining_points_vs_threshold(juno_l2, l2_dataset.queries[:4], num_thresholds=10)
+        assert curve["mean"][0] <= curve["mean"][-1]
+        assert curve["mean"][-1] == pytest.approx(1.0)
+        assert (np.diff(curve["mean"]) >= -1e-12).all()
+
+    def test_retention_vs_scaling_shape(self, juno_l2, l2_dataset):
+        """Fig. 7(b): retention is monotone in the scaling factor and high at 1.0."""
+        curve = top_k_retention_vs_scaling(
+            juno_l2, l2_dataset.queries[:5], l2_dataset.ground_truth[:5], top_k=50
+        )
+        assert curve["mean"][-1] == pytest.approx(1.0)
+        assert (np.diff(curve["mean"]) >= -1e-12).all()
+        # Power-law-like: half the radius keeps well over half of the top-k.
+        half_index = np.argmin(np.abs(curve["scaling_factor"] - 0.5))
+        assert curve["mean"][half_index] > 0.5
+
+
+class TestBreakdownAndDensity:
+    def test_stage_breakdown_rows(self, ivfpq_l2, l2_dataset):
+        rows = stage_breakdown_vs_nprobs(
+            ivfpq_l2, l2_dataset.queries[:10], [1, 2, 4], CostModel("rtx4090")
+        )
+        assert len(rows) == 3
+        assert [r["nprobs"] for r in rows] == [1, 2, 4]
+        for row in rows:
+            assert row["total_ms"] > 0
+        # LUT + distance-calc time grows with nprobs (Fig. 3(a)).
+        assert rows[-1]["lut_ms"] > rows[0]["lut_ms"]
+        assert rows[-1]["distance_ms"] > rows[0]["distance_ms"]
+
+    def test_density_threshold_relation(self, juno_l2):
+        rows = density_threshold_relation(juno_l2, num_bins=5)
+        assert rows
+        for row in rows:
+            assert row["count"] >= 1
+            assert row["q1"] <= row["q3"] + 1e-12

@@ -1,0 +1,162 @@
+"""Unit and integration tests for the baselines: exact, HNSW and IVFPQ."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactSearch
+from repro.baselines.hnsw import HNSWIndex
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.metrics.distances import Metric
+from repro.metrics.recall import recall_at, recall_k_at_n
+
+
+class TestExactSearch:
+    def test_matches_ground_truth(self, l2_dataset):
+        exact = ExactSearch().add(l2_dataset.points)
+        ids, _, work = exact.search(l2_dataset.queries, 100)
+        assert recall_at(ids, l2_dataset.ground_truth, 100) == 1.0
+        assert work.num_queries == l2_dataset.num_queries
+        assert work.filter_flops > 0
+
+
+class TestHNSW:
+    @pytest.fixture(scope="class")
+    def small_corpus(self):
+        rng = np.random.default_rng(5)
+        centres = rng.uniform(-5, 5, size=(15, 8))
+        points = np.vstack([c + 0.2 * rng.standard_normal((30, 8)) for c in centres])
+        queries = points[::37] + 0.05 * rng.standard_normal((len(points[::37]), 8))
+        return points, queries
+
+    def test_high_recall_on_small_corpus(self, small_corpus):
+        points, queries = small_corpus
+        index = HNSWIndex(m=8, ef_construction=64, ef_search=48, seed=0).add(points)
+        dist = np.sum((queries[:, None, :] - points[None, :, :]) ** 2, axis=2)
+        truth = np.argsort(dist, axis=1)[:, :1]
+        ids, _ = index.search_batch(queries, 10)
+        assert recall_at(ids, truth, 10) >= 0.9
+
+    def test_results_sorted_by_distance(self, small_corpus):
+        points, queries = small_corpus
+        index = HNSWIndex(m=8, seed=1).add(points)
+        ids, scores = index.search(queries[0], 10)
+        assert (np.diff(scores) >= -1e-9).all()
+
+    def test_inner_product_metric(self, rng):
+        points = rng.standard_normal((300, 6))
+        index = HNSWIndex(metric=Metric.INNER_PRODUCT, m=8, ef_search=64, seed=0).add(points)
+        query = rng.standard_normal(6)
+        ids, scores = index.search(query, 5)
+        # Scores are inner products, descending.
+        assert (np.diff(scores) <= 1e-9).all()
+        true_best = int(np.argmax(points @ query))
+        assert true_best in ids
+
+    def test_distance_counter_increments(self, small_corpus):
+        points, queries = small_corpus
+        index = HNSWIndex(m=8, seed=0).add(points[:100])
+        index.reset_counters()
+        index.search(queries[0], 5)
+        assert index.distance_evaluations > 0
+
+    def test_search_empty_index_raises(self):
+        with pytest.raises(RuntimeError):
+            HNSWIndex().search(np.zeros(4), 1)
+
+    def test_every_node_reachable_at_layer0(self, small_corpus):
+        points, _ = small_corpus
+        index = HNSWIndex(m=8, seed=3).add(points[:120])
+        assert set(index.layers[0].keys()) == set(range(120))
+
+    def test_degree_bounded(self, small_corpus):
+        points, _ = small_corpus
+        index = HNSWIndex(m=6, seed=2).add(points[:150])
+        for level, layer in enumerate(index.layers):
+            cap = index.m0 if level == 0 else index.m
+            for node, links in layer.items():
+                assert len(links) <= cap
+
+    def test_invalid_m_raises(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(m=1)
+
+
+class TestIVFPQBaseline:
+    def test_recall_reasonable_with_enough_probes(self, l2_dataset, ivfpq_l2):
+        result = ivfpq_l2.search(l2_dataset.queries, k=100, nprobs=8)
+        assert recall_at(result.ids, l2_dataset.ground_truth, 100) >= 0.8
+
+    def test_recall_improves_with_nprobs(self, l2_dataset, ivfpq_l2):
+        low = ivfpq_l2.search(l2_dataset.queries, k=100, nprobs=1)
+        high = ivfpq_l2.search(l2_dataset.queries, k=100, nprobs=8)
+        r_low = recall_at(low.ids, l2_dataset.ground_truth, 100)
+        r_high = recall_at(high.ids, l2_dataset.ground_truth, 100)
+        assert r_high >= r_low
+
+    def test_work_scales_with_nprobs(self, l2_dataset, ivfpq_l2):
+        low = ivfpq_l2.search(l2_dataset.queries, k=10, nprobs=2).work
+        high = ivfpq_l2.search(l2_dataset.queries, k=10, nprobs=8).work
+        assert high.lut_pairwise > low.lut_pairwise
+        assert high.adc_lookups > low.adc_lookups
+
+    def test_lut_pairwise_count_formula(self, l2_dataset, ivfpq_l2):
+        nprobs = 4
+        result = ivfpq_l2.search(l2_dataset.queries[:5], k=10, nprobs=nprobs)
+        expected = 5 * nprobs * ivfpq_l2.num_subspaces * ivfpq_l2.num_entries
+        assert result.work.lut_pairwise == expected
+
+    def test_ids_are_valid_or_padding(self, l2_dataset, ivfpq_l2):
+        result = ivfpq_l2.search(l2_dataset.queries, k=50, nprobs=4)
+        assert result.ids.shape == (l2_dataset.num_queries, 50)
+        valid = result.ids[result.ids >= 0]
+        assert valid.max() < l2_dataset.num_points
+
+    def test_results_sorted(self, l2_dataset, ivfpq_l2):
+        result = ivfpq_l2.search(l2_dataset.queries[:3], k=20, nprobs=8)
+        for row, ids in zip(result.scores, result.ids):
+            finite = row[ids >= 0]
+            assert (np.diff(finite) >= -1e-9).all()
+
+    def test_inner_product_recall(self, ip_dataset, ivfpq_ip):
+        result = ivfpq_ip.search(ip_dataset.queries, k=100, nprobs=8)
+        assert recall_at(result.ids, ip_dataset.ground_truth, 100) >= 0.6
+
+    def test_inner_product_scores_descending(self, ip_dataset, ivfpq_ip):
+        result = ivfpq_ip.search(ip_dataset.queries[:3], k=20, nprobs=8)
+        for row, ids in zip(result.scores, result.ids):
+            finite = row[ids >= 0]
+            assert (np.diff(finite) <= 1e-9).all()
+
+    def test_hnsw_coarse_search_close_to_flat(self, l2_dataset):
+        flat = IVFPQIndex(num_clusters=12, num_subspaces=8, num_entries=16, seed=3)
+        flat.train(l2_dataset.points)
+        hnsw = IVFPQIndex(
+            num_clusters=12, num_subspaces=8, num_entries=16, seed=3, coarse_search="hnsw"
+        )
+        hnsw.train(l2_dataset.points)
+        r_flat = recall_at(
+            flat.search(l2_dataset.queries, 100, nprobs=4).ids, l2_dataset.ground_truth, 100
+        )
+        r_hnsw = recall_at(
+            hnsw.search(l2_dataset.queries, 100, nprobs=4).ids, l2_dataset.ground_truth, 100
+        )
+        assert r_hnsw >= r_flat - 0.15
+
+    def test_invalid_coarse_search_raises(self):
+        with pytest.raises(ValueError):
+            IVFPQIndex(num_clusters=4, num_subspaces=2, coarse_search="graph")
+
+    def test_untrained_search_raises(self):
+        index = IVFPQIndex(num_clusters=4, num_subspaces=2)
+        with pytest.raises(RuntimeError):
+            index.search(np.zeros((1, 4)), 1)
+
+    def test_dim_not_divisible_raises(self, rng):
+        index = IVFPQIndex(num_clusters=4, num_subspaces=3)
+        with pytest.raises(ValueError):
+            index.train(rng.standard_normal((50, 8)))
+
+    def test_r100_metric_nontrivial(self, l2_dataset, ivfpq_l2):
+        result = ivfpq_l2.search(l2_dataset.queries, k=1000, nprobs=8)
+        r = recall_k_at_n(result.ids, l2_dataset.ground_truth, k=100, n=1000)
+        assert 0.3 <= r <= 1.0

@@ -1,0 +1,215 @@
+"""Unit tests for the subspace inverted index, selective LUT and hit-count scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.hit_count import HitCountScorer, hit_count_correlation
+from repro.core.selective_lut import SelectiveLUT, SelectiveLUTConstructor
+from repro.core.subspace_index import SubspaceInvertedIndex
+from repro.metrics.distances import Metric
+from repro.rt.scene import TraversableScene
+from repro.rt.tracer import RayTracer
+
+
+class TestSubspaceInvertedIndex:
+    @pytest.fixture()
+    def built(self, rng):
+        num_points, num_subspaces, num_entries = 200, 4, 8
+        codes = rng.integers(0, num_entries, size=(num_points, num_subspaces))
+        posting_lists = [
+            np.arange(0, 100, dtype=np.int64),
+            np.arange(100, 200, dtype=np.int64),
+        ]
+        index = SubspaceInvertedIndex(num_entries).build(posting_lists, codes)
+        return index, codes, posting_lists
+
+    def test_points_for_entry_matches_codes(self, built):
+        index, codes, posting_lists = built
+        for cluster_id, members in enumerate(posting_lists):
+            for s in range(4):
+                for e in range(8):
+                    got = set(index.points_for_entry(cluster_id, s, e).tolist())
+                    expected = set(members[codes[members, s] == e].tolist())
+                    assert got == expected
+
+    def test_points_for_entries_union(self, built):
+        index, codes, posting_lists = built
+        got = set(index.points_for_entries(0, 2, np.array([1, 3])).tolist())
+        members = posting_lists[0]
+        expected = set(members[np.isin(codes[members, 2], [1, 3])].tolist())
+        assert got == expected
+
+    def test_entry_usage_sums_to_cluster_size(self, built):
+        index, _, posting_lists = built
+        for cluster_id, members in enumerate(posting_lists):
+            for s in range(4):
+                assert index.entry_usage(cluster_id, s).sum() == len(members)
+
+    def test_cluster_accessors(self, built):
+        index, codes, posting_lists = built
+        np.testing.assert_array_equal(index.cluster_members(1), posting_lists[1])
+        np.testing.assert_array_equal(index.cluster_codes(1), codes[posting_lists[1]])
+        assert index.num_clusters == 2
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            SubspaceInvertedIndex(0)
+
+
+def _build_constructor(rng, num_subspaces=3, num_entries=20, radius=1.0):
+    scene = TraversableScene(leaf_size=4)
+    entry_sets = []
+    for s in range(num_subspaces):
+        entries = rng.uniform(-1, 1, size=(num_entries, 2))
+        entry_sets.append(entries)
+        scene.add_layer(s, entries, radii=radius, z=2 * s + 1.0)
+    tracer = RayTracer(scene)
+    constructor = SelectiveLUTConstructor(
+        tracer=tracer,
+        base_radius=radius,
+        origin_offsets=np.full(num_subspaces, radius),
+        metric=Metric.L2,
+    )
+    return constructor, entry_sets
+
+
+class TestSelectiveLUT:
+    def test_hits_match_threshold_selection(self, rng):
+        constructor, entry_sets = _build_constructor(rng)
+        num_rays, num_subspaces = 12, 3
+        origins = rng.uniform(-1, 1, size=(num_rays, num_subspaces, 2))
+        thresholds = rng.uniform(0.2, 0.8, size=(num_rays, num_subspaces))
+        t_max = 1.0 - np.sqrt(1.0 - thresholds**2)
+        lut = constructor.construct(origins, t_max)
+        assert lut.num_rays == num_rays
+        for ray in range(num_rays):
+            for s in range(num_subspaces):
+                entry_ids, values = lut.ray_slice(s, ray)
+                dist = np.sqrt(np.sum((entry_sets[s] - origins[ray, s]) ** 2, axis=1))
+                expected = set(np.flatnonzero(dist <= thresholds[ray, s] + 1e-12).tolist())
+                assert set(entry_ids.tolist()) == expected
+                np.testing.assert_allclose(
+                    np.sqrt(values), dist[entry_ids], atol=1e-9
+                )
+
+    def test_dense_rows_and_masks(self, rng):
+        constructor, entry_sets = _build_constructor(rng)
+        origins = rng.uniform(-1, 1, size=(4, 3, 2))
+        t_max = np.full((4, 3), 1.0 - np.sqrt(1.0 - 0.5**2))
+        lut = constructor.construct(origins, t_max)
+        rows = lut.dense_rows(0)
+        mask = lut.hit_mask_rows(0)
+        assert rows.shape == (3, lut.num_entries)
+        assert (np.isnan(rows) == ~mask).all()
+
+    def test_selected_fraction_range(self, rng):
+        constructor, _ = _build_constructor(rng)
+        origins = rng.uniform(-1, 1, size=(6, 3, 2))
+        t_max = np.full((6, 3), 1.0 - np.sqrt(1.0 - 0.3**2))
+        lut = constructor.construct(origins, t_max)
+        assert 0.0 <= lut.selected_fraction() <= 1.0
+
+    def test_inner_sphere_flags(self, rng):
+        scene = TraversableScene()
+        entries = rng.uniform(-1, 1, size=(30, 2))
+        scene.add_layer(0, entries, radii=1.0)
+        constructor = SelectiveLUTConstructor(
+            tracer=RayTracer(scene),
+            base_radius=1.0,
+            origin_offsets=np.array([1.0]),
+            metric=Metric.L2,
+            inner_sphere_ratio=0.5,
+        )
+        origins = rng.uniform(-1, 1, size=(5, 1, 2))
+        thresholds = np.full((5, 1), 0.6)
+        t_max = 1.0 - np.sqrt(1.0 - thresholds**2)
+        lut = constructor.construct(origins, t_max, thresholds=thresholds)
+        inner = lut.inner_mask_rows(0)
+        entry_ids, values = lut.ray_slice(0, 0)
+        for entry_id, value in zip(entry_ids, values):
+            assert inner[0, entry_id] == (np.sqrt(value) <= 0.3 + 1e-12)
+
+    def test_inner_sphere_requires_thresholds(self, rng):
+        constructor, _ = _build_constructor(rng)
+        constructor.inner_sphere_ratio = 0.5
+        origins = rng.uniform(-1, 1, size=(2, 3, 2))
+        with pytest.raises(ValueError):
+            constructor.construct(origins, np.full((2, 3), 0.2))
+
+    def test_shape_validation(self, rng):
+        constructor, _ = _build_constructor(rng)
+        with pytest.raises(ValueError):
+            constructor.construct(rng.uniform(size=(2, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            constructor.construct(rng.uniform(size=(2, 3, 2)), np.zeros((2, 2)))
+
+    def test_inner_product_values(self, rng):
+        """Values decoded from hit times must equal true subspace inner products."""
+        base_radius = 3.0
+        entries = rng.standard_normal((25, 2))
+        from repro.core.inner_product import adjusted_radii_for_inner_product
+
+        radii = adjusted_radii_for_inner_product(entries, base_radius)
+        scene = TraversableScene()
+        scene.add_layer(0, entries, radii=radii)
+        offset = float(radii.max()) + 0.05
+        constructor = SelectiveLUTConstructor(
+            tracer=RayTracer(scene),
+            base_radius=base_radius,
+            origin_offsets=np.array([offset]),
+            metric=Metric.INNER_PRODUCT,
+        )
+        origins = rng.standard_normal((6, 1, 2))
+        t_max = np.full((6, 1), offset)  # accept every reachable hit
+        lut = constructor.construct(origins, t_max)
+        for ray in range(6):
+            entry_ids, values = lut.ray_slice(0, ray)
+            expected = entries[entry_ids] @ origins[ray, 0]
+            np.testing.assert_allclose(values, expected, atol=1e-9)
+
+
+class TestHitCountScorer:
+    def test_plain_hit_count(self):
+        hit_mask = np.zeros((3, 4), dtype=bool)
+        hit_mask[0, 1] = True
+        hit_mask[1, 2] = True
+        codes = np.array([[1, 2, 0], [0, 0, 0], [1, 2, 3]])
+        scores, matched = HitCountScorer().score_members(hit_mask, None, codes)
+        np.testing.assert_array_equal(scores, [2.0, 0.0, 2.0])
+        np.testing.assert_array_equal(matched, [2, 0, 2])
+
+    def test_reward_penalty(self):
+        hit_mask = np.ones((2, 3), dtype=bool)
+        inner_mask = np.zeros((2, 3), dtype=bool)
+        inner_mask[0, 0] = True
+        codes = np.array([[0, 0], [1, 1]])
+        scorer = HitCountScorer(use_inner_sphere=True, miss_penalty=1.0)
+        scores, matched = scorer.score_members(hit_mask, inner_mask, codes)
+        # First member: one inner hit, no misses -> +1; second: no inner hits -> 0.
+        np.testing.assert_array_equal(scores, [1.0, 0.0])
+        np.testing.assert_array_equal(matched, [2, 2])
+
+    def test_misses_penalised(self):
+        hit_mask = np.zeros((2, 3), dtype=bool)
+        codes = np.array([[0, 0]])
+        scorer = HitCountScorer(use_inner_sphere=True, miss_penalty=2.0)
+        scores, matched = scorer.score_members(hit_mask, np.zeros((2, 3), dtype=bool), codes)
+        assert scores[0] == pytest.approx(-4.0)
+        assert matched[0] == 0
+
+    def test_inner_sphere_requires_mask(self):
+        scorer = HitCountScorer(use_inner_sphere=True)
+        with pytest.raises(ValueError):
+            scorer.score_members(np.zeros((1, 2), dtype=bool), None, np.array([[0]]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            HitCountScorer().score_members(np.zeros((2, 3), dtype=bool), None, np.array([[0, 1, 2]]))
+
+    def test_correlation_helper(self, rng):
+        distances = rng.uniform(0, 1, size=100)
+        good_scores = 10 - 10 * distances + 0.1 * rng.standard_normal(100)
+        noise_scores = rng.standard_normal(100)
+        assert hit_count_correlation(good_scores, distances) > 0.9
+        assert abs(hit_count_correlation(noise_scores, distances)) < 0.5
+        assert hit_count_correlation(np.ones(10), np.ones(10)) == 0.0

@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic dataset generators and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import compute_ground_truth
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.synthetic import (
+    make_clustered_dataset,
+    make_deep_like,
+    make_sift_like,
+    make_tti_like,
+)
+from repro.metrics.distances import Metric, l2_squared_matrix
+
+
+class TestClusteredDataset:
+    def test_shapes_and_metadata(self):
+        ds = make_clustered_dataset("t", num_points=500, num_queries=10, dim=8, seed=0)
+        assert ds.points.shape == (500, 8)
+        assert ds.queries.shape == (10, 8)
+        assert ds.num_points == 500
+        assert ds.num_queries == 10
+        assert ds.dim == 8
+        assert ds.metric is Metric.L2
+
+    def test_deterministic_given_seed(self):
+        a = make_clustered_dataset("a", 200, 5, 6, seed=7)
+        b = make_clustered_dataset("b", 200, 5, 6, seed=7)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_different_seeds_differ(self):
+        a = make_clustered_dataset("a", 200, 5, 6, seed=1)
+        b = make_clustered_dataset("b", 200, 5, 6, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            make_clustered_dataset("bad", 0, 5, 6)
+
+    def test_subset(self):
+        ds = make_clustered_dataset("t", 300, 20, 4, seed=0)
+        sub = ds.subset(100, num_queries=5)
+        assert sub.num_points == 100
+        assert sub.num_queries == 5
+        assert sub.ground_truth is None
+        with pytest.raises(ValueError):
+            ds.subset(10_000)
+
+    def test_is_clustered_not_uniform(self):
+        """Clustered data should have much lower nearest-neighbour distance
+        than a uniform shuffle of the same values (the structure JUNO needs)."""
+        ds = make_clustered_dataset("t", 800, 10, 8, num_components=16, seed=3)
+        dist = l2_squared_matrix(ds.points[:100], ds.points)
+        np.fill_diagonal(dist[:, :100], np.inf)
+        nn_clustered = np.min(dist, axis=1).mean()
+        rng = np.random.default_rng(0)
+        shuffled = ds.points.copy()
+        for col in range(shuffled.shape[1]):
+            rng.shuffle(shuffled[:, col])
+        dist_s = l2_squared_matrix(shuffled[:100], shuffled)
+        np.fill_diagonal(dist_s[:, :100], np.inf)
+        nn_shuffled = np.min(dist_s, axis=1).mean()
+        assert nn_clustered < nn_shuffled
+
+
+class TestDatasetFamilies:
+    def test_sift_like_non_negative(self):
+        ds = make_sift_like(num_points=300, num_queries=5)
+        assert (ds.points >= 0).all()
+        assert ds.dim == 128
+
+    def test_deep_like_unit_norm(self):
+        ds = make_deep_like(num_points=300, num_queries=5)
+        norms = np.linalg.norm(ds.points, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-5)
+        assert ds.dim == 96
+
+    def test_tti_like_uses_inner_product(self):
+        ds = make_tti_like(num_points=300, num_queries=5)
+        assert ds.metric is Metric.INNER_PRODUCT
+        assert ds.dim == 200
+
+    def test_ensure_ground_truth_caches(self):
+        ds = make_deep_like(num_points=200, num_queries=4)
+        gt1 = ds.ensure_ground_truth(k=10)
+        gt2 = ds.ensure_ground_truth(k=5)
+        assert gt2 is gt1  # cached, not recomputed smaller
+
+
+class TestGroundTruth:
+    def test_matches_bruteforce_l2(self, rng):
+        points = rng.standard_normal((200, 6))
+        queries = rng.standard_normal((7, 6))
+        gt = compute_ground_truth(points, queries, k=5, metric=Metric.L2)
+        dist = l2_squared_matrix(queries, points)
+        for qi in range(7):
+            np.testing.assert_array_equal(gt[qi], np.argsort(dist[qi])[:5])
+
+    def test_matches_bruteforce_ip(self, rng):
+        points = rng.standard_normal((150, 5))
+        queries = rng.standard_normal((4, 5))
+        gt = compute_ground_truth(points, queries, k=3, metric=Metric.INNER_PRODUCT)
+        sims = queries @ points.T
+        for qi in range(4):
+            np.testing.assert_array_equal(gt[qi], np.argsort(-sims[qi])[:3])
+
+    def test_batching_does_not_change_results(self, rng):
+        points = rng.standard_normal((300, 4))
+        queries = rng.standard_normal((50, 4))
+        a = compute_ground_truth(points, queries, k=10, batch_size=7)
+        b = compute_ground_truth(points, queries, k=10, batch_size=1000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_clipped_to_corpus_size(self, rng):
+        points = rng.standard_normal((5, 3))
+        gt = compute_ground_truth(points, points[:2], k=100)
+        assert gt.shape == (2, 5)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(DATASET_BUILDERS) == {"sift1m", "deep1m", "tti1m", "sift100m", "deep100m"}
+
+    def test_load_with_overrides(self):
+        ds = load_dataset("deep1m", num_points=128, num_queries=4)
+        assert ds.num_points == 128
+        assert ds.num_queries == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")

@@ -1,0 +1,113 @@
+"""Unit tests for the inverted file index and the flat index."""
+
+import numpy as np
+import pytest
+
+from repro.ivf.flat import FlatIndex
+from repro.ivf.inverted_file import InvertedFileIndex
+from repro.metrics.distances import Metric, l2_squared_matrix
+
+
+class TestInvertedFileIndex:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        centres = rng.uniform(-5, 5, size=(10, 6))
+        points = np.vstack(
+            [c + 0.1 * rng.standard_normal((40, 6)) for c in centres]
+        )
+        ivf = InvertedFileIndex(num_clusters=10, seed=0).train(points)
+        return ivf, points
+
+    def test_posting_lists_partition_the_corpus(self, trained):
+        ivf, points = trained
+        all_ids = np.concatenate(ivf.posting_lists)
+        assert sorted(all_ids.tolist()) == list(range(points.shape[0]))
+
+    def test_cluster_sizes_sum_to_n(self, trained):
+        ivf, points = trained
+        assert ivf.cluster_sizes().sum() == points.shape[0]
+
+    def test_select_clusters_returns_closest(self, trained):
+        ivf, points = trained
+        query = points[0]
+        selected = ivf.select_clusters(query[None, :], 3)[0]
+        dist = l2_squared_matrix(query[None, :], ivf.centroids)[0]
+        np.testing.assert_array_equal(np.sort(selected), np.sort(np.argsort(dist)[:3]))
+
+    def test_own_cluster_selected_first(self, trained):
+        ivf, points = trained
+        for point_id in (0, 57, 311):
+            cluster = ivf.labels[point_id]
+            assert ivf.select_clusters(points[point_id][None, :], 1)[0, 0] == cluster
+
+    def test_residuals_shape_and_value(self, trained):
+        ivf, points = trained
+        query = points[5]
+        clusters = np.array([0, 3])
+        residuals = ivf.residuals(query, clusters)
+        np.testing.assert_allclose(residuals, query - ivf.centroids[clusters])
+
+    def test_point_residuals_use_own_centroid(self, trained):
+        ivf, points = trained
+        residuals = ivf.point_residuals(points)
+        np.testing.assert_allclose(residuals, points - ivf.centroids[ivf.labels])
+
+    def test_point_residuals_wrong_corpus_raises(self, trained):
+        ivf, points = trained
+        with pytest.raises(ValueError):
+            ivf.point_residuals(points[:10])
+
+    def test_nprobs_clipped(self, trained):
+        ivf, points = trained
+        selected = ivf.select_clusters(points[:2], 999)
+        assert selected.shape == (2, ivf.num_clusters)
+
+    def test_invalid_nprobs_raises(self, trained):
+        ivf, points = trained
+        with pytest.raises(ValueError):
+            ivf.select_clusters(points[:1], 0)
+
+    def test_untrained_raises(self):
+        ivf = InvertedFileIndex(num_clusters=4)
+        with pytest.raises(RuntimeError):
+            ivf.select_clusters(np.zeros((1, 3)), 1)
+
+    def test_inner_product_cluster_selection(self, rng):
+        points = rng.standard_normal((200, 4))
+        ivf = InvertedFileIndex(num_clusters=5, metric=Metric.INNER_PRODUCT, seed=1).train(points)
+        query = rng.standard_normal(4)
+        selected = ivf.select_clusters(query[None, :], 2)[0]
+        sims = ivf.centroids @ query
+        np.testing.assert_array_equal(np.sort(selected), np.sort(np.argsort(-sims)[:2]))
+
+
+class TestFlatIndex:
+    def test_exact_search_matches_bruteforce(self, rng):
+        points = rng.standard_normal((100, 5))
+        queries = rng.standard_normal((3, 5))
+        flat = FlatIndex().add(points)
+        ids, scores = flat.search(queries, 4)
+        dist = l2_squared_matrix(queries, points)
+        for qi in range(3):
+            np.testing.assert_array_equal(ids[qi], np.argsort(dist[qi])[:4])
+
+    def test_incremental_add(self, rng):
+        a = rng.standard_normal((10, 3))
+        b = rng.standard_normal((15, 3))
+        flat = FlatIndex().add(a).add(b)
+        assert flat.num_points == 25
+
+    def test_add_dimension_mismatch_raises(self, rng):
+        flat = FlatIndex().add(rng.standard_normal((5, 3)))
+        with pytest.raises(ValueError):
+            flat.add(rng.standard_normal((5, 4)))
+
+    def test_search_before_add_raises(self):
+        with pytest.raises(RuntimeError):
+            FlatIndex().search(np.zeros((1, 3)), 1)
+
+    def test_invalid_k_raises(self, rng):
+        flat = FlatIndex().add(rng.standard_normal((5, 2)))
+        with pytest.raises(ValueError):
+            flat.search(np.zeros((1, 2)), 0)

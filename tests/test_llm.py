@@ -1,0 +1,92 @@
+"""Unit tests for the LLM attention case study (Fig. 15 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.llm.attention import MultiHeadAttention, softmax
+from repro.llm.sparse_attention import (
+    attention_quality_vs_topk,
+    generate_token_stream,
+    pseudo_perplexity,
+    sparse_attention_outputs,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 9)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        probs = softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(probs).all()
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadAttention(model_dim=32, num_heads=4, seed=0)
+        tokens = rng.standard_normal((10, 32))
+        out = attention.forward(tokens)
+        assert out.shape == (10, 32)
+
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(model_dim=30, num_heads=4)
+
+    def test_causal_mask_first_token_attends_only_itself(self, rng):
+        attention = MultiHeadAttention(model_dim=16, num_heads=2, seed=1)
+        tokens = rng.standard_normal((6, 16))
+        queries, keys, values = attention.project(tokens)
+        out_full = attention.attend(queries, keys, values, causal=True)
+        # Changing later tokens must not change the first output row.
+        tokens2 = tokens.copy()
+        tokens2[3:] += 10.0
+        q2, k2, v2 = attention.project(tokens2)
+        out2 = attention.attend(q2, k2, v2, causal=True)
+        np.testing.assert_allclose(out_full[0], out2[0], atol=1e-9)
+
+    def test_full_keep_fraction_matches_dense(self, rng):
+        attention = MultiHeadAttention(model_dim=16, num_heads=2, seed=2)
+        tokens = rng.standard_normal((8, 16))
+        dense = attention.forward(tokens)
+        sparse = sparse_attention_outputs(attention, tokens, keep_fraction=1.0)
+        np.testing.assert_allclose(dense, sparse, atol=1e-9)
+
+
+class TestSparseAttentionQuality:
+    def test_invalid_fraction(self, rng):
+        attention = MultiHeadAttention(model_dim=16, num_heads=2)
+        with pytest.raises(ValueError):
+            sparse_attention_outputs(attention, rng.standard_normal((4, 16)), 0.0)
+
+    def test_pseudo_perplexity_floor_at_dense(self, rng):
+        attention = MultiHeadAttention(model_dim=16, num_heads=2, seed=3)
+        tokens, vocab = generate_token_stream(seq_len=12, model_dim=16, vocab_size=32, seed=4)
+        dense = attention.forward(tokens)
+        floor = pseudo_perplexity(dense, dense, vocab)
+        degraded = pseudo_perplexity(
+            dense, sparse_attention_outputs(attention, tokens, 0.1), vocab
+        )
+        assert degraded >= floor - 1e-9
+
+    def test_quality_curve_monotone_trend(self):
+        """Fig. 15: keeping more attention never hurts, and very aggressive
+        truncation is the worst point on the curve."""
+        rows = attention_quality_vs_topk(
+            [0.05, 0.2, 0.5], seq_len=24, model_dim=32, num_heads=2, vocab_size=64, seed=0
+        )
+        fractions = [r["keep_fraction"] for r in rows]
+        ppl = [r["pseudo_perplexity"] for r in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        # Dense attention is the quality floor; 5% attention is the worst.
+        assert ppl[-1] == min(ppl)
+        assert ppl[0] == max(ppl)
+
+    def test_moderate_truncation_close_to_dense(self):
+        """The paper's point: a modest top fraction preserves quality."""
+        rows = attention_quality_vs_topk(
+            [0.3], seq_len=24, model_dim=32, num_heads=2, vocab_size=64, seed=1
+        )
+        by_fraction = {r["keep_fraction"]: r["pseudo_perplexity"] for r in rows}
+        assert by_fraction[0.3] <= by_fraction[1.0] * 1.5

@@ -1,0 +1,134 @@
+"""Unit tests for the distance/similarity kernels."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distances import (
+    Metric,
+    inner_product_matrix,
+    l2_squared_matrix,
+    pairwise_distance,
+    pairwise_similarity_argsort,
+    top_k,
+)
+
+
+class TestMetricEnum:
+    def test_l2_is_lower_is_better(self):
+        assert Metric.L2.lower_is_better
+        assert not Metric.INNER_PRODUCT.lower_is_better
+
+    def test_order_sign(self):
+        assert Metric.L2.order_sign() == 1.0
+        assert Metric.INNER_PRODUCT.order_sign() == -1.0
+
+    def test_better(self):
+        assert Metric.L2.better(1.0, 2.0)
+        assert Metric.INNER_PRODUCT.better(2.0, 1.0)
+        assert not Metric.L2.better(2.0, 1.0)
+
+    def test_worst_value(self):
+        assert Metric.L2.worst_value() == np.inf
+        assert Metric.INNER_PRODUCT.worst_value() == -np.inf
+
+    def test_from_string(self):
+        assert Metric("l2") is Metric.L2
+        assert Metric("ip") is Metric.INNER_PRODUCT
+
+
+class TestL2Matrix:
+    def test_matches_naive_computation(self, rng):
+        queries = rng.standard_normal((5, 7))
+        points = rng.standard_normal((9, 7))
+        got = l2_squared_matrix(queries, points)
+        expected = np.array(
+            [[np.sum((q - p) ** 2) for p in points] for q in queries]
+        )
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_zero_distance_on_identical_points(self, rng):
+        points = rng.standard_normal((4, 3))
+        dist = l2_squared_matrix(points, points)
+        np.testing.assert_allclose(np.diag(dist), 0.0, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        queries = rng.standard_normal((20, 5)) * 1e-4
+        dist = l2_squared_matrix(queries, queries + 1e-9)
+        assert (dist >= 0).all()
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            l2_squared_matrix(rng.standard_normal((2, 3)), rng.standard_normal((2, 4)))
+
+    def test_accepts_1d_query(self, rng):
+        points = rng.standard_normal((6, 4))
+        out = l2_squared_matrix(points[0], points)
+        assert out.shape == (1, 6)
+
+
+class TestInnerProductMatrix:
+    def test_matches_matmul(self, rng):
+        queries = rng.standard_normal((3, 6))
+        points = rng.standard_normal((5, 6))
+        np.testing.assert_allclose(
+            inner_product_matrix(queries, points), queries @ points.T
+        )
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            inner_product_matrix(rng.standard_normal((2, 3)), rng.standard_normal((2, 5)))
+
+
+class TestPairwiseDistance:
+    def test_dispatch_l2(self, rng):
+        q, p = rng.standard_normal((2, 4)), rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            pairwise_distance(q, p, Metric.L2), l2_squared_matrix(q, p)
+        )
+
+    def test_dispatch_ip(self, rng):
+        q, p = rng.standard_normal((2, 4)), rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            pairwise_distance(q, p, Metric.INNER_PRODUCT), inner_product_matrix(q, p)
+        )
+
+
+class TestArgsortAndTopK:
+    def test_argsort_orders_by_l2(self, rng):
+        queries = rng.standard_normal((4, 8))
+        points = rng.standard_normal((30, 8))
+        order = pairwise_similarity_argsort(queries, points, Metric.L2)
+        dist = l2_squared_matrix(queries, points)
+        for qi in range(4):
+            sorted_dist = dist[qi, order[qi]]
+            assert (np.diff(sorted_dist) >= -1e-12).all()
+
+    def test_argsort_with_k_matches_full_sort_prefix(self, rng):
+        queries = rng.standard_normal((3, 5))
+        points = rng.standard_normal((40, 5))
+        full = pairwise_similarity_argsort(queries, points, Metric.L2)
+        partial = pairwise_similarity_argsort(queries, points, Metric.L2, k=7)
+        np.testing.assert_array_equal(full[:, :7], partial)
+
+    def test_argsort_ip_descending(self, rng):
+        queries = rng.standard_normal((2, 6))
+        points = rng.standard_normal((25, 6))
+        order = pairwise_similarity_argsort(queries, points, Metric.INNER_PRODUCT)
+        sims = inner_product_matrix(queries, points)
+        for qi in range(2):
+            assert (np.diff(sims[qi, order[qi]]) <= 1e-12).all()
+
+    def test_top_k_returns_best_first(self, rng):
+        scores = rng.standard_normal((3, 20))
+        idx, vals = top_k(scores, 5, Metric.L2)
+        assert idx.shape == (3, 5)
+        for qi in range(3):
+            assert set(idx[qi]) == set(np.argsort(scores[qi])[:5])
+            np.testing.assert_allclose(vals[qi], np.sort(scores[qi])[:5])
+
+    def test_top_k_larger_than_n(self, rng):
+        scores = rng.standard_normal((2, 4))
+        idx, vals = top_k(scores, 10, Metric.INNER_PRODUCT)
+        assert idx.shape == (2, 4)
+        for qi in range(2):
+            np.testing.assert_allclose(vals[qi], np.sort(scores[qi])[::-1])

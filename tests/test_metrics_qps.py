@@ -1,0 +1,57 @@
+"""Unit tests for throughput accounting and Pareto extraction."""
+
+import pytest
+
+from repro.metrics.qps import ThroughputRecord, pareto_frontier, queries_per_second
+
+
+class TestQueriesPerSecond:
+    def test_basic_conversion(self):
+        assert queries_per_second(100, 0.5) == pytest.approx(200.0)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            queries_per_second(0, 1.0)
+        with pytest.raises(ValueError):
+            queries_per_second(10, 0.0)
+
+
+def _record(label, recall, qps):
+    return ThroughputRecord(
+        label=label, recall=recall, qps=qps, latency_s=1.0, num_queries=10
+    )
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        records = [
+            _record("a", 0.9, 100.0),
+            _record("b", 0.9, 50.0),  # dominated by a
+            _record("c", 0.95, 80.0),
+        ]
+        frontier = pareto_frontier(records)
+        labels = {r.label for r in frontier}
+        assert labels == {"a", "c"}
+
+    def test_frontier_sorted_by_recall(self):
+        records = [
+            _record("hi", 0.99, 10.0),
+            _record("lo", 0.5, 1000.0),
+            _record("mid", 0.8, 100.0),
+        ]
+        frontier = pareto_frontier(records)
+        recalls = [r.recall for r in frontier]
+        assert recalls == sorted(recalls)
+        assert len(frontier) == 3
+
+    def test_single_point(self):
+        records = [_record("only", 0.7, 42.0)]
+        assert pareto_frontier(records) == records
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_identical_points_both_kept(self):
+        records = [_record("a", 0.9, 100.0), _record("b", 0.9, 100.0)]
+        # Neither strictly dominates the other.
+        assert len(pareto_frontier(records)) == 2

@@ -1,0 +1,76 @@
+"""Unit tests for the recall metrics (R1@100, R100@1000)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.recall import (
+    recall_1_at_100,
+    recall_100_at_1000,
+    recall_at,
+    recall_k_at_n,
+)
+
+
+class TestRecallKAtN:
+    def test_perfect_recall(self):
+        truth = np.arange(10)[None, :]
+        retrieved = np.arange(10)[None, :]
+        assert recall_k_at_n(retrieved, truth, k=10, n=10) == 1.0
+
+    def test_zero_recall(self):
+        truth = np.arange(10)[None, :]
+        retrieved = (np.arange(10) + 100)[None, :]
+        assert recall_k_at_n(retrieved, truth, k=10, n=10) == 0.0
+
+    def test_partial_recall(self):
+        truth = np.array([[0, 1, 2, 3]])
+        retrieved = np.array([[0, 1, 50, 60]])
+        assert recall_k_at_n(retrieved, truth, k=4, n=4) == pytest.approx(0.5)
+
+    def test_averages_over_queries(self):
+        truth = np.array([[0], [1]])
+        retrieved = np.array([[0, 9], [8, 9]])
+        assert recall_k_at_n(retrieved, truth, k=1, n=2) == pytest.approx(0.5)
+
+    def test_ignores_padding_minus_one(self):
+        truth = np.array([[3]])
+        retrieved = np.array([[-1, -1, 3]])
+        assert recall_k_at_n(retrieved, truth, k=1, n=3) == 1.0
+
+    def test_window_n_limits_matches(self):
+        truth = np.array([[5]])
+        retrieved = np.array([[1, 2, 5]])
+        assert recall_k_at_n(retrieved, truth, k=1, n=2) == 0.0
+        assert recall_k_at_n(retrieved, truth, k=1, n=3) == 1.0
+
+    def test_mismatched_query_counts_raise(self):
+        with pytest.raises(ValueError, match="same number of queries"):
+            recall_k_at_n(np.zeros((2, 3)), np.zeros((3, 3)), k=1, n=1)
+
+    def test_invalid_k_n_raise(self):
+        with pytest.raises(ValueError):
+            recall_k_at_n(np.zeros((1, 3)), np.zeros((1, 3)), k=0, n=1)
+        with pytest.raises(ValueError):
+            recall_k_at_n(np.zeros((1, 3)), np.zeros((1, 3)), k=1, n=0)
+
+    def test_insufficient_ground_truth_raises(self):
+        with pytest.raises(ValueError, match="neighbours"):
+            recall_k_at_n(np.zeros((1, 10)), np.zeros((1, 3)), k=5, n=10)
+
+
+class TestNamedMetrics:
+    def test_recall_at_is_k1(self):
+        truth = np.array([[7]])
+        retrieved = np.array([[1, 7, 3]])
+        assert recall_at(retrieved, truth, 3) == 1.0
+
+    def test_r1_at_100(self, rng):
+        truth = rng.integers(0, 1000, size=(5, 1))
+        retrieved = np.tile(np.arange(100), (5, 1))
+        expected = np.mean([t[0] < 100 for t in truth])
+        assert recall_1_at_100(retrieved, truth) == pytest.approx(expected)
+
+    def test_r100_at_1000_full_containment(self):
+        truth = np.arange(100)[None, :]
+        retrieved = np.arange(1000)[None, :]
+        assert recall_100_at_1000(retrieved, truth) == 1.0

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the core data structures and kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.threshold import ThresholdModel
+from repro.metrics.distances import Metric, l2_squared_matrix, pairwise_distance, top_k
+from repro.metrics.recall import recall_k_at_n
+from repro.quantization.scalar_quantizer import ScalarQuantizer
+from repro.rt.bvh import BVH
+from repro.rt.primitives import Sphere
+
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def point_sets(draw, max_points=24, max_dim=6):
+    num_points = draw(st.integers(min_value=1, max_value=max_points))
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    points = draw(
+        arrays(dtype=np.float64, shape=(num_points, dim), elements=finite_floats)
+    )
+    return points
+
+
+class TestDistanceProperties:
+    @given(points=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_l2_symmetry_and_nonnegativity(self, points):
+        dist = l2_squared_matrix(points, points)
+        assert (dist >= 0).all()
+        np.testing.assert_allclose(dist, dist.T, atol=1e-6)
+        np.testing.assert_allclose(np.diag(dist), 0.0, atol=1e-6)
+
+    @given(points=point_sets(), shift=finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_l2_translation_invariance(self, points, shift):
+        dist = l2_squared_matrix(points, points)
+        shifted = l2_squared_matrix(points + shift, points + shift)
+        np.testing.assert_allclose(dist, shifted, atol=1e-5, rtol=1e-6)
+
+    @given(points=point_sets(), k=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_returns_true_best(self, points, k):
+        scores = pairwise_distance(points[:1], points, Metric.L2)
+        idx, vals = top_k(scores, k, Metric.L2)
+        k_eff = min(k, points.shape[0])
+        assert idx.shape == (1, k_eff)
+        best = np.sort(scores[0])[:k_eff]
+        np.testing.assert_allclose(np.sort(vals[0]), best)
+
+
+class TestRecallProperties:
+    @given(
+        truth=arrays(np.int64, shape=(3, 10), elements=st.integers(0, 50)),
+        retrieved=arrays(np.int64, shape=(3, 20), elements=st.integers(0, 50)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recall_bounded_and_monotone_in_n(self, truth, retrieved):
+        r_small = recall_k_at_n(retrieved, truth, k=1, n=5)
+        r_large = recall_k_at_n(retrieved, truth, k=1, n=20)
+        assert 0.0 <= r_small <= r_large <= 1.0
+
+    @given(
+        truth_rows=st.lists(
+            st.lists(st.integers(0, 1000), min_size=8, max_size=8, unique=True),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_retrieving_truth_gives_perfect_recall(self, truth_rows):
+        truth = np.asarray(truth_rows, dtype=np.int64)
+        assert recall_k_at_n(truth, truth, k=8, n=8) == 1.0
+
+
+class TestBVHProperties:
+    @given(
+        centres=arrays(
+            np.float64,
+            shape=st.tuples(st.integers(1, 40), st.just(2)),
+            elements=st.floats(-3, 3, allow_nan=False),
+        ),
+        origin=st.tuples(st.floats(-3, 3, allow_nan=False), st.floats(-3, 3, allow_nan=False)),
+        radius=st.floats(0.05, 2.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_traversal_equals_bruteforce(self, centres, origin, radius):
+        spheres = [Sphere(centre=[x, y, 1.0], radius=radius) for x, y in centres]
+        bvh = BVH(spheres, leaf_size=3)
+        hits = {i for i, _ in bvh.traverse([origin[0], origin[1], 0.0], [0, 0, 1])}
+        dist = np.sqrt((centres[:, 0] - origin[0]) ** 2 + (centres[:, 1] - origin[1]) ** 2)
+        # Points exactly on the boundary may go either way with float error;
+        # exclude a tiny band around the radius from the comparison.
+        definitely_in = set(np.flatnonzero(dist < radius - 1e-9).tolist())
+        definitely_out = set(np.flatnonzero(dist > radius + 1e-9).tolist())
+        assert definitely_in <= hits
+        assert not (hits & definitely_out)
+
+
+class TestThresholdConversionProperties:
+    @given(
+        threshold=st.floats(0.0, 0.999, allow_nan=False),
+        radius=st.floats(0.5, 5.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tmax_round_trip(self, threshold, radius):
+        threshold = threshold * radius
+        t_max = ThresholdModel.threshold_to_tmax(np.array([threshold]), radius, radius)
+        back = ThresholdModel.tmax_to_threshold(t_max, radius, radius)
+        # The round trip squares and un-squares the threshold, so precision is
+        # bounded by sqrt(eps) * radius rather than eps.
+        np.testing.assert_allclose(back, [threshold], atol=1e-6 * radius)
+        assert 0.0 <= t_max[0] <= radius + 1e-12
+
+
+class TestScalarQuantizerProperties:
+    @given(points=point_sets(max_points=30, max_dim=5), bits=st.integers(2, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_within_cell_size(self, points, bits):
+        sq = ScalarQuantizer(bits=bits).train(points)
+        decoded = sq.decode(sq.encode(points))
+        span = points.max(axis=0) - points.min(axis=0)
+        span[span <= 0] = 1.0
+        cell = span / ((1 << bits) - 1)
+        assert (np.abs(decoded - points) <= cell * 0.5 + 1e-9).all()

@@ -1,0 +1,79 @@
+"""Unit tests for the k-means clustering primitive."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.kmeans import KMeans
+
+
+def _blobs(rng, centres, per_cluster=50, spread=0.05):
+    points = []
+    for centre in centres:
+        points.append(centre + spread * rng.standard_normal((per_cluster, len(centre))))
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_recovers_well_separated_clusters(self, rng):
+        centres = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+        points = _blobs(rng, centres)
+        result = KMeans(n_clusters=4, seed=0).fit(points)
+        # Every true centre should have a learned centroid very close to it.
+        for centre in centres:
+            distances = np.linalg.norm(result.centroids - centre, axis=1)
+            assert distances.min() < 0.5
+
+    def test_labels_match_closest_centroid(self, rng):
+        points = rng.standard_normal((200, 3))
+        km = KMeans(n_clusters=5, seed=1)
+        result = km.fit(points)
+        dist = np.linalg.norm(points[:, None, :] - result.centroids[None, :, :], axis=2)
+        np.testing.assert_array_equal(result.labels, np.argmin(dist, axis=1))
+
+    def test_inertia_decreases_vs_single_cluster(self, rng):
+        points = _blobs(rng, np.array([[0.0, 0.0], [5.0, 5.0]]))
+        one = KMeans(n_clusters=1, seed=0).fit(points).inertia
+        two = KMeans(n_clusters=2, seed=0).fit(points).inertia
+        assert two < one
+
+    def test_predict_consistent_with_fit(self, rng):
+        points = rng.standard_normal((300, 4))
+        km = KMeans(n_clusters=6, seed=2)
+        result = km.fit(points)
+        np.testing.assert_array_equal(km.predict(points), result.labels)
+
+    def test_clusters_clipped_to_points(self, rng):
+        points = rng.standard_normal((3, 2))
+        result = KMeans(n_clusters=10, seed=0).fit(points)
+        assert result.centroids.shape[0] == 3
+
+    def test_every_cluster_nonempty_after_repair(self, rng):
+        # Duplicated points provoke empty clusters, which must be reseeded.
+        points = np.repeat(rng.standard_normal((4, 2)), 25, axis=0)
+        result = KMeans(n_clusters=4, seed=0).fit(points)
+        assert result.centroids.shape == (4, 2)
+        assert np.isfinite(result.centroids).all()
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.standard_normal((150, 3))
+        a = KMeans(n_clusters=5, seed=42).fit(points)
+        b = KMeans(n_clusters=5, seed=42).fit(points)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_invalid_inputs_raise(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(rng.standard_normal(5))
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros((0, 3)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_batched_assignment_matches_unbatched(self, rng):
+        points = rng.standard_normal((500, 4))
+        small_batch = KMeans(n_clusters=7, seed=5, batch_size=13).fit(points)
+        big_batch = KMeans(n_clusters=7, seed=5, batch_size=10_000).fit(points)
+        np.testing.assert_allclose(small_batch.centroids, big_batch.centroids)

@@ -1,0 +1,184 @@
+"""Unit tests for product quantization, codebooks, SQ and OPQ."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distances import Metric
+from repro.quantization.codebook import SubspaceCodebook
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.quantization.product_quantizer import ProductQuantizer
+from repro.quantization.scalar_quantizer import ScalarQuantizer
+
+
+class TestSubspaceCodebook:
+    def test_encode_picks_nearest_entry(self, rng):
+        entries = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 5.0]])
+        codebook = SubspaceCodebook(entries, subspace_id=0)
+        projections = np.array([[0.1, -0.1], [9.0, 11.0], [-9.5, 4.0]])
+        np.testing.assert_array_equal(codebook.encode(projections), [0, 1, 2])
+
+    def test_distance_table_l2(self, rng):
+        entries = rng.standard_normal((8, 2))
+        codebook = SubspaceCodebook(entries, subspace_id=1)
+        query = rng.standard_normal(2)
+        table = codebook.distance_table(query, Metric.L2)
+        expected = np.sum((entries - query) ** 2, axis=1)
+        np.testing.assert_allclose(table, expected)
+
+    def test_distance_table_ip(self, rng):
+        entries = rng.standard_normal((6, 2))
+        codebook = SubspaceCodebook(entries, subspace_id=0)
+        query = rng.standard_normal(2)
+        np.testing.assert_allclose(
+            codebook.distance_table(query, Metric.INNER_PRODUCT), entries @ query
+        )
+
+    def test_decode_round_trip(self, rng):
+        entries = rng.standard_normal((5, 2))
+        codebook = SubspaceCodebook(entries, subspace_id=0)
+        np.testing.assert_allclose(codebook.decode([3, 1]), entries[[3, 1]])
+
+    def test_decode_out_of_range_raises(self, rng):
+        codebook = SubspaceCodebook(rng.standard_normal((4, 2)), subspace_id=0)
+        with pytest.raises(ValueError):
+            codebook.decode([7])
+
+
+class TestProductQuantizer:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        residuals = rng.standard_normal((600, 8))
+        pq = ProductQuantizer(dim=8, num_subspaces=4, num_entries=16, seed=0)
+        pq.train(residuals)
+        return pq, residuals
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=10, num_subspaces=3)
+
+    def test_codes_shape_and_range(self, trained):
+        pq, residuals = trained
+        codes = pq.encode(residuals)
+        assert codes.shape == (600, 4)
+        assert codes.min() >= 0
+        assert codes.max() < 16
+
+    def test_code_size_bits(self, trained):
+        pq, _ = trained
+        assert pq.code_size_bits() == 4 * 4  # 4 subspaces * log2(16)
+
+    def test_reconstruction_better_than_zero_codebook(self, trained):
+        pq, residuals = trained
+        error = pq.reconstruction_error(residuals)
+        baseline = float(np.mean(np.sum(residuals**2, axis=1)))
+        assert error < baseline
+
+    def test_lookup_table_matches_manual(self, trained):
+        pq, residuals = trained
+        query = residuals[0]
+        table = pq.lookup_table(query, Metric.L2)
+        assert table.shape == (4, 16)
+        for s in range(4):
+            sub = query[2 * s : 2 * s + 2]
+            expected = np.sum((pq.codebooks[s].entries - sub) ** 2, axis=1)
+            np.testing.assert_allclose(table[s, : len(expected)], expected)
+
+    def test_adc_scores_match_decoded_distance_approximately(self, trained):
+        pq, residuals = trained
+        query = residuals[1]
+        table = pq.lookup_table(query, Metric.L2)
+        codes = pq.encode(residuals[:50])
+        adc = pq.adc_scores(table, codes)
+        decoded = pq.decode(codes)
+        exact_to_decoded = np.sum((decoded - query) ** 2, axis=1)
+        np.testing.assert_allclose(adc, exact_to_decoded, rtol=1e-9, atol=1e-9)
+
+    def test_adc_preserves_ranking_quality(self, trained):
+        """ADC top-10 should overlap heavily with the exact top-10."""
+        pq, residuals = trained
+        query = residuals[2]
+        table = pq.lookup_table(query, Metric.L2)
+        adc = pq.adc_scores(table, pq.encode(residuals))
+        exact = np.sum((residuals - query) ** 2, axis=1)
+        top_adc = set(np.argsort(adc)[:10].tolist())
+        top_exact = set(np.argsort(exact)[:10].tolist())
+        assert len(top_adc & top_exact) >= 5
+
+    def test_untrained_raises(self):
+        pq = ProductQuantizer(dim=4, num_subspaces=2)
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros((1, 4)))
+
+    def test_wrong_width_raises(self, trained):
+        pq, _ = trained
+        with pytest.raises(ValueError):
+            pq.encode(np.zeros((2, 6)))
+        with pytest.raises(ValueError):
+            pq.lookup_table(np.zeros(6))
+
+
+class TestScalarQuantizer:
+    def test_round_trip_error_small_for_8_bits(self, rng):
+        points = rng.uniform(-3, 5, size=(200, 10))
+        sq = ScalarQuantizer(bits=8).train(points)
+        err = sq.reconstruction_error(points)
+        span = (points.max(0) - points.min(0)).mean()
+        assert err < (span / 255) ** 2 * 10
+
+    def test_more_bits_less_error(self, rng):
+        points = rng.standard_normal((300, 6))
+        e4 = ScalarQuantizer(bits=4).train(points).reconstruction_error(points)
+        e8 = ScalarQuantizer(bits=8).train(points).reconstruction_error(points)
+        assert e8 < e4
+
+    def test_codes_within_range(self, rng):
+        points = rng.standard_normal((100, 4))
+        sq = ScalarQuantizer(bits=6).train(points)
+        codes = sq.encode(points)
+        assert codes.max() <= 63
+        assert codes.min() >= 0
+
+    def test_constant_dimension_handled(self):
+        points = np.ones((50, 3))
+        sq = ScalarQuantizer(bits=8).train(points)
+        np.testing.assert_allclose(sq.decode(sq.encode(points)), points)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ScalarQuantizer(bits=0)
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            ScalarQuantizer().encode(np.zeros((1, 2)))
+
+
+class TestOptimizedProductQuantizer:
+    def test_rotation_is_orthonormal(self, rng):
+        vectors = rng.standard_normal((300, 8))
+        opq = OptimizedProductQuantizer(dim=8, num_subspaces=4, num_entries=8, iterations=2)
+        opq.train(vectors)
+        should_be_identity = opq.rotation_ @ opq.rotation_.T
+        np.testing.assert_allclose(should_be_identity, np.eye(8), atol=1e-8)
+
+    def test_opq_not_worse_than_pq_on_correlated_data(self, rng):
+        # Correlated dimensions are where OPQ helps: PQ's axis-aligned
+        # subspaces miss the correlation, the learned rotation captures it.
+        latent = rng.standard_normal((500, 2))
+        mix = rng.standard_normal((2, 8))
+        vectors = latent @ mix + 0.05 * rng.standard_normal((500, 8))
+        from repro.quantization.product_quantizer import ProductQuantizer
+
+        pq = ProductQuantizer(dim=8, num_subspaces=4, num_entries=8, seed=1).train(vectors)
+        opq = OptimizedProductQuantizer(
+            dim=8, num_subspaces=4, num_entries=8, iterations=3, seed=1
+        ).train(vectors)
+        assert opq.reconstruction_error(vectors) <= pq.reconstruction_error(vectors) * 1.05
+
+    def test_encode_decode_shapes(self, rng):
+        vectors = rng.standard_normal((100, 6))
+        opq = OptimizedProductQuantizer(dim=6, num_subspaces=3, num_entries=4, iterations=1)
+        opq.train(vectors)
+        codes = opq.encode(vectors)
+        assert codes.shape == (100, 3)
+        assert opq.decode(codes).shape == (100, 6)

@@ -1,0 +1,206 @@
+"""Unit tests for BVH construction/traversal, the scene and the tracer.
+
+The central invariant: the BVH traversal, the vectorised batch tracer and a
+brute-force sphere test must all agree on the hit sets and hit times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rt.bvh import BVH
+from repro.rt.primitives import Ray, Sphere
+from repro.rt.scene import TraversableScene
+from repro.rt.tracer import RayTracer
+
+
+def _random_layer_scene(rng, num_entries=40, radius=1.0, layer_id=0):
+    centres = rng.uniform(-2, 2, size=(num_entries, 2))
+    scene = TraversableScene(leaf_size=4)
+    scene.add_layer(layer_id, centres, radii=radius)
+    return scene, centres
+
+
+class TestBVH:
+    def test_num_nodes_and_depth(self, rng):
+        spheres = [
+            Sphere(centre=[x, y, 1.0], radius=0.3)
+            for x, y in rng.uniform(-1, 1, size=(33, 2))
+        ]
+        bvh = BVH(spheres, leaf_size=4)
+        assert bvh.num_nodes() >= 2 * (33 // 4) - 1
+        assert bvh.depth() <= 12
+
+    def test_traverse_matches_bruteforce(self, rng):
+        centres = rng.uniform(-1, 1, size=(50, 2))
+        spheres = [Sphere(centre=[x, y, 1.0], radius=0.4) for x, y in centres]
+        bvh = BVH(spheres, leaf_size=3)
+        for _ in range(20):
+            origin = np.array([*rng.uniform(-1, 1, size=2), 0.0])
+            hits = {idx for idx, _ in bvh.traverse(origin, [0, 0, 1])}
+            dist = np.sqrt(np.sum((centres - origin[:2]) ** 2, axis=1))
+            expected = set(np.flatnonzero(dist <= 0.4).tolist())
+            assert hits == expected
+
+    def test_traverse_respects_t_max(self, rng):
+        centres = rng.uniform(-1, 1, size=(30, 2))
+        spheres = [Sphere(centre=[x, y, 1.0], radius=1.0) for x, y in centres]
+        bvh = BVH(spheres, leaf_size=4)
+        origin = np.array([0.0, 0.0, 0.0])
+        threshold = 0.5
+        t_max = 1.0 - np.sqrt(1.0 - threshold**2)
+        hits = {idx for idx, _ in bvh.traverse(origin, [0, 0, 1], t_max=t_max)}
+        dist = np.sqrt(np.sum(centres**2, axis=1))
+        expected = set(np.flatnonzero(dist <= threshold + 1e-12).tolist())
+        assert hits == expected
+
+    def test_counters_populated(self, rng):
+        spheres = [
+            Sphere(centre=[x, y, 1.0], radius=0.2)
+            for x, y in rng.uniform(-1, 1, size=(20, 2))
+        ]
+        bvh = BVH(spheres, leaf_size=2)
+        counters = {}
+        bvh.traverse([0, 0, 0], [0, 0, 1], counters=counters)
+        assert counters["node_visits"] >= 1
+        assert counters["aabb_tests"] >= 1
+
+    def test_empty_bvh(self):
+        bvh = BVH([])
+        assert bvh.traverse([0, 0, 0], [0, 0, 1]) == []
+        assert bvh.num_nodes() == 0
+        assert bvh.flatten().num_nodes == 0
+
+    def test_flatten_structure_consistent(self, rng):
+        spheres = [
+            Sphere(centre=[x, y, 1.0], radius=0.3)
+            for x, y in rng.uniform(-1, 1, size=(25, 2))
+        ]
+        bvh = BVH(spheres, leaf_size=4)
+        flat = bvh.flatten()
+        assert flat.num_nodes == bvh.num_nodes()
+        # Every primitive appears exactly once across leaves.
+        assert sorted(flat.leaf_primitives.tolist()) == list(range(25))
+        # Children indices are valid and only set on interior nodes.
+        interior = flat.left >= 0
+        assert (flat.right[interior] >= 0).all()
+        assert (flat.leaf_count[~interior] > 0).all()
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            BVH([], leaf_size=0)
+
+
+class TestScene:
+    def test_layer_metadata(self, rng):
+        scene, centres = _random_layer_scene(rng, num_entries=10)
+        layer = scene.layer(0)
+        assert layer.num_spheres == 10
+        assert layer.z == pytest.approx(1.0)
+        assert scene.num_layers == 1
+        assert scene.num_spheres == 10
+
+    def test_default_payloads(self, rng):
+        scene, _ = _random_layer_scene(rng, num_entries=5, layer_id=3)
+        layer = scene.layer(3)
+        assert layer.spheres[2].payload == {"entry_id": 2, "subspace_id": 3}
+        assert layer.z == pytest.approx(7.0)
+
+    def test_unknown_layer_raises(self, rng):
+        scene, _ = _random_layer_scene(rng)
+        with pytest.raises(KeyError):
+            scene.layer(9)
+
+    def test_invalid_radius_raises(self, rng):
+        scene = TraversableScene()
+        with pytest.raises(ValueError):
+            scene.add_layer(0, rng.uniform(size=(3, 2)), radii=0.0)
+
+    def test_cast_only_hits_own_layer(self, rng):
+        scene = TraversableScene()
+        scene.add_layer(0, np.array([[0.0, 0.0]]), radii=0.5)
+        scene.add_layer(1, np.array([[0.0, 0.0]]), radii=0.5)
+        ray = Ray(origin=[0, 0, 2.0], direction=[0, 0, 1], t_max=1.0)
+        hits = scene.cast(ray)
+        assert len(hits) == 1
+        assert hits[0].sphere.payload["subspace_id"] == 1
+
+
+class TestTracer:
+    def test_batch_matches_per_ray(self, rng):
+        scene, centres = _random_layer_scene(rng, num_entries=40, radius=1.5)
+        tracer = RayTracer(scene)
+        origins = rng.uniform(-2, 2, size=(15, 2))
+        threshold = 0.8
+        t_max = 1.5 - np.sqrt(1.5**2 - threshold**2)
+        batch, stats = tracer.trace_vertical_batch(
+            0, origins, t_max, origin_z=scene.layer(0).z - 1.5
+        )
+        for ray_id, origin in enumerate(origins):
+            ray = Ray(
+                origin=[origin[0], origin[1], scene.layer(0).z - 1.5],
+                direction=[0, 0, 1],
+                t_max=t_max,
+            )
+            exact = tracer.trace(ray)
+            exact_ids = sorted(r.sphere.payload["entry_id"] for r in exact)
+            batch_ids, batch_t = batch.hits_of_ray(ray_id)
+            assert sorted(batch_ids.tolist()) == exact_ids
+            np.testing.assert_allclose(
+                np.sort(batch_t), np.sort([r.t_hit for r in exact]), atol=1e-9
+            )
+
+    def test_batch_matches_bruteforce_thresholds(self, rng):
+        scene, centres = _random_layer_scene(rng, num_entries=60, radius=1.0)
+        tracer = RayTracer(scene)
+        origins = rng.uniform(-1.5, 1.5, size=(25, 2))
+        thresholds = rng.uniform(0.1, 0.9, size=25)
+        t_max = 1.0 - np.sqrt(1.0 - thresholds**2)
+        batch, _ = tracer.trace_vertical_batch(0, origins, t_max)
+        for ray_id in range(25):
+            dist = np.sqrt(np.sum((centres - origins[ray_id]) ** 2, axis=1))
+            expected = set(np.flatnonzero(dist <= thresholds[ray_id] + 1e-12).tolist())
+            got, _ = batch.hits_of_ray(ray_id)
+            assert set(got.tolist()) == expected
+
+    def test_hit_times_recover_distances(self, rng):
+        scene, centres = _random_layer_scene(rng, num_entries=30, radius=1.0)
+        tracer = RayTracer(scene)
+        origins = rng.uniform(-1, 1, size=(10, 2))
+        batch, _ = tracer.trace_vertical_batch(0, origins, t_max=1.0)
+        for ray_id in range(10):
+            ids, t_hit = batch.hits_of_ray(ray_id)
+            recovered = np.sqrt(1.0 - (1.0 - t_hit) ** 2)
+            true_dist = np.sqrt(np.sum((centres[ids] - origins[ray_id]) ** 2, axis=1))
+            np.testing.assert_allclose(recovered, true_dist, atol=1e-9)
+
+    def test_stats_accumulate(self, rng):
+        scene, _ = _random_layer_scene(rng, num_entries=20)
+        tracer = RayTracer(scene)
+        tracer.trace_vertical_batch(0, rng.uniform(-1, 1, size=(5, 2)), t_max=0.5)
+        first = tracer.stats.rays
+        tracer.trace_vertical_batch(0, rng.uniform(-1, 1, size=(3, 2)), t_max=0.5)
+        assert tracer.stats.rays == first + 3
+        tracer.reset_stats()
+        assert tracer.stats.rays == 0
+
+    def test_per_ray_shader_callback(self, rng):
+        scene, _ = _random_layer_scene(rng, num_entries=10, radius=2.0)
+        tracer = RayTracer(scene)
+        seen = []
+        ray = Ray(origin=[0, 0, 0], direction=[0, 0, 1], t_max=2.0)
+        tracer.trace(ray, hit_shader=seen.append)
+        assert len(seen) == tracer.stats.hits
+        assert all(record.t_hit <= 2.0 for record in seen)
+
+    def test_invalid_origin_z_raises(self, rng):
+        scene, _ = _random_layer_scene(rng)
+        tracer = RayTracer(scene)
+        with pytest.raises(ValueError):
+            tracer.trace_vertical_batch(0, np.zeros((1, 2)), 0.5, origin_z=10.0)
+
+    def test_zero_rays(self, rng):
+        scene, _ = _random_layer_scene(rng)
+        tracer = RayTracer(scene)
+        batch, stats = tracer.trace_vertical_batch(0, np.zeros((0, 2)), 0.5)
+        assert batch.num_hits == 0
+        assert stats.rays == 0

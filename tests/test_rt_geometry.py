@@ -1,0 +1,118 @@
+"""Unit tests for the RT geometry primitives: AABB, spheres, rays."""
+
+import numpy as np
+import pytest
+
+from repro.rt.aabb import AABB
+from repro.rt.primitives import Ray, Sphere
+
+
+class TestAABB:
+    def test_from_points_and_contains(self):
+        points = np.array([[0, 0, 0], [1, 2, 3], [-1, 0.5, 2]])
+        box = AABB.from_points(points)
+        np.testing.assert_allclose(box.minimum, [-1, 0, 0])
+        np.testing.assert_allclose(box.maximum, [1, 2, 3])
+        assert box.contains_point([0, 1, 1])
+        assert not box.contains_point([5, 0, 0])
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            AABB([1, 0, 0], [0, 1, 1])
+
+    def test_union(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2, -1, 0], [3, 0.5, 2])
+        u = a.union(b)
+        np.testing.assert_allclose(u.minimum, [0, -1, 0])
+        np.testing.assert_allclose(u.maximum, [3, 1, 2])
+
+    def test_empty_union_identity(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        u = AABB.empty().union(box)
+        np.testing.assert_allclose(u.minimum, box.minimum)
+        np.testing.assert_allclose(u.maximum, box.maximum)
+
+    def test_expanded(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).expanded(0.5)
+        np.testing.assert_allclose(box.minimum, [-0.5] * 3)
+        np.testing.assert_allclose(box.maximum, [1.5] * 3)
+
+    def test_longest_axis(self):
+        box = AABB([0, 0, 0], [1, 5, 2])
+        assert box.longest_axis() == 1
+
+    def test_surface_area(self):
+        box = AABB([0, 0, 0], [1, 2, 3])
+        assert box.surface_area() == pytest.approx(2 * (1 * 2 + 2 * 3 + 1 * 3))
+
+    def test_ray_hits_box(self):
+        box = AABB([-1, -1, 1], [1, 1, 3])
+        assert box.intersects_ray([0, 0, 0], [0, 0, 1])
+        assert not box.intersects_ray([5, 5, 0], [0, 0, 1])
+
+    def test_ray_respects_t_max(self):
+        box = AABB([-1, -1, 10], [1, 1, 12])
+        assert not box.intersects_ray([0, 0, 0], [0, 0, 1], t_max=5.0)
+        assert box.intersects_ray([0, 0, 0], [0, 0, 1], t_max=11.0)
+
+    def test_ray_parallel_to_slab(self):
+        box = AABB([-1, -1, 1], [1, 1, 2])
+        # Ray along z with x outside the box never hits it.
+        assert not box.intersects_ray([2, 0, 0], [0, 0, 1])
+        # Ray along z starting inside the x/y slabs does.
+        assert box.intersects_ray([0.5, -0.5, 0], [0, 0, 1])
+
+    def test_ray_behind_origin_not_hit(self):
+        box = AABB([-1, -1, -3], [1, 1, -2])
+        assert not box.intersects_ray([0, 0, 0], [0, 0, 1])
+
+
+class TestSphere:
+    def test_intersect_head_on(self):
+        sphere = Sphere(centre=[0, 0, 5], radius=1.0)
+        t = sphere.intersect([0, 0, 0], [0, 0, 1])
+        assert t == pytest.approx(4.0)
+
+    def test_intersect_offset_matches_formula(self):
+        sphere = Sphere(centre=[0.6, 0, 5], radius=1.0)
+        t = sphere.intersect([0, 0, 4], [0, 0, 1])
+        expected = 1.0 - np.sqrt(1.0 - 0.6**2)
+        assert t == pytest.approx(expected)
+
+    def test_miss_returns_none(self):
+        sphere = Sphere(centre=[5, 5, 5], radius=0.5)
+        assert sphere.intersect([0, 0, 0], [0, 0, 1]) is None
+
+    def test_t_max_clips_hit(self):
+        sphere = Sphere(centre=[0, 0, 5], radius=1.0)
+        assert sphere.intersect([0, 0, 0], [0, 0, 1], t_max=3.0) is None
+        assert sphere.intersect([0, 0, 0], [0, 0, 1], t_max=4.5) is not None
+
+    def test_aabb_encloses_sphere(self):
+        sphere = Sphere(centre=[1, 2, 3], radius=0.5)
+        box = sphere.aabb()
+        np.testing.assert_allclose(box.minimum, [0.5, 1.5, 2.5])
+        np.testing.assert_allclose(box.maximum, [1.5, 2.5, 3.5])
+
+    def test_invalid_radius_raises(self):
+        with pytest.raises(ValueError):
+            Sphere(centre=[0, 0, 0], radius=0.0)
+
+    def test_payload_preserved(self):
+        sphere = Sphere(centre=[0, 0, 0.5], radius=0.1, payload={"entry_id": 7})
+        assert sphere.payload["entry_id"] == 7
+
+
+class TestRay:
+    def test_at(self):
+        ray = Ray(origin=[1, 0, 0], direction=[0, 0, 1])
+        np.testing.assert_allclose(ray.at(2.5), [1, 0, 2.5])
+
+    def test_invalid_direction_raises(self):
+        with pytest.raises(ValueError):
+            Ray(origin=[0, 0, 0], direction=[0, 0, 0])
+
+    def test_negative_t_max_raises(self):
+        with pytest.raises(ValueError):
+            Ray(origin=[0, 0, 0], direction=[0, 0, 1], t_max=-1.0)
