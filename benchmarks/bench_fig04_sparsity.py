@@ -6,8 +6,6 @@ reports mean usage below ~30%; the assertion here is the weaker (and
 scale-adjusted) claim that usage is clearly sparse on average.
 """
 
-import numpy as np
-
 from repro.analysis.sparsity import entry_usage_ratio_stats
 from repro.bench.report import emit, format_table
 
@@ -70,7 +68,7 @@ def test_fig03b_single_query_heatmap_is_concentrated(deep_workload, benchmark):
     counts, used_fraction = benchmark.pedantic(_measure, rounds=1, iterations=1)
     emit()
     emit(
-        f"Fig 3(b): single query heatmap -- per-subspace used-entry fraction: "
+        "Fig 3(b): single query heatmap -- per-subspace used-entry fraction: "
         f"mean={used_fraction.mean():.3f}, min={used_fraction.min():.3f}, max={used_fraction.max():.3f}"
     )
     assert counts.sum(axis=1).max() == 100

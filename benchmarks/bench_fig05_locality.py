@@ -6,8 +6,6 @@ the paper observes ~90% coverage from roughly the closest half of the
 entries.
 """
 
-import numpy as np
-
 from repro.analysis.locality import coverage_cdf
 from repro.bench.report import emit, format_table
 

@@ -6,8 +6,6 @@ performed; the hit-count study traces real rays and compares the plain and
 reward/penalty scores against exact distances.
 """
 
-import numpy as np
-
 from repro.bench.report import emit, format_table
 from repro.core.hit_count import hit_count_correlation
 from repro.gpu.pipeline import PipelineModel

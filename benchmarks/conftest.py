@@ -9,6 +9,7 @@ Fixtures are session-scoped: the offline training cost is paid once.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import pytest
@@ -17,6 +18,17 @@ from repro.baselines.ivfpq import IVFPQIndex
 from repro.core.index import JunoIndex
 from repro.datasets.synthetic import Dataset, make_deep_like, make_sift_like, make_tti_like
 from repro.gpu.cost_model import CostModel
+
+
+def _scale(num_points: int, minimum: int = 1_000) -> int:
+    """Apply the ``REPRO_BENCH_SCALE`` factor to a corpus size.
+
+    CI smoke jobs set ``REPRO_BENCH_SCALE`` (e.g. ``0.25``) to shrink every
+    benchmark workload: import/API drift is still caught, but the run stays
+    fast.  Local full-scale runs leave the variable unset.
+    """
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(int(num_points * factor), minimum)
 
 
 @dataclass
@@ -64,7 +76,7 @@ def _build_workload(dataset: Dataset, num_clusters: int, num_entries: int) -> Be
 def deep_workload() -> BenchWorkload:
     """DEEP1M surrogate (96-d, L2)."""
     return _build_workload(
-        make_deep_like(num_points=8_000, num_queries=64, seed=21),
+        make_deep_like(num_points=_scale(8_000), num_queries=64, seed=21),
         num_clusters=64,
         num_entries=128,
     )
@@ -74,7 +86,7 @@ def deep_workload() -> BenchWorkload:
 def sift_workload() -> BenchWorkload:
     """SIFT1M surrogate (128-d, L2)."""
     return _build_workload(
-        make_sift_like(num_points=8_000, num_queries=64, seed=22),
+        make_sift_like(num_points=_scale(8_000), num_queries=64, seed=22),
         num_clusters=64,
         num_entries=128,
     )
@@ -84,7 +96,7 @@ def sift_workload() -> BenchWorkload:
 def tti_workload() -> BenchWorkload:
     """TTI1M surrogate (200-d, inner product / MIPS)."""
     return _build_workload(
-        make_tti_like(num_points=4_000, num_queries=48, seed=23),
+        make_tti_like(num_points=_scale(4_000), num_queries=48, seed=23),
         num_clusters=48,
         num_entries=96,
     )

@@ -1,9 +1,18 @@
-"""Setup shim for environments without the `wheel` package.
+"""Setup shim for environments without PEP 660 editable-install support.
 
-``pip install -e .`` uses the pyproject.toml metadata; this file only exists
-so that ``python setup.py develop`` works on minimal offline environments
-where PEP 660 editable installs are unavailable.
+``pip install -e .`` (and CI) uses the ``pyproject.toml`` metadata; this file
+duplicates the essentials -- the ``src/`` package layout and the NumPy runtime
+dependency -- so that ``python setup.py develop`` also works on minimal
+offline environments where build isolation is unavailable.
 """
-from setuptools import setup
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-juno",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.22"],
+    python_requires=">=3.10",
+)

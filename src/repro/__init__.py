@@ -31,6 +31,14 @@ from repro.datasets import (
 )
 from repro.gpu import CostModel, GPUDevice, PipelineModel, SearchWork, get_device
 from repro.metrics import Metric, recall_1_at_100, recall_100_at_1000, recall_at
+from repro.serving import (
+    BatchingScheduler,
+    EngineResult,
+    ServingEngine,
+    ShardedJunoIndex,
+    load_index,
+    save_index,
+)
 
 __version__ = "1.0.0"
 
@@ -58,5 +66,11 @@ __all__ = [
     "recall_at",
     "recall_1_at_100",
     "recall_100_at_1000",
+    "BatchingScheduler",
+    "EngineResult",
+    "ServingEngine",
+    "ShardedJunoIndex",
+    "load_index",
+    "save_index",
     "__version__",
 ]

@@ -12,6 +12,8 @@ from repro.core.index import JunoIndex
 from repro.gpu.cost_model import CostModel
 from repro.metrics.qps import ThroughputRecord, pareto_frontier
 from repro.metrics.recall import recall_k_at_n
+from repro.serving.engine import ServingEngine
+from repro.serving.shard import ShardedJunoIndex
 
 
 @dataclass
@@ -22,6 +24,7 @@ class SweepConfig:
         nprobs_values: the coarse-cluster probe counts swept.
         threshold_scales: threshold scaling factors swept (JUNO only).
         quality_modes: JUNO quality modes swept.
+        ef_values: beam widths swept for HNSW backends (engine sweeps only).
         k: neighbours retrieved per query.
         recall_k: ``k`` of the Recall-k@n metric (1 for R1@100).
         recall_n: ``n`` of the Recall-k@n metric (100 for R1@100).
@@ -30,6 +33,7 @@ class SweepConfig:
 
     nprobs_values: tuple[int, ...] = (1, 2, 4, 8, 16)
     threshold_scales: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0)
+    ef_values: tuple[int, ...] = (16, 32, 64)
     quality_modes: tuple[QualityMode, ...] = (
         QualityMode.HIGH,
         QualityMode.MEDIUM,
@@ -95,7 +99,7 @@ def run_baseline_sweep(
 
 
 def run_juno_sweep(
-    index: JunoIndex,
+    index: JunoIndex | ShardedJunoIndex,
     queries: np.ndarray,
     ground_truth: np.ndarray,
     sweep: SweepConfig,
@@ -103,7 +107,14 @@ def run_juno_sweep(
     label: str = "JUNO",
     pipelined: bool | None = None,
 ) -> QPSRecallSweep:
-    """Measure JUNO across nprobs x scale x quality-mode combinations."""
+    """Measure JUNO across nprobs x scale x quality-mode combinations.
+
+    ``index`` may be a single :class:`JunoIndex` or a
+    :class:`~repro.serving.shard.ShardedJunoIndex`: the sharded router
+    exposes the same search signature, returns global ids and aggregates
+    shard work into one :class:`~repro.gpu.work.SearchWork`, so sweeps run
+    against a sharded deployment unchanged (``nprobs`` is then per shard).
+    """
     pipelined = sweep.pipelined if pipelined is None else pipelined
     out = QPSRecallSweep(label=label)
     for mode in sweep.quality_modes:
@@ -135,6 +146,60 @@ def run_juno_sweep(
                         },
                     )
                 )
+    return out
+
+
+def run_engine_sweep(
+    engine: ServingEngine,
+    queries: np.ndarray,
+    ground_truth: np.ndarray,
+    sweep: SweepConfig,
+    cost_model: CostModel,
+    label: str | None = None,
+    pipelined: bool | None = None,
+) -> QPSRecallSweep:
+    """Measure any :class:`ServingEngine` backend over its supported knobs.
+
+    The sweep grid adapts to the backend: JUNO engines sweep the full
+    ``nprobs`` x ``threshold_scale`` x ``quality_mode`` grid, IVFPQ engines
+    sweep ``nprobs`` only, HNSW engines sweep the ``ef`` beam width and
+    knob-free backends (exact search) produce a single record.  Latencies
+    default to the pipelined cost model for JUNO backends and the serial
+    model otherwise, matching how the paper places the systems on one QPS
+    axis.
+    """
+    label = label if label is not None else engine.label
+    if pipelined is None:
+        pipelined = sweep.pipelined and engine.accepts("quality_mode")
+    grids: list[dict] = [{}]
+    if engine.accepts("nprobs"):
+        grids = [{"nprobs": nprobs} for nprobs in sweep.nprobs_values]
+    if engine.accepts("ef"):
+        grids = [{**grid, "ef": ef} for grid in grids for ef in sweep.ef_values]
+    if engine.accepts("quality_mode"):
+        grids = [
+            {**grid, "quality_mode": mode, "threshold_scale": scale}
+            for grid in grids
+            for mode in sweep.quality_modes
+            for scale in sweep.threshold_scales
+        ]
+    out = QPSRecallSweep(label=label)
+    for params in grids:
+        result = engine.search(queries, k=sweep.k, **params)
+        recall = recall_k_at_n(result.ids, ground_truth, sweep.recall_k, sweep.recall_n)
+        latency = cost_model.latency(result.work, pipelined=pipelined)
+        extra = {key: getattr(value, "value", value) for key, value in params.items()}
+        extra["backend"] = engine.backend
+        out.records.append(
+            ThroughputRecord(
+                label=label,
+                recall=recall,
+                qps=result.work.num_queries / latency.total_s,
+                latency_s=latency.total_s,
+                num_queries=result.work.num_queries,
+                extra=extra,
+            )
+        )
     return out
 
 

@@ -39,6 +39,16 @@ class QualityMode(str, enum.Enum):
         """Whether the reward/penalty inner sphere is used (JUNO-M only)."""
         return self is QualityMode.MEDIUM
 
+    def higher_is_better(self, metric: Metric) -> bool:
+        """Sort direction of the scores this mode produces under ``metric``.
+
+        Hit-count scores (JUNO-L/M) and inner products rank descending;
+        JUNO-H L2 distances rank ascending.  Shared by the in-process top-k
+        selection and the shard merge in :mod:`repro.serving.shard`, which
+        must agree on the direction for merged results to be correct.
+        """
+        return (not self.uses_exact_distance) or (Metric(metric) is Metric.INNER_PRODUCT)
+
 
 class ThresholdStrategy(str, enum.Enum):
     """How the per-query distance threshold is chosen (Fig. 13(b))."""

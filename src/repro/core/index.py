@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import JunoConfig, QualityMode, ThresholdStrategy
+from repro.core.config import JunoConfig, QualityMode
 from repro.core.density import DensityMap
 from repro.core.hit_count import HitCountScorer
 from repro.core.inner_product import (
@@ -236,6 +236,19 @@ class JunoIndex:
             self.sphere_radius = float(
                 np.sqrt(max(needed, 1.0)) * config.sphere_radius_margin
             )
+        self.rebuild_scene()
+
+    def rebuild_scene(self) -> None:
+        """(Re)create the traversable scene and tracer from trained state.
+
+        The scene is a pure function of the PQ codebooks and the constant
+        sphere radius, so it is deterministic to rebuild; this is how
+        :mod:`repro.serving.persistence` restores a reloaded index without
+        re-running any training.
+        """
+        config = self.config
+        if self.pq is None or not self.pq.is_trained:
+            raise RuntimeError("rebuild_scene requires trained PQ codebooks")
         self.scene = TraversableScene(leaf_size=config.leaf_size)
         offsets = np.empty(config.num_subspaces, dtype=np.float64)
         for s in range(config.num_subspaces):
@@ -396,7 +409,7 @@ class JunoIndex:
             use_inner_sphere=mode.uses_inner_sphere,
             miss_penalty=self.config.hit_count_penalty,
         )
-        higher_is_better = (not mode.uses_exact_distance) or (self.metric is Metric.INNER_PRODUCT)
+        higher_is_better = mode.higher_is_better(self.metric)
         fill_value = -np.inf if higher_is_better else np.inf
 
         all_ids = np.full((num_queries, k), -1, dtype=np.int64)

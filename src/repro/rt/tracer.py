@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rt.primitives import HitRecord, Ray
-from repro.rt.scene import SceneLayer, TraversableScene
+from repro.rt.scene import TraversableScene
 
 
 @dataclass

@@ -1,0 +1,44 @@
+"""Serving layer: persistence, sharding, batching and the engine facade.
+
+The paper (Sec. 5) describes a single-process index; this package turns it
+into a deployable serving substrate.  Trained indexes are persisted once and
+loaded by any number of serving processes (:mod:`repro.serving.persistence`),
+large corpora are partitioned across independently trained shards whose
+results are k-way merged back into a global top-k
+(:mod:`repro.serving.shard`), online single-query traffic is batched to keep
+the RT/Tensor pipeline busy (:mod:`repro.serving.scheduler`), and every index
+family in the repository is served through one uniform interface
+(:mod:`repro.serving.engine`).
+"""
+
+from repro.serving.engine import EngineResult, ServingEngine
+from repro.serving.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    load_index,
+    save_index,
+    search_results_equal,
+)
+from repro.serving.scheduler import (
+    BatchingScheduler,
+    BatchRecord,
+    QueryTicket,
+    SchedulerStats,
+)
+from repro.serving.shard import ShardedJunoIndex, merge_shard_results
+
+__all__ = [
+    "BatchRecord",
+    "BatchingScheduler",
+    "EngineResult",
+    "FORMAT_VERSION",
+    "PersistenceError",
+    "QueryTicket",
+    "SchedulerStats",
+    "ServingEngine",
+    "ShardedJunoIndex",
+    "load_index",
+    "merge_shard_results",
+    "save_index",
+    "search_results_equal",
+]

@@ -1,0 +1,193 @@
+"""A uniform serving facade over every index family in the repository.
+
+The paper compares JUNO against brute-force, FAISS-style IVFPQ and
+HNSW-accelerated baselines (Sec. 6.1); each has grown its own search
+signature and result type.  :class:`ServingEngine` normalises them behind
+one interface so the serving stack -- the batching scheduler, the benchmark
+harness, an RPC layer someday -- is written once:
+
+* every backend returns an :class:`EngineResult` with ``(Q, k)`` ids padded
+  with ``-1``, aligned scores and a :class:`~repro.gpu.work.SearchWork`
+  record for the GPU cost model;
+* backend-specific knobs (``nprobs``, ``quality_mode``, ``threshold_scale``,
+  ``ef``) are declared per adapter, and passing a knob the backend does not
+  understand raises instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.exact import ExactSearch
+from repro.baselines.hnsw import HNSWIndex
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.core.index import JunoIndex
+from repro.gpu.cost_model import CostModel
+from repro.gpu.work import SearchWork
+from repro.serving.scheduler import BatchingScheduler
+from repro.serving.shard import ShardedJunoIndex
+
+
+@dataclass
+class EngineResult:
+    """Backend-independent search output.
+
+    Attributes:
+        ids: ``(Q, k)`` neighbour ids, best-first, padded with ``-1``.
+        scores: ``(Q, k)`` scores aligned with ``ids``.
+        work: operation counters for the batch (feeds the cost model).
+        backend: name of the backend that produced the result.
+        extra: backend-specific diagnostics (quality mode, sparsity, ...).
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    work: SearchWork
+    backend: str
+    extra: dict = field(default_factory=dict)
+
+
+_JUNO_PARAMS = frozenset({"nprobs", "quality_mode", "threshold_scale"})
+_IVFPQ_PARAMS = frozenset({"nprobs"})
+_HNSW_PARAMS = frozenset({"ef"})
+_EXACT_PARAMS: frozenset = frozenset()
+
+
+def _search_juno(index, queries: np.ndarray, k: int, params: dict) -> EngineResult:
+    result = index.search(queries, k, **params)
+    extra = dict(result.extra)
+    extra["quality_mode"] = result.quality_mode.value
+    extra["threshold_scale"] = result.threshold_scale
+    extra["selected_entry_fraction"] = result.selected_entry_fraction
+    return EngineResult(
+        ids=result.ids,
+        scores=result.scores,
+        work=result.work,
+        backend="juno",
+        extra=extra,
+    )
+
+
+def _search_ivfpq(index: IVFPQIndex, queries: np.ndarray, k: int, params: dict) -> EngineResult:
+    result = index.search(queries, k, **params)
+    return EngineResult(
+        ids=result.ids,
+        scores=result.scores,
+        work=result.work,
+        backend="ivfpq",
+        extra={},
+    )
+
+
+def _search_exact(index: ExactSearch, queries: np.ndarray, k: int, params: dict) -> EngineResult:
+    ids, scores, work = index.search(queries, k)
+    return EngineResult(ids=ids, scores=scores, work=work, backend="exact", extra={})
+
+
+def _search_hnsw(index: HNSWIndex, queries: np.ndarray, k: int, params: dict) -> EngineResult:
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    index.reset_counters()
+    ids, scores = index.search_batch(queries, k, **params)
+    padded = ids < 0
+    scores = np.where(padded, index.metric.worst_value(), scores)
+    work = SearchWork(
+        num_queries=queries.shape[0],
+        filter_flops=2.0 * queries.shape[1] * index.distance_evaluations,
+        sorted_candidates=float(index.distance_evaluations),
+    )
+    return EngineResult(ids=ids, scores=scores, work=work, backend="hnsw", extra={})
+
+
+_ADAPTERS = (
+    (ShardedJunoIndex, "sharded-juno", _search_juno, _JUNO_PARAMS),
+    (JunoIndex, "juno", _search_juno, _JUNO_PARAMS),
+    (IVFPQIndex, "ivfpq", _search_ivfpq, _IVFPQ_PARAMS),
+    (ExactSearch, "exact", _search_exact, _EXACT_PARAMS),
+    (HNSWIndex, "hnsw", _search_hnsw, _HNSW_PARAMS),
+)
+
+
+class ServingEngine:
+    """One search interface for JUNO, sharded JUNO and all baselines.
+
+    Args:
+        index: a trained index of any supported family
+            (:class:`JunoIndex`, :class:`ShardedJunoIndex`,
+            :class:`IVFPQIndex`, :class:`ExactSearch`, :class:`HNSWIndex`).
+        label: display name; defaults to the backend family name.
+        cost_model: optional :class:`CostModel` enabling
+            :meth:`modelled_qps`.
+    """
+
+    def __init__(self, index, label: str | None = None, cost_model: CostModel | None = None):
+        for index_type, backend, adapter, accepted in _ADAPTERS:
+            if isinstance(index, index_type):
+                self.index = index
+                self.backend = backend
+                self._adapter = adapter
+                self._accepted = accepted
+                break
+        else:
+            raise TypeError(f"no serving adapter for index type {type(index).__name__}")
+        self.label = label if label is not None else self.backend
+        self.cost_model = cost_model
+
+    def accepts(self, param: str) -> bool:
+        """Whether this backend understands the given search parameter."""
+        return param in self._accepted
+
+    def search(self, queries: np.ndarray, k: int, **params) -> EngineResult:
+        """Batched search through the backend adapter.
+
+        Args:
+            queries: ``(Q, D)`` query batch.
+            k: neighbours per query.
+            **params: backend knobs; must all be accepted by the backend
+                (see :meth:`accepts`), otherwise a :class:`ValueError` is
+                raised.
+
+        Returns:
+            An :class:`EngineResult` with ``-1``-padded global ids.
+        """
+        self._validate_params(params)
+        result = self._adapter(self.index, queries, k, params)
+        result.backend = self.backend
+        result.extra.setdefault("label", self.label)
+        return result
+
+    def _validate_params(self, params: dict) -> None:
+        unsupported = sorted(set(params) - self._accepted)
+        if unsupported:
+            raise ValueError(f"backend {self.backend!r} does not accept parameters {unsupported}")
+
+    def make_scheduler(self, k: int = 10, **scheduler_params) -> BatchingScheduler:
+        """A :class:`BatchingScheduler` that feeds batches into this engine.
+
+        Keyword arguments accepted by the scheduler (``max_batch_size``,
+        ``max_wait_s``, ``clock``) are passed through; everything else is
+        treated as a search parameter and validated against the backend.
+        """
+        scheduler_keys = ("max_batch_size", "max_wait_s", "clock")
+        scheduler_kwargs = {}
+        search_params = {}
+        for key, value in scheduler_params.items():
+            if key in scheduler_keys:
+                scheduler_kwargs[key] = value
+            else:
+                search_params[key] = value
+        self._validate_params(search_params)
+        return BatchingScheduler(self, k=k, **scheduler_kwargs, **search_params)
+
+    def modelled_qps(self, result: EngineResult, pipelined: bool | None = None) -> float:
+        """Modelled throughput of a result under the engine's cost model.
+
+        ``pipelined`` defaults to ``True`` for the JUNO backends (the
+        RT/Tensor pipeline of Sec. 5.3) and ``False`` for the baselines.
+        """
+        if self.cost_model is None:
+            raise RuntimeError("ServingEngine was constructed without a cost model")
+        if pipelined is None:
+            pipelined = self.backend in ("juno", "sharded-juno")
+        return self.cost_model.qps(result.work, pipelined=pipelined)

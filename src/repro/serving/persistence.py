@@ -1,0 +1,265 @@
+"""Save/load of trained :class:`~repro.core.index.JunoIndex` instances.
+
+The offline phase (Alg. 1 of the paper) is by far the most expensive part of
+the system: coarse IVF k-means, one k-means per PQ subspace, density-map
+fitting and threshold regression.  A serving process should never pay that
+cost at startup, so this module persists every trained artefact to a
+directory bundle:
+
+* ``manifest.json`` -- format version, the full :class:`JunoConfig`, scalar
+  trained state (corpus size, sphere radius, threshold-range statistics).
+* ``arrays.npz`` -- IVF centroids and labels, PQ codes, one codebook entry
+  matrix per subspace, the density maps and the threshold-regressor
+  coefficients.
+
+Everything else (posting lists, the subspace-level inverted indices, the
+traversable RT scene, ray origin offsets) is a deterministic function of the
+persisted arrays and is rebuilt on load, which keeps the bundle small and
+guarantees that a reloaded index reproduces bit-identical search results.
+
+The same layout is reused per shard by :mod:`repro.serving.shard`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import JunoConfig
+from repro.core.density import DensityMap
+from repro.core.index import JunoIndex
+from repro.core.subspace_index import SubspaceInvertedIndex
+from repro.core.threshold import ThresholdModel
+from repro.quantization.codebook import SubspaceCodebook
+from repro.quantization.product_quantizer import ProductQuantizer
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+_INDEX_KIND = "juno-index"
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a bundle is missing, corrupt or fails validation."""
+
+
+def save_index(
+    index: JunoIndex,
+    path: str | Path,
+    validate_queries: np.ndarray | None = None,
+    validate_k: int = 10,
+    validate_nprobs: int = 8,
+) -> Path:
+    """Persist a trained index as a ``manifest.json`` + ``arrays.npz`` bundle.
+
+    Args:
+        index: a trained :class:`JunoIndex`.
+        path: bundle directory; created (including parents) if missing.
+        validate_queries: optional ``(Q, D)`` query batch.  When given, the
+            bundle is immediately reloaded and searched with these queries,
+            and a :class:`PersistenceError` is raised unless the reloaded
+            index reproduces the original results exactly (round-trip
+            validation).
+        validate_k: ``k`` used for round-trip validation searches.
+        validate_nprobs: ``nprobs`` used for round-trip validation searches.
+
+    Returns:
+        The bundle directory as a :class:`~pathlib.Path`.
+    """
+    if not index.is_trained:
+        raise PersistenceError("cannot save an untrained JunoIndex")
+    path = Path(path)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError) as exc:
+        raise PersistenceError(f"bundle path {path} is not a directory: {exc}") from exc
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": _INDEX_KIND,
+        "config": asdict(index.config),
+        "dim": int(index.dim),
+        "num_points": int(index.num_points),
+        "num_clusters": int(index.ivf.num_clusters),
+        "sphere_radius": float(index.sphere_radius),
+        "threshold_min": float(index.threshold_model.min_threshold_),
+        "threshold_max": float(index.threshold_model.max_threshold_),
+        "density_grid": int(index.density_map.grid),
+    }
+    arrays = {
+        "ivf_centroids": index.ivf.centroids,
+        "ivf_labels": index.ivf.labels,
+        "codes": index.codes,
+        "density_mins": index.density_map.mins_,
+        "density_maxs": index.density_map.maxs_,
+        "density_densities": index.density_map.densities_,
+        "threshold_coefficients": index.threshold_model.coefficients_,
+    }
+    for s, codebook in enumerate(index.pq.codebooks):
+        arrays[f"codebook_{s}"] = codebook.entries
+
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    np.savez_compressed(path / ARRAYS_NAME, **arrays)
+
+    if validate_queries is not None:
+        reloaded = load_index(path)
+        expected = index.search(validate_queries, k=validate_k, nprobs=validate_nprobs)
+        observed = reloaded.search(validate_queries, k=validate_k, nprobs=validate_nprobs)
+        if not search_results_equal(expected, observed):
+            # Remove the bundle files: a bundle that failed validation must
+            # not be left behind where a serving process could load it.
+            (path / MANIFEST_NAME).unlink(missing_ok=True)
+            (path / ARRAYS_NAME).unlink(missing_ok=True)
+            msg = (
+                f"round-trip validation failed: the bundle at {path} does not "
+                "reproduce the original search results (bundle removed)"
+            )
+            raise PersistenceError(msg)
+    return path
+
+
+def read_manifest(path: str | Path, expected_kind: str) -> dict:
+    """Load a bundle manifest and validate its format version and kind.
+
+    Shared by :func:`load_index` and the sharded router's loader so the
+    version/kind policy lives in exactly one place.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise PersistenceError(f"no index bundle at {path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt manifest in {path}: {exc}") from exc
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported bundle format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    if manifest.get("kind") != expected_kind:
+        raise PersistenceError(f"bundle at {path} is not a {expected_kind} bundle")
+    return manifest
+
+
+def load_index(path: str | Path) -> JunoIndex:
+    """Restore a trained :class:`JunoIndex` from a bundle written by :func:`save_index`.
+
+    The reloaded index is immediately searchable; no training runs.  Raises
+    :class:`PersistenceError` when the bundle is missing, has an unsupported
+    format version or is internally inconsistent.
+    """
+    path = Path(path)
+    manifest = read_manifest(path, _INDEX_KIND)
+    arrays_path = path / ARRAYS_NAME
+    if not arrays_path.is_file():
+        raise PersistenceError(f"no index bundle at {path}")
+
+    config = JunoConfig(**manifest["config"])
+    index = JunoIndex(config)
+    index.dim = int(manifest["dim"])
+    index.num_points = int(manifest["num_points"])
+
+    try:
+        with np.load(arrays_path) as arrays:
+            centroids = arrays["ivf_centroids"]
+            labels = arrays["ivf_labels"]
+            codes = arrays["codes"]
+            codebooks = [
+                SubspaceCodebook(arrays[f"codebook_{s}"], subspace_id=s)
+                for s in range(config.num_subspaces)
+            ]
+            density_mins = arrays["density_mins"]
+            density_maxs = arrays["density_maxs"]
+            densities = arrays["density_densities"]
+            coefficients = arrays["threshold_coefficients"]
+    except PersistenceError:
+        raise
+    except Exception as exc:
+        raise PersistenceError(f"corrupt array bundle in {path}: {exc}") from exc
+
+    _check_consistency(index, manifest, centroids, labels, codes, densities)
+
+    # IVF: posting lists are a deterministic function of the labels.
+    index.ivf.centroids = centroids
+    index.ivf.labels = labels
+    index.ivf.num_clusters = int(centroids.shape[0])
+    index.ivf.posting_lists = [
+        np.flatnonzero(labels == cluster_id).astype(np.int64)
+        for cluster_id in range(index.ivf.num_clusters)
+    ]
+
+    # PQ codebooks and the per-point codes.
+    pq = ProductQuantizer(
+        dim=index.dim,
+        num_subspaces=config.num_subspaces,
+        num_entries=config.num_entries,
+        seed=config.seed,
+        kmeans_iters=config.kmeans_iters,
+    )
+    pq.codebooks = codebooks
+    index.pq = pq
+    index.codes = codes
+
+    # Subspace-level inverted indices (rebuilt, not stored).
+    index.subspace_index = SubspaceInvertedIndex(config.num_entries).build(
+        index.ivf.posting_lists, codes
+    )
+
+    # Density maps and the threshold regressor.
+    density_map = DensityMap(grid=int(manifest["density_grid"]))
+    density_map.mins_ = density_mins
+    density_map.maxs_ = density_maxs
+    density_map.densities_ = densities
+    index.density_map = density_map
+
+    threshold_model = ThresholdModel(
+        density_map,
+        degree=config.regression_degree,
+        strategy=config.threshold_strategy,
+    )
+    threshold_model.coefficients_ = coefficients
+    threshold_model.min_threshold_ = float(manifest["threshold_min"])
+    threshold_model.max_threshold_ = float(manifest["threshold_max"])
+    index.threshold_model = threshold_model
+
+    # The RT scene is deterministic given codebooks + radius; rebuild it.
+    index.sphere_radius = float(manifest["sphere_radius"])
+    index.rebuild_scene()
+    return index
+
+
+def search_results_equal(a, b) -> bool:
+    """Whether two search results are identical (ids and scores).
+
+    Scores are compared with ``equal_nan`` semantics and exact equality:
+    a reloaded index runs the very same float64 operations on the very same
+    arrays, so any deviation indicates persistence corruption rather than
+    floating-point noise.
+    """
+    ids_equal = np.array_equal(a.ids, b.ids)
+    scores_equal = np.array_equal(a.scores, b.scores, equal_nan=True)
+    return bool(ids_equal and scores_equal)
+
+
+def _check_consistency(index, manifest, centroids, labels, codes, densities) -> None:
+    config = index.config
+    problems = []
+    if centroids.ndim != 2 or centroids.shape[1] != index.dim:
+        problems.append(f"centroid matrix has shape {centroids.shape}, expected (*, {index.dim})")
+    if labels.shape[0] != index.num_points:
+        problems.append(f"{labels.shape[0]} labels for {index.num_points} points")
+    if codes.shape != (index.num_points, config.num_subspaces):
+        expected_shape = (index.num_points, config.num_subspaces)
+        problems.append(f"code matrix has shape {codes.shape}, expected {expected_shape}")
+    if densities.shape[0] != config.num_subspaces:
+        problems.append(f"{densities.shape[0]} density maps for {config.num_subspaces} subspaces")
+    if index.dim != config.required_dim():
+        problems.append(
+            f"manifest dim {index.dim} does not match config dim {config.required_dim()}"
+        )
+    if problems:
+        raise PersistenceError("inconsistent bundle: " + "; ".join(problems))

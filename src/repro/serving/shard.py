@@ -1,0 +1,341 @@
+"""Sharded JUNO serving: partition the corpus, fan out, k-way merge.
+
+A production corpus does not fit one index: real ANN deployments decompose
+the database into shards that are trained, persisted and served
+independently, and a thin routing layer fans each query batch out and merges
+the per-shard top-k lists (the FAISS "decomposed IVF" recipe).  This module
+applies that decomposition to :class:`~repro.core.index.JunoIndex`:
+
+* every shard is a complete, independently trained JUNO index over a subset
+  of the corpus (its own IVF clustering, PQ codebooks, density maps,
+  threshold regressor and RT scene);
+* shard-local neighbour ids are remapped to global corpus ids before
+  merging, so callers never observe shard-local ids;
+* the per-shard :class:`~repro.core.index.JunoSearchResult` records are
+  k-way merged into a single global top-k with aggregated
+  :class:`~repro.gpu.work.SearchWork` counters.
+
+Fan-out uses a :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy
+releases the GIL in the hot kernels) with a sequential fallback for
+``num_workers <= 1``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import JunoConfig, QualityMode
+from repro.core.index import JunoIndex, JunoSearchResult
+from repro.gpu.work import SearchWork
+from repro.metrics.distances import Metric
+from repro.serving.persistence import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    PersistenceError,
+    load_index,
+    read_manifest,
+    save_index,
+)
+
+_SHARDED_KIND = "sharded-juno-index"
+_ASSIGNMENTS = ("round_robin", "contiguous")
+
+
+def merge_shard_results(
+    results: Sequence[JunoSearchResult],
+    global_ids: Sequence[np.ndarray],
+    k: int,
+    metric: Metric,
+) -> JunoSearchResult:
+    """Merge per-shard search results into one global top-k result.
+
+    Args:
+        results: one :class:`JunoSearchResult` per shard, all produced from
+            the same query batch with the same quality mode.  Rows may be
+            padded with ``-1`` ids (shards whose probed clusters yielded
+            fewer than ``k`` candidates).
+        global_ids: per shard, the ``(n_shard,)`` array mapping shard-local
+            point ids to global corpus ids.
+        k: neighbours to keep per query after the merge.
+        metric: metric the results were ranked under (decides direction).
+
+    Returns:
+        A :class:`JunoSearchResult` with global ids, merged scores, summed
+        work counters (``num_queries`` stays the batch size, not the batch
+        size times the shard count) and a ray-weighted average of the
+        per-shard selected-entry fractions.
+    """
+    if not results:
+        raise ValueError("merge_shard_results needs at least one shard result")
+    if len(results) != len(global_ids):
+        raise ValueError("results and global_ids must have one entry per shard")
+    num_queries = results[0].ids.shape[0]
+    mode = results[0].quality_mode
+    for result in results[1:]:
+        if result.ids.shape[0] != num_queries:
+            raise ValueError("shard results disagree on the query batch size")
+        if result.quality_mode is not mode:
+            raise ValueError("shard results were produced with different quality modes")
+    higher_is_better = mode.higher_is_better(metric)
+    worst = -np.inf if higher_is_better else np.inf
+
+    remapped: list[np.ndarray] = []
+    masked_scores: list[np.ndarray] = []
+    for result, mapping in zip(results, global_ids):
+        mapping = np.asarray(mapping, dtype=np.int64)
+        padded = result.ids < 0
+        ids = mapping[np.where(padded, 0, result.ids)]
+        ids[padded] = -1
+        remapped.append(ids)
+        masked_scores.append(np.where(padded, worst, result.scores))
+
+    cat_ids = np.concatenate(remapped, axis=1)
+    cat_scores = np.concatenate(masked_scores, axis=1)
+    sort_keys = -cat_scores if higher_is_better else cat_scores
+    order = np.argsort(sort_keys, axis=1, kind="stable")[:, :k]
+    merged_ids = np.take_along_axis(cat_ids, order, axis=1)
+    merged_scores = np.take_along_axis(cat_scores, order, axis=1)
+    merged_scores[merged_ids < 0] = worst
+
+    work = SearchWork(num_queries=0, lut_pairwise_dims=results[0].work.lut_pairwise_dims)
+    for result in results:
+        work.merge(result.work)
+    work.num_queries = num_queries
+
+    rays = np.array([max(result.work.rt_rays, 0.0) for result in results])
+    fractions = np.array([result.selected_entry_fraction for result in results])
+    if rays.sum() > 0:
+        selected_fraction = float(np.average(fractions, weights=rays))
+    else:
+        selected_fraction = float(fractions.mean())
+
+    extra = {
+        "num_candidates": float(sum(r.extra.get("num_candidates", 0.0) for r in results)),
+        "rt_hits": float(sum(r.extra.get("rt_hits", 0.0) for r in results)),
+        "per_shard_candidates": [float(r.extra.get("num_candidates", 0.0)) for r in results],
+    }
+    return JunoSearchResult(
+        ids=merged_ids,
+        scores=merged_scores,
+        work=work,
+        quality_mode=mode,
+        threshold_scale=results[0].threshold_scale,
+        selected_entry_fraction=selected_fraction,
+        extra=extra,
+    )
+
+
+class ShardedJunoIndex:
+    """JUNO behind a shard router: N independent indexes, one result.
+
+    The search interface mirrors :class:`JunoIndex` (same arguments, same
+    :class:`JunoSearchResult` with *global* neighbour ids), so everything
+    built on top of the single-process index -- the benchmark harness, the
+    serving engine, recall metrics -- works unchanged against a sharded
+    deployment.
+
+    Args:
+        config: per-shard :class:`JunoConfig`.  Each shard trains its own
+            clustering over its partition, so ``num_clusters`` is a
+            *per-shard* budget.  For recall parity with an unsharded index
+            keep the same ``num_clusters`` per shard: partitions are
+            ``num_shards`` times smaller, so clusters get finer, residuals
+            stay small and the PQ approximation quality matches the single
+            index.  Scaling ``num_clusters`` down by ``num_shards`` instead
+            equalises the probed corpus fraction (throughput parity) but
+            coarsens the residual quantisation and costs recall.
+        num_shards: number of partitions.
+        assignment: ``"round_robin"`` (default) deals points
+            ``global_id % num_shards``, giving every shard an unbiased
+            sample of the corpus; ``"contiguous"`` splits the id range into
+            blocks, which preserves any locality of the insertion order.
+        num_workers: threads used to fan a query batch out; ``1`` searches
+            shards sequentially.  Defaults to one thread per shard.
+    """
+
+    def __init__(
+        self,
+        config: JunoConfig,
+        num_shards: int,
+        assignment: str = "round_robin",
+        num_workers: int | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if assignment not in _ASSIGNMENTS:
+            raise ValueError(f"assignment must be one of {_ASSIGNMENTS}")
+        self.config = config
+        self.metric = config.metric
+        self.num_shards = int(num_shards)
+        self.assignment = assignment
+        self.num_workers = int(num_workers) if num_workers is not None else self.num_shards
+        self.shards: list[JunoIndex] = []
+        self.shard_global_ids: list[np.ndarray] = []
+        self.dim: int | None = None
+        self.num_points: int = 0
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers: int = 0
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def from_dim(cls, dim: int, num_shards: int, **config_overrides) -> "ShardedJunoIndex":
+        """Build a sharded index for ``dim``-dimensional vectors (``M = 2``)."""
+        if dim % 2 != 0:
+            raise ValueError("the RT-core mapping requires an even dimensionality")
+        assignment = config_overrides.pop("assignment", "round_robin")
+        num_workers = config_overrides.pop("num_workers", None)
+        config_overrides.setdefault("num_subspaces", dim // 2)
+        return cls(
+            JunoConfig(**config_overrides),
+            num_shards=num_shards,
+            assignment=assignment,
+            num_workers=num_workers,
+        )
+
+    # ----------------------------------------------------------------- train
+    @property
+    def is_trained(self) -> bool:
+        """Whether every shard finished its offline phase."""
+        return bool(self.shards) and all(shard.is_trained for shard in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Number of points per shard (balance diagnostics)."""
+        return [int(ids.shape[0]) for ids in self.shard_global_ids]
+
+    def _assign(self, num_points: int) -> np.ndarray:
+        ids = np.arange(num_points, dtype=np.int64)
+        if self.assignment == "round_robin":
+            return ids % self.num_shards
+        return (ids * self.num_shards) // max(num_points, 1)
+
+    def train(self, points: np.ndarray) -> "ShardedJunoIndex":
+        """Partition the corpus and train one full JUNO index per shard."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.dim = points.shape[1]
+        self.num_points = points.shape[0]
+        if self.num_points < self.num_shards:
+            raise ValueError(
+                f"cannot split {self.num_points} points across {self.num_shards} shards"
+            )
+        assignments = self._assign(self.num_points)
+        self.shards = []
+        self.shard_global_ids = []
+        for shard_id in range(self.num_shards):
+            global_ids = np.flatnonzero(assignments == shard_id).astype(np.int64)
+            shard_config = self.config.with_updates(seed=self.config.seed + 101 * shard_id)
+            shard = JunoIndex(shard_config)
+            shard.train(points[global_ids])
+            self.shards.append(shard)
+            self.shard_global_ids.append(global_ids)
+        return self
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobs: int = 8,
+        quality_mode: QualityMode | str | None = None,
+        threshold_scale: float | None = None,
+    ) -> JunoSearchResult:
+        """Fan the batch out to every shard and merge the per-shard top-k.
+
+        Arguments match :meth:`JunoIndex.search`; ``nprobs`` is probed *per
+        shard*.  The returned ids are global corpus ids.
+        """
+        if not self.is_trained:
+            raise RuntimeError("ShardedJunoIndex must be trained before searching")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+
+        def _one(shard: JunoIndex) -> JunoSearchResult:
+            return shard.search(
+                queries,
+                k=k,
+                nprobs=nprobs,
+                quality_mode=quality_mode,
+                threshold_scale=threshold_scale,
+            )
+
+        if self.num_workers > 1 and self.num_shards > 1:
+            results = list(self._executor().map(_one, self.shards))
+        else:
+            results = [_one(shard) for shard in self.shards]
+        return merge_shard_results(results, self.shard_global_ids, k, self.metric)
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """Lazily created, reused fan-out pool (rebuilt if num_workers changes).
+
+        The serving hot path flushes a batch every few milliseconds; reusing
+        one pool avoids per-batch thread creation and teardown.  Rebuilding
+        waits for in-flight work, but reconfiguring ``num_workers`` is not
+        meant to race concurrent ``search`` calls.
+        """
+        workers = min(self.num_workers, self.num_shards)
+        if self._pool is None or self._pool_workers != workers:
+            self.close()
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (searches recreate it on demand).
+
+        Call this when retiring an index to release its worker threads;
+        long sweeps over many sharded configurations otherwise accumulate
+        idle threads for the life of the process.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> Path:
+        """Persist the router manifest plus one index bundle per shard."""
+        if not self.is_trained:
+            raise PersistenceError("cannot save an untrained ShardedJunoIndex")
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "kind": _SHARDED_KIND,
+            "config": asdict(self.config),
+            "num_shards": self.num_shards,
+            "assignment": self.assignment,
+            "dim": int(self.dim),
+            "num_points": int(self.num_points),
+        }
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
+        np.savez_compressed(path / "shard_ids.npz", **id_arrays)
+        for shard_id, shard in enumerate(self.shards):
+            save_index(shard, path / f"shard_{shard_id:03d}")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path, num_workers: int | None = None) -> "ShardedJunoIndex":
+        """Restore a sharded index saved by :meth:`save` without retraining."""
+        path = Path(path)
+        manifest = read_manifest(path, _SHARDED_KIND)
+        sharded = cls(
+            JunoConfig(**manifest["config"]),
+            num_shards=int(manifest["num_shards"]),
+            assignment=manifest["assignment"],
+            num_workers=num_workers,
+        )
+        sharded.dim = int(manifest["dim"])
+        sharded.num_points = int(manifest["num_points"])
+        with np.load(path / "shard_ids.npz") as id_arrays:
+            keys = [f"shard_{s}" for s in range(sharded.num_shards)]
+            sharded.shard_global_ids = [id_arrays[key] for key in keys]
+        sharded.shards = [
+            load_index(path / f"shard_{shard_id:03d}")
+            for shard_id in range(sharded.num_shards)
+        ]
+        return sharded

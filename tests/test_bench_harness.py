@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness and report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import (

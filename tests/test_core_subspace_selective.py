@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.hit_count import HitCountScorer, hit_count_correlation
-from repro.core.selective_lut import SelectiveLUT, SelectiveLUTConstructor
+from repro.core.selective_lut import SelectiveLUTConstructor
 from repro.core.subspace_index import SubspaceInvertedIndex
 from repro.metrics.distances import Metric
 from repro.rt.scene import TraversableScene

@@ -19,6 +19,10 @@ from repro.core.selective_lut import SelectiveLUTConstructor
 from repro.metrics.distances import Metric
 from repro.metrics.recall import recall_at
 
+# End-to-end consistency sweeps are the slowest part of the unit suite; CI
+# pull-request runs deselect them with ``-m "not slow"`` (full suite on main).
+pytestmark = pytest.mark.slow
+
 
 class TestSelectiveValuesMatchDenseLUT:
     def test_l2_values_match_pq_lookup_table(self, juno_l2, l2_dataset):

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the core data structures and kernels."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -12,6 +13,9 @@ from repro.quantization.scalar_quantizer import ScalarQuantizer
 from repro.rt.bvh import BVH
 from repro.rt.primitives import Sphere
 
+# Property-based suites explore many random examples per test; CI pull-request
+# runs deselect them with ``-m "not slow"`` (the full suite runs on main).
+pytestmark = pytest.mark.slow
 
 finite_floats = st.floats(
     min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=64
