@@ -31,6 +31,12 @@ from repro.datasets import (
 )
 from repro.gpu import CostModel, GPUDevice, PipelineModel, SearchWork, get_device
 from repro.metrics import Metric, recall_1_at_100, recall_100_at_1000, recall_at
+from repro.pipeline import (
+    ExactRerankStage,
+    QueryContext,
+    QueryPipeline,
+    default_search_pipeline,
+)
 from repro.serving import (
     BatchingScheduler,
     EngineResult,
@@ -66,6 +72,10 @@ __all__ = [
     "recall_at",
     "recall_1_at_100",
     "recall_100_at_1000",
+    "ExactRerankStage",
+    "QueryContext",
+    "QueryPipeline",
+    "default_search_pipeline",
     "BatchingScheduler",
     "EngineResult",
     "ServingEngine",

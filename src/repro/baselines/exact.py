@@ -2,7 +2,9 @@
 
 Thin wrapper over :class:`repro.ivf.flat.FlatIndex` that also reports the
 work performed, so the cost model can place the exact search on the same QPS
-axis as the approximate methods.
+axis as the approximate methods.  The candidate-restricted scoring kernel
+(:func:`exact_candidate_scores`) is shared with the staged pipeline's
+:class:`~repro.pipeline.stages.ExactRerankStage`.
 """
 
 from __future__ import annotations
@@ -12,6 +14,56 @@ import numpy as np
 from repro.gpu.work import SearchWork
 from repro.ivf.flat import FlatIndex
 from repro.metrics.distances import Metric
+
+
+def exact_candidate_scores(
+    points: np.ndarray,
+    queries: np.ndarray,
+    candidate_ids: np.ndarray,
+    metric: Metric = Metric.L2,
+) -> np.ndarray:
+    """Exact scores of per-query candidate lists against the raw corpus.
+
+    The restricted counterpart of :func:`repro.metrics.distances.pairwise_distance`:
+    instead of the full ``(Q, N)`` matrix, only the ``(Q, W)`` candidate slots
+    are scored.  Same conventions -- squared L2 distances (lower is better)
+    or inner products (higher is better).
+
+    Args:
+        points: ``(N, D)`` corpus in the candidates' id space.
+        queries: ``(Q, D)`` query batch.
+        candidate_ids: ``(Q, W)`` candidate ids per query; ``-1`` marks a
+            padded slot.
+
+    Returns:
+        ``(Q, W)`` scores; padded slots hold ``metric.worst_value()``.
+    """
+    metric = Metric(metric)
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    if queries.shape[1] != points.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have D={queries.shape[1]}, "
+            f"points have D={points.shape[1]}"
+        )
+    if candidate_ids.shape[0] != queries.shape[0]:
+        raise ValueError("candidate_ids must have one row per query")
+    valid = candidate_ids >= 0
+    if candidate_ids.size and candidate_ids[valid].size:
+        upper = int(candidate_ids[valid].max())
+        if upper >= points.shape[0]:
+            raise ValueError(
+                f"candidate id {upper} out of range for a corpus of {points.shape[0]} points"
+            )
+    gathered = points[np.where(valid, candidate_ids, 0)]  # (Q, W, D)
+    if metric is Metric.L2:
+        diff = gathered - queries[:, None, :]
+        scores = np.einsum("qwd,qwd->qw", diff, diff)
+        np.maximum(scores, 0.0, out=scores)
+    else:
+        scores = np.einsum("qd,qwd->qw", queries, gathered)
+    return np.where(valid, scores, metric.worst_value())
 
 
 class ExactSearch:

@@ -1,4 +1,12 @@
-"""Parameter sweeps producing QPS/recall measurements (Fig. 12/13/14)."""
+"""Parameter sweeps producing QPS/recall measurements (Fig. 12/13/14).
+
+JUNO sweeps accept a custom staged
+:class:`~repro.pipeline.pipeline.QueryPipeline` and attach the per-stage
+wall-clock and cost-model breakdowns to every
+:class:`~repro.metrics.qps.ThroughputRecord` (``extra["stage_seconds"]`` /
+``extra["stage_modelled_s"]``), so a sweep shows *where* each configuration
+spends its modelled time, not just the end-to-end number.
+"""
 
 from __future__ import annotations
 
@@ -12,8 +20,26 @@ from repro.core.index import JunoIndex
 from repro.gpu.cost_model import CostModel
 from repro.metrics.qps import ThroughputRecord, pareto_frontier
 from repro.metrics.recall import recall_k_at_n
+from repro.pipeline.pipeline import QueryPipeline
 from repro.serving.engine import ServingEngine
 from repro.serving.shard import ShardedJunoIndex
+
+
+def _stage_extras(result_extra: dict, cost_model: CostModel) -> dict:
+    """Per-stage timing/modelled-latency extras for a throughput record.
+
+    ``stage_seconds`` from a sharded index is summed over shards (aggregate
+    per-shard work time, not elapsed wall-clock under a parallel executor);
+    see :meth:`repro.serving.engine.ServingEngine.stage_seconds`.
+    """
+    extras: dict = {}
+    stage_seconds = result_extra.get("stage_seconds")
+    if stage_seconds:
+        extras["stage_seconds"] = dict(stage_seconds)
+    stage_work = result_extra.get("stage_work")
+    if stage_work:
+        extras["stage_modelled_s"] = cost_model.stage_latencies(stage_work)
+    return extras
 
 
 @dataclass
@@ -106,6 +132,7 @@ def run_juno_sweep(
     cost_model: CostModel,
     label: str = "JUNO",
     pipelined: bool | None = None,
+    pipeline: QueryPipeline | None = None,
 ) -> QPSRecallSweep:
     """Measure JUNO across nprobs x scale x quality-mode combinations.
 
@@ -114,6 +141,9 @@ def run_juno_sweep(
     exposes the same search signature, returns global ids and aggregates
     shard work into one :class:`~repro.gpu.work.SearchWork`, so sweeps run
     against a sharded deployment unchanged (``nprobs`` is then per shard).
+    ``pipeline`` optionally substitutes a custom staged query pipeline for
+    every search in the sweep; per-stage breakdowns land in each record's
+    ``extra``.
     """
     pipelined = sweep.pipelined if pipelined is None else pipelined
     out = QPSRecallSweep(label=label)
@@ -126,11 +156,19 @@ def run_juno_sweep(
                     nprobs=nprobs,
                     quality_mode=mode,
                     threshold_scale=scale,
+                    pipeline=pipeline,
                 )
                 recall = recall_k_at_n(
                     result.ids, ground_truth, sweep.recall_k, sweep.recall_n
                 )
                 latency = cost_model.latency(result.work, pipelined=pipelined)
+                extra = {
+                    "nprobs": nprobs,
+                    "threshold_scale": scale,
+                    "quality_mode": mode.value,
+                    "selected_fraction": result.selected_entry_fraction,
+                }
+                extra.update(_stage_extras(result.extra, cost_model))
                 out.records.append(
                     ThroughputRecord(
                         label=f"{label}-{mode.value}",
@@ -138,12 +176,7 @@ def run_juno_sweep(
                         qps=result.work.num_queries / latency.total_s,
                         latency_s=latency.total_s,
                         num_queries=result.work.num_queries,
-                        extra={
-                            "nprobs": nprobs,
-                            "threshold_scale": scale,
-                            "quality_mode": mode.value,
-                            "selected_fraction": result.selected_entry_fraction,
-                        },
+                        extra=extra,
                     )
                 )
     return out
@@ -157,6 +190,7 @@ def run_engine_sweep(
     cost_model: CostModel,
     label: str | None = None,
     pipelined: bool | None = None,
+    pipeline: QueryPipeline | None = None,
 ) -> QPSRecallSweep:
     """Measure any :class:`ServingEngine` backend over its supported knobs.
 
@@ -166,7 +200,8 @@ def run_engine_sweep(
     knob-free backends (exact search) produce a single record.  Latencies
     default to the pipelined cost model for JUNO backends and the serial
     model otherwise, matching how the paper places the systems on one QPS
-    axis.
+    axis.  ``pipeline`` substitutes a custom staged query pipeline on
+    backends that accept one (raises otherwise, like any unsupported knob).
     """
     label = label if label is not None else engine.label
     if pipelined is None:
@@ -183,13 +218,20 @@ def run_engine_sweep(
             for mode in sweep.quality_modes
             for scale in sweep.threshold_scales
         ]
+    if pipeline is not None:
+        grids = [{**grid, "pipeline": pipeline} for grid in grids]
     out = QPSRecallSweep(label=label)
     for params in grids:
         result = engine.search(queries, k=sweep.k, **params)
         recall = recall_k_at_n(result.ids, ground_truth, sweep.recall_k, sweep.recall_n)
         latency = cost_model.latency(result.work, pipelined=pipelined)
-        extra = {key: getattr(value, "value", value) for key, value in params.items()}
+        extra = {
+            key: getattr(value, "value", value)
+            for key, value in params.items()
+            if key != "pipeline"
+        }
         extra["backend"] = engine.backend
+        extra.update(_stage_extras(result.extra, cost_model))
         out.records.append(
             ThroughputRecord(
                 label=label,

@@ -9,7 +9,11 @@
 * online (:meth:`JunoIndex.search`, Alg. 2): coarse filtering, dynamic
   per-ray thresholds converted to ``t_max``, the selective L2-LUT
   construction on the ray-tracing engine, and the distance-calculation stage
-  that only touches points whose entries were selected.
+  that only touches points whose entries were selected.  The online path is
+  executed as a :class:`~repro.pipeline.pipeline.QueryPipeline` of explicit
+  stages (see :mod:`repro.pipeline`); ``search`` accepts a custom pipeline
+  and the default pipeline reproduces the historical monolithic
+  implementation bit-identically.
 
 The three quality modes map onto the scoring strategy used in the last
 stage: JUNO-H decodes exact distances from hit times, JUNO-M uses the
@@ -19,17 +23,13 @@ reward/penalty hit count and JUNO-L the plain hit count (Sec. 5.4 / 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import JunoConfig, QualityMode
 from repro.core.density import DensityMap
-from repro.core.hit_count import HitCountScorer
-from repro.core.inner_product import (
-    adjusted_radii_for_inner_product,
-    inner_product_threshold_to_tmax,
-)
-from repro.core.selective_lut import SelectiveLUT, SelectiveLUTConstructor
+from repro.core.inner_product import adjusted_radii_for_inner_product
 from repro.core.subspace_index import SubspaceInvertedIndex
 from repro.core.threshold import ThresholdModel, ThresholdTrainingSample
 from repro.datasets.ground_truth import compute_ground_truth
@@ -39,6 +39,9 @@ from repro.metrics.distances import Metric
 from repro.quantization.product_quantizer import ProductQuantizer
 from repro.rt.scene import TraversableScene
 from repro.rt.tracer import RayTracer
+
+if TYPE_CHECKING:  # pragma: no cover - the pipeline package imports core leaves
+    from repro.pipeline.pipeline import QueryPipeline
 
 
 @dataclass
@@ -264,6 +267,17 @@ class JunoIndex:
         self.tracer = RayTracer(self.scene)
 
     # ----------------------------------------------------------------- search
+    def default_pipeline(self) -> "QueryPipeline":
+        """The staged online path: filter -> threshold -> RT -> score -> top-k.
+
+        Equivalent (bit-identically) to the historical monolithic search;
+        see :mod:`repro.pipeline` for the stage graph and how to build a
+        customised pipeline.
+        """
+        from repro.pipeline.pipeline import default_search_pipeline
+
+        return default_search_pipeline()
+
     def search(
         self,
         queries: np.ndarray,
@@ -271,6 +285,7 @@ class JunoIndex:
         nprobs: int = 8,
         quality_mode: QualityMode | str | None = None,
         threshold_scale: float | None = None,
+        pipeline: "QueryPipeline | None" = None,
     ) -> JunoSearchResult:
         """The online pipeline (Alg. 2 plus the distance-calculation stage).
 
@@ -281,10 +296,16 @@ class JunoIndex:
             quality_mode: override of the configured JUNO-L/M/H mode.
             threshold_scale: override of the configured threshold scaling
                 factor (< 1 trades recall for throughput).
+            pipeline: custom :class:`~repro.pipeline.pipeline.QueryPipeline`;
+                defaults to :meth:`default_pipeline`.
 
         Returns:
-            A :class:`JunoSearchResult`.
+            A :class:`JunoSearchResult`.  ``extra["stage_seconds"]`` and
+            ``extra["stage_work"]`` carry the per-stage breakdowns recorded
+            by the pipeline.
         """
+        from repro.pipeline.context import QueryContext
+
         self._require_trained()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.shape[1] != self.dim:
@@ -296,46 +317,19 @@ class JunoIndex:
         if scale <= 0:
             raise ValueError("threshold_scale must be positive")
 
-        num_queries = queries.shape[0]
-        num_subspaces = self.config.num_subspaces
-        work = SearchWork(num_queries=num_queries, lut_pairwise_dims=2.0)
-
-        # Stage A: coarse filtering (identical to the baseline).
-        selected = self.ivf.select_clusters(queries, nprobs)
-        nprobs = selected.shape[1]
-        work.filter_flops += 2.0 * num_queries * self.dim * self.ivf.num_clusters
-
-        # Stage B: selective L2-LUT construction on the RT engine.
-        origins, query_cluster_ip = self._ray_origins(queries, selected)
-        thresholds, t_max = self._thresholds_and_tmax(origins, scale, work)
-        constructor = SelectiveLUTConstructor(
-            tracer=self.tracer,
-            base_radius=self.sphere_radius,
-            origin_offsets=self.origin_offsets,
-            metric=self.metric,
-            inner_sphere_ratio=self.config.inner_sphere_ratio if mode.uses_inner_sphere else None,
-        )
-        lut = constructor.construct(origins, t_max, thresholds=thresholds)
-        work.rt_rays += lut.stats.rays
-        work.rt_node_visits += lut.stats.node_visits
-        work.rt_aabb_tests += lut.stats.aabb_tests
-        work.rt_prim_tests += lut.stats.prim_tests
-        work.rt_hits += lut.stats.hits
-
-        # Stage C: distance calculation over the selected points only.
-        ids, scores, candidate_total = self._score_batch(
-            queries, selected, lut, thresholds, mode, k, query_cluster_ip, work
-        )
-        work.sorted_candidates += candidate_total
-        return JunoSearchResult(
-            ids=ids,
-            scores=scores,
-            work=work,
+        ctx = QueryContext(
+            index=self,
+            queries=queries,
+            k=k,
+            nprobs=nprobs,
             quality_mode=mode,
             threshold_scale=scale,
-            selected_entry_fraction=lut.selected_fraction(),
-            extra={"num_candidates": candidate_total, "rt_hits": lut.stats.hits},
+            metric=self.metric,
+            work=SearchWork(num_queries=queries.shape[0], lut_pairwise_dims=2.0),
         )
+        active = pipeline if pipeline is not None else self.default_pipeline()
+        active.run(ctx)
+        return ctx.to_result()
 
     # ------------------------------------------------------------ internals
     def _ray_origins(
@@ -357,118 +351,6 @@ class JunoIndex:
         ).reshape(num_queries * nprobs, num_subspaces, 2)
         query_cluster_ip = np.einsum("qd,qpd->qp", queries, self.ivf.centroids[selected])
         return origins, query_cluster_ip
-
-    def _thresholds_and_tmax(
-        self, origins: np.ndarray, scale: float, work: SearchWork
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Dynamic thresholds per (ray, subspace) and their ``t_max`` encoding."""
-        num_rays, num_subspaces, _ = origins.shape
-        thresholds = np.empty((num_rays, num_subspaces))
-        t_max = np.empty((num_rays, num_subspaces))
-        for s in range(num_subspaces):
-            density = self.density_map.lookup(s, origins[:, s, :])
-            predicted = self.threshold_model.predict_from_density(density)
-            offset = float(self.origin_offsets[s])
-            if self.metric is Metric.L2:
-                effective = predicted * scale
-                thresholds[:, s] = effective
-                t_max[:, s] = ThresholdModel.threshold_to_tmax(
-                    effective, self.sphere_radius, offset
-                )
-            else:
-                query_norm_sq = np.sum(origins[:, s, :] ** 2, axis=1)
-                base_tmax = inner_product_threshold_to_tmax(
-                    predicted, query_norm_sq, self.sphere_radius, offset
-                )
-                # Scaling < 1 must make the selection *more* selective; for
-                # MIPS that means shrinking the travel budget towards zero.
-                scaled_tmax = np.clip(offset - (offset - base_tmax) / scale, 0.0, offset)
-                t_max[:, s] = scaled_tmax
-                thresholds[:, s] = (
-                    query_norm_sq - self.sphere_radius**2 + (offset - scaled_tmax) ** 2
-                ) / 2.0
-        work.threshold_inferences += float(num_rays * num_subspaces)
-        return thresholds, t_max
-
-    def _score_batch(
-        self,
-        queries: np.ndarray,
-        selected: np.ndarray,
-        lut: SelectiveLUT,
-        thresholds: np.ndarray,
-        mode: QualityMode,
-        k: int,
-        query_cluster_ip: np.ndarray | None,
-        work: SearchWork,
-    ) -> tuple[np.ndarray, np.ndarray, float]:
-        """Distance calculation + top-k selection for the whole batch."""
-        num_queries, nprobs = selected.shape
-        num_subspaces = self.config.num_subspaces
-        subspace_range = np.arange(num_subspaces)
-        scorer = HitCountScorer(
-            use_inner_sphere=mode.uses_inner_sphere,
-            miss_penalty=self.config.hit_count_penalty,
-        )
-        higher_is_better = mode.higher_is_better(self.metric)
-        fill_value = -np.inf if higher_is_better else np.inf
-
-        all_ids = np.full((num_queries, k), -1, dtype=np.int64)
-        all_scores = np.full((num_queries, k), fill_value, dtype=np.float64)
-        candidate_total = 0.0
-        for qi in range(num_queries):
-            candidate_ids: list[np.ndarray] = []
-            candidate_scores: list[np.ndarray] = []
-            for ci in range(nprobs):
-                cluster_id = int(selected[qi, ci])
-                ray_id = qi * nprobs + ci
-                members = self.subspace_index.cluster_members(cluster_id)
-                if members.size == 0:
-                    continue
-                codes = self.subspace_index.cluster_codes(cluster_id)
-                if mode.uses_exact_distance:
-                    rows = lut.dense_rows(ray_id)
-                    values = rows[subspace_range[None, :], codes]
-                    miss = np.isnan(values)
-                    matched = (~miss).sum(axis=1)
-                    penalties = self._miss_penalties(thresholds[ray_id])
-                    scores = np.where(miss, penalties[None, :], values).sum(axis=1)
-                    if query_cluster_ip is not None:
-                        scores = scores + query_cluster_ip[qi, ci]
-                else:
-                    hit_mask = lut.hit_mask_rows(ray_id)
-                    inner_mask = (
-                        lut.inner_mask_rows(ray_id) if mode.uses_inner_sphere else None
-                    )
-                    scores, matched = scorer.score_members(hit_mask, inner_mask, codes)
-                keep = matched >= 1
-                work.adc_lookups += float(matched.sum())
-                work.adc_candidates += float(keep.sum())
-                if not keep.any():
-                    continue
-                candidate_ids.append(members[keep])
-                candidate_scores.append(scores[keep])
-            if not candidate_ids:
-                continue
-            ids = np.concatenate(candidate_ids)
-            scores = np.concatenate(candidate_scores)
-            candidate_total += float(ids.size)
-            order = np.argsort(-scores if higher_is_better else scores, kind="stable")[:k]
-            count = order.size
-            all_ids[qi, :count] = ids[order]
-            all_scores[qi, :count] = scores[order]
-        return all_ids, all_scores, candidate_total
-
-    def _miss_penalties(self, row_thresholds: np.ndarray) -> np.ndarray:
-        """Per-subspace score contribution of unselected entries.
-
-        For L2 the true per-subspace distance of a miss is at least the
-        threshold, so the squared threshold (scaled by
-        ``miss_penalty_factor``) is a conservative stand-in.  For MIPS the
-        true contribution is at most the threshold, which is used directly.
-        """
-        if self.metric is Metric.L2:
-            return (row_thresholds**2) * self.config.miss_penalty_factor
-        return row_thresholds * self.config.miss_penalty_factor
 
     def _require_trained(self) -> None:
         if not self.is_trained:

@@ -129,9 +129,14 @@ class CostModel:
 
     # ------------------------------------------------------------ per stage
     def filter_latency(self, work: SearchWork) -> float:
-        """Coarse filtering latency (Tensor-core matmul workload)."""
+        """Coarse filtering latency (Tensor-core matmul workload).
+
+        Exact-rerank FLOPs are included here: rescoring merged candidates
+        against the raw corpus is the same dense matmul-style workload as
+        centroid scoring.
+        """
         rate = self.device.tensor_gflops * 1e9 * _FILTER_TENSOR_EFFICIENCY
-        return _LAUNCH_OVERHEAD_S + work.filter_flops / rate
+        return _LAUNCH_OVERHEAD_S + (work.filter_flops + work.rerank_flops) / rate
 
     def lut_latency(self, work: SearchWork) -> float:
         """L2-LUT construction latency (CUDA pairwise or RT traversal)."""
@@ -169,6 +174,43 @@ class CostModel:
             compute_time = accumulate_flops / self._cuda_scatter_rate()
         sort_time = work.sorted_candidates * _SORT_FLOPS_PER_CANDIDATE / self._cuda_scatter_rate()
         return _LAUNCH_OVERHEAD_S + max(bandwidth_time, compute_time) + sort_time
+
+    # ------------------------------------------------- pipeline-stage routing
+    #: Which latency model each named query-pipeline stage runs under.  The
+    #: coarse filter and the exact rerank are dense matmul workloads (Tensor
+    #: cores); threshold inference and RT selection belong to LUT
+    #: construction; scoring and top-k are the memory-bound distance
+    #: calculation.  Unknown (custom) stage names default to the distance
+    #: model, the most conservative of the three.
+    STAGE_ROUTES = {
+        "coarse_filter": "filter",
+        "exact_rerank": "filter",
+        "threshold": "lut",
+        "rt_select": "lut",
+        "score": "distance",
+        "top_k": "distance",
+    }
+
+    def stage_latency(self, stage_name: str, work: SearchWork) -> float:
+        """Modelled latency of one named pipeline stage's work slice."""
+        route = self.STAGE_ROUTES.get(stage_name, "distance")
+        if route == "filter":
+            return self.filter_latency(work)
+        if route == "lut":
+            return self.lut_latency(work)
+        return self.distance_latency(work)
+
+    def stage_latencies(self, stage_work: dict[str, SearchWork]) -> dict[str, float]:
+        """Modelled seconds per pipeline stage, keyed like the input.
+
+        ``stage_work`` is the per-stage :class:`SearchWork` breakdown a
+        :class:`~repro.pipeline.pipeline.QueryPipeline` records under
+        ``result.extra["stage_work"]``.  Because every stage slice pays the
+        fixed launch overhead, the sum over stages exceeds
+        :meth:`serial_latency` by ``(num_stages - 3)`` launch overheads --
+        stages are modelled as separately launched kernels.
+        """
+        return {name: self.stage_latency(name, work) for name, work in stage_work.items()}
 
     # --------------------------------------------------------------- totals
     def serial_latency(self, work: SearchWork) -> StageLatency:

@@ -40,6 +40,9 @@ class SearchWork:
         sorted_candidates: candidates that entered the final top-k selection.
         threshold_inferences: polynomial-regressor evaluations for dynamic
             thresholds (JUNO only).
+        rerank_flops: multiply-accumulate operations spent recomputing exact
+            candidate scores in an exact-rerank stage (dense matmul-style
+            work, like filtering).
     """
 
     num_queries: int = 0
@@ -55,7 +58,31 @@ class SearchWork:
     adc_candidates: float = 0.0
     sorted_candidates: float = 0.0
     threshold_inferences: float = 0.0
+    rerank_flops: float = 0.0
     extra: dict = field(default_factory=dict)
+
+    def copy(self) -> "SearchWork":
+        """An independent copy of this record (counters and ``extra``)."""
+        duplicate = SearchWork(
+            **{f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"}
+        )
+        duplicate.extra = dict(self.extra)
+        return duplicate
+
+    def delta(self, baseline: "SearchWork") -> "SearchWork":
+        """Counter-wise difference ``self - baseline`` (a per-stage slice).
+
+        ``num_queries`` and ``lut_pairwise_dims`` describe the batch rather
+        than accumulate, so the delta keeps this record's values for both.
+        The staged query pipeline snapshots the shared work record around
+        every stage and calls this to attribute work to the stage.
+        """
+        out = SearchWork(num_queries=self.num_queries, lut_pairwise_dims=self.lut_pairwise_dims)
+        for f in fields(self):
+            if f.name in ("extra", "num_queries", "lut_pairwise_dims"):
+                continue
+            setattr(out, f.name, getattr(self, f.name) - getattr(baseline, f.name))
+        return out
 
     def merge(self, other: "SearchWork") -> "SearchWork":
         """Accumulate another batch's work into this record (in place)."""

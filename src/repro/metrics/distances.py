@@ -146,6 +146,48 @@ def pairwise_similarity_argsort(
     return np.take_along_axis(part, order, axis=1)
 
 
+def padded_top_k(
+    ids: np.ndarray,
+    scores: np.ndarray,
+    k: int,
+    higher_is_better: bool,
+    worst: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k over candidate rows that may contain ``-1``-padded slots.
+
+    Rows are sorted by ``(validity, score)``: a padded slot must never
+    outrank a valid candidate, even when a valid score ties with the
+    ``worst`` sentinel.  The output is always exactly ``(Q, k)`` -- short
+    rows are padded with ``-1`` / ``worst`` -- and padded slots always carry
+    ``worst`` regardless of the score stored in the input slot.
+
+    Shared by the shard merge (:func:`repro.serving.shard.merge_shard_results`)
+    and the exact rerank stage
+    (:class:`repro.pipeline.stages.ExactRerankStage`), which must agree on
+    this tie-breaking invariant.
+
+    Args:
+        ids: ``(Q, W)`` candidate ids, ``-1`` marking padded slots.
+        scores: ``(Q, W)`` scores aligned with ``ids``.
+        k: columns to keep.
+        higher_is_better: sort direction of valid scores.
+        worst: sentinel stored in padded output slots.
+
+    Returns:
+        ``(ids, scores)`` arrays of shape ``(Q, k)``, best-first.
+    """
+    sort_keys = -scores if higher_is_better else scores
+    order = np.lexsort((sort_keys, ids < 0), axis=1)[:, :k]
+    out_ids = np.take_along_axis(ids, order, axis=1)
+    out_scores = np.take_along_axis(scores, order, axis=1)
+    if out_ids.shape[1] < k:
+        pad = k - out_ids.shape[1]
+        out_ids = np.pad(out_ids, ((0, 0), (0, pad)), constant_values=-1)
+        out_scores = np.pad(out_scores, ((0, 0), (0, pad)), constant_values=worst)
+    out_scores[out_ids < 0] = worst
+    return out_ids, out_scores
+
+
 def top_k(
     scores: np.ndarray, k: int, metric: Metric = Metric.L2
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,117 @@
+"""Composition and execution of query stages with per-stage accounting."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.pipeline.context import QueryContext
+from repro.pipeline.stages import (
+    CoarseFilterStage,
+    QueryStage,
+    RTSelectStage,
+    ScoreStage,
+    ThresholdStage,
+    TopKStage,
+)
+
+
+class QueryPipeline:
+    """An ordered composition of :class:`QueryStage` objects.
+
+    Running the pipeline executes every stage against one shared
+    :class:`~repro.pipeline.context.QueryContext` and attributes wall-clock
+    time and :class:`~repro.gpu.work.SearchWork` deltas to each stage by
+    name.  Pipelines are immutable: the insertion helpers return new
+    pipelines, so a customised pipeline can be built once and reused across
+    search calls (and shipped to process-pool shard workers -- the built-in
+    stages are stateless and picklable).
+    """
+
+    def __init__(self, stages: Iterable[QueryStage]) -> None:
+        self.stages: tuple[QueryStage, ...] = tuple(stages)
+        if not self.stages:
+            raise ValueError("a QueryPipeline needs at least one stage")
+        for stage in self.stages:
+            if not callable(getattr(stage, "run", None)) or not getattr(stage, "name", ""):
+                raise TypeError(
+                    f"{stage!r} does not implement the QueryStage protocol "
+                    "(a 'name' attribute and a 'run(ctx)' method)"
+                )
+
+    # ------------------------------------------------------------ composition
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Names of the stages in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def _position(self, anchor: str) -> int:
+        names = self.stage_names
+        if anchor not in names:
+            raise ValueError(f"no stage named {anchor!r} in pipeline {names}")
+        return names.index(anchor)
+
+    def with_stage_after(self, anchor: str, stage: QueryStage) -> "QueryPipeline":
+        """A new pipeline with ``stage`` inserted right after ``anchor``."""
+        pos = self._position(anchor) + 1
+        return QueryPipeline(self.stages[:pos] + (stage,) + self.stages[pos:])
+
+    def with_stage_before(self, anchor: str, stage: QueryStage) -> "QueryPipeline":
+        """A new pipeline with ``stage`` inserted right before ``anchor``."""
+        pos = self._position(anchor)
+        return QueryPipeline(self.stages[:pos] + (stage,) + self.stages[pos:])
+
+    def appended(self, stage: QueryStage) -> "QueryPipeline":
+        """A new pipeline with ``stage`` appended at the end."""
+        return QueryPipeline(self.stages + (stage,))
+
+    def without_stage(self, name: str) -> "QueryPipeline":
+        """A new pipeline with the named stage removed."""
+        self._position(name)
+        return QueryPipeline(s for s in self.stages if s.name != name)
+
+    # -------------------------------------------------------------- execution
+    def run(self, ctx: QueryContext) -> QueryContext:
+        """Execute every stage in order, recording per-stage time and work.
+
+        The per-stage :class:`SearchWork` is the delta of the shared counters
+        across the stage, so summing the breakdown over all stages recovers
+        the batch totals exactly; a stage name that occurs twice accumulates.
+        """
+        for stage in self.stages:
+            before = ctx.work.copy()
+            started = time.perf_counter()
+            stage.run(ctx)
+            elapsed = time.perf_counter() - started
+            delta = ctx.work.delta(before)
+            ctx.stage_seconds[stage.name] = ctx.stage_seconds.get(stage.name, 0.0) + elapsed
+            if stage.name in ctx.stage_work:
+                ctx.stage_work[stage.name].merge(delta)
+                ctx.stage_work[stage.name].num_queries = delta.num_queries
+            else:
+                ctx.stage_work[stage.name] = delta
+        return ctx
+
+
+def default_search_pipeline() -> QueryPipeline:
+    """The staged equivalent of the monolithic JUNO online path (Alg. 2).
+
+    ``CoarseFilterStage -> ThresholdStage -> RTSelectStage -> ScoreStage ->
+    TopKStage``; bit-identical to the pre-pipeline ``JunoIndex.search``.
+    """
+    return QueryPipeline(
+        (
+            CoarseFilterStage(),
+            ThresholdStage(),
+            RTSelectStage(),
+            ScoreStage(),
+            TopKStage(),
+        )
+    )
+
+
+def rerank_pipeline(points, metric=None) -> QueryPipeline:
+    """A default pipeline with an exact rerank appended after top-k."""
+    from repro.pipeline.stages import ExactRerankStage
+
+    return default_search_pipeline().appended(ExactRerankStage(points, metric=metric))

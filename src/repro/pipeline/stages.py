@@ -1,0 +1,288 @@
+"""The built-in stages of the staged query-execution pipeline.
+
+Each stage implements the :class:`QueryStage` protocol: a ``name`` used for
+per-stage timing/work attribution and a ``run(ctx)`` method that mutates the
+shared :class:`~repro.pipeline.context.QueryContext`.  The default JUNO
+search is the composition
+
+``CoarseFilterStage -> ThresholdStage -> RTSelectStage -> ScoreStage ->
+TopKStage``
+
+which is operation-for-operation the monolithic ``JunoIndex.search`` of
+earlier revisions (Alg. 2 plus the distance-calculation stage), so the
+default pipeline reproduces its results bit-identically.
+:class:`ExactRerankStage` is the first stage with no monolithic counterpart:
+it rescores already-selected candidates against the raw corpus, which the
+sharded router appends after its k-way merge to restore cross-shard score
+comparability.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.hit_count import HitCountScorer
+from repro.core.inner_product import inner_product_threshold_to_tmax
+from repro.core.selective_lut import SelectiveLUTConstructor
+from repro.core.threshold import ThresholdModel
+from repro.metrics.distances import Metric, padded_top_k
+from repro.pipeline.context import QueryContext
+
+
+@runtime_checkable
+class QueryStage(Protocol):
+    """One step of a staged query execution.
+
+    Attributes:
+        name: stable identifier used as the key of the per-stage timing and
+            :class:`~repro.gpu.work.SearchWork` breakdowns (and by the cost
+            model's stage routing).
+    """
+
+    name: str
+
+    def run(self, ctx: QueryContext) -> None:
+        """Execute the stage, reading and writing fields of ``ctx``."""
+        ...  # pragma: no cover - protocol stub
+
+
+class CoarseFilterStage:
+    """Stage A: brute-force coarse filtering over the IVF centroids."""
+
+    name = "coarse_filter"
+
+    def run(self, ctx: QueryContext) -> None:
+        index = ctx.require("index", self.name)
+        selected = index.ivf.select_clusters(ctx.queries, ctx.nprobs)
+        ctx.nprobs = selected.shape[1]
+        ctx.selected = selected
+        ctx.work.filter_flops += 2.0 * ctx.num_queries * index.dim * index.ivf.num_clusters
+
+
+class ThresholdStage:
+    """Stage B1: ray origins plus dynamic per-ray thresholds and ``t_max``."""
+
+    name = "threshold"
+
+    def run(self, ctx: QueryContext) -> None:
+        index = ctx.require("index", self.name)
+        selected = ctx.require("selected", self.name)
+        ctx.origins, ctx.query_cluster_ip = index._ray_origins(ctx.queries, selected)
+        ctx.thresholds, ctx.t_max = self._thresholds_and_tmax(ctx, ctx.origins)
+
+    def _thresholds_and_tmax(
+        self, ctx: QueryContext, origins: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dynamic thresholds per (ray, subspace) and their ``t_max`` encoding."""
+        index = ctx.index
+        scale = ctx.threshold_scale
+        num_rays, num_subspaces, _ = origins.shape
+        thresholds = np.empty((num_rays, num_subspaces))
+        t_max = np.empty((num_rays, num_subspaces))
+        for s in range(num_subspaces):
+            density = index.density_map.lookup(s, origins[:, s, :])
+            predicted = index.threshold_model.predict_from_density(density)
+            offset = float(index.origin_offsets[s])
+            if ctx.metric is Metric.L2:
+                effective = predicted * scale
+                thresholds[:, s] = effective
+                t_max[:, s] = ThresholdModel.threshold_to_tmax(
+                    effective, index.sphere_radius, offset
+                )
+            else:
+                query_norm_sq = np.sum(origins[:, s, :] ** 2, axis=1)
+                base_tmax = inner_product_threshold_to_tmax(
+                    predicted, query_norm_sq, index.sphere_radius, offset
+                )
+                # Scaling < 1 must make the selection *more* selective; for
+                # MIPS that means shrinking the travel budget towards zero.
+                scaled_tmax = np.clip(offset - (offset - base_tmax) / scale, 0.0, offset)
+                t_max[:, s] = scaled_tmax
+                thresholds[:, s] = (
+                    query_norm_sq - index.sphere_radius**2 + (offset - scaled_tmax) ** 2
+                ) / 2.0
+        ctx.work.threshold_inferences += float(num_rays * num_subspaces)
+        return thresholds, t_max
+
+
+class RTSelectStage:
+    """Stage B2: selective L2-LUT construction on the RT engine."""
+
+    name = "rt_select"
+
+    def run(self, ctx: QueryContext) -> None:
+        index = ctx.require("index", self.name)
+        origins = ctx.require("origins", self.name)
+        t_max = ctx.require("t_max", self.name)
+        constructor = SelectiveLUTConstructor(
+            tracer=index.tracer,
+            base_radius=index.sphere_radius,
+            origin_offsets=index.origin_offsets,
+            metric=ctx.metric,
+            inner_sphere_ratio=(
+                index.config.inner_sphere_ratio
+                if ctx.quality_mode.uses_inner_sphere
+                else None
+            ),
+        )
+        lut = constructor.construct(origins, t_max, thresholds=ctx.thresholds)
+        ctx.lut = lut
+        ctx.work.rt_rays += lut.stats.rays
+        ctx.work.rt_node_visits += lut.stats.node_visits
+        ctx.work.rt_aabb_tests += lut.stats.aabb_tests
+        ctx.work.rt_prim_tests += lut.stats.prim_tests
+        ctx.work.rt_hits += lut.stats.hits
+        ctx.selected_entry_fraction = lut.selected_fraction()
+        ctx.extra["rt_hits"] = lut.stats.hits
+
+
+class ScoreStage:
+    """Stage C1: distance calculation over the selected points only.
+
+    Produces one concatenated ``(ids, scores)`` candidate pair per query
+    (``None`` for queries whose probed clusters yielded no candidate); the
+    ranking itself is left to :class:`TopKStage`.
+    """
+
+    name = "score"
+
+    def run(self, ctx: QueryContext) -> None:
+        index = ctx.require("index", self.name)
+        selected = ctx.require("selected", self.name)
+        lut = ctx.require("lut", self.name)
+        thresholds = ctx.require("thresholds", self.name)
+        mode = ctx.quality_mode
+        num_queries, nprobs = selected.shape
+        num_subspaces = index.config.num_subspaces
+        subspace_range = np.arange(num_subspaces)
+        scorer = HitCountScorer(
+            use_inner_sphere=mode.uses_inner_sphere,
+            miss_penalty=index.config.hit_count_penalty,
+        )
+        candidates: list[tuple[np.ndarray, np.ndarray] | None] = []
+        candidate_total = 0.0
+        for qi in range(num_queries):
+            candidate_ids: list[np.ndarray] = []
+            candidate_scores: list[np.ndarray] = []
+            for ci in range(nprobs):
+                cluster_id = int(selected[qi, ci])
+                ray_id = qi * nprobs + ci
+                members = index.subspace_index.cluster_members(cluster_id)
+                if members.size == 0:
+                    continue
+                codes = index.subspace_index.cluster_codes(cluster_id)
+                if mode.uses_exact_distance:
+                    rows = lut.dense_rows(ray_id)
+                    values = rows[subspace_range[None, :], codes]
+                    miss = np.isnan(values)
+                    matched = (~miss).sum(axis=1)
+                    penalties = self._miss_penalties(ctx, thresholds[ray_id])
+                    scores = np.where(miss, penalties[None, :], values).sum(axis=1)
+                    if ctx.query_cluster_ip is not None:
+                        scores = scores + ctx.query_cluster_ip[qi, ci]
+                else:
+                    hit_mask = lut.hit_mask_rows(ray_id)
+                    inner_mask = lut.inner_mask_rows(ray_id) if mode.uses_inner_sphere else None
+                    scores, matched = scorer.score_members(hit_mask, inner_mask, codes)
+                keep = matched >= 1
+                ctx.work.adc_lookups += float(matched.sum())
+                ctx.work.adc_candidates += float(keep.sum())
+                if not keep.any():
+                    continue
+                candidate_ids.append(members[keep])
+                candidate_scores.append(scores[keep])
+            if not candidate_ids:
+                candidates.append(None)
+                continue
+            ids = np.concatenate(candidate_ids)
+            scores = np.concatenate(candidate_scores)
+            candidate_total += float(ids.size)
+            candidates.append((ids, scores))
+        ctx.candidates = candidates
+        ctx.candidate_total = candidate_total
+        ctx.extra["num_candidates"] = candidate_total
+
+    def _miss_penalties(self, ctx: QueryContext, row_thresholds: np.ndarray) -> np.ndarray:
+        """Per-subspace score contribution of unselected entries.
+
+        For L2 the true per-subspace distance of a miss is at least the
+        threshold, so the squared threshold (scaled by
+        ``miss_penalty_factor``) is a conservative stand-in.  For MIPS the
+        true contribution is at most the threshold, which is used directly.
+        """
+        factor = ctx.index.config.miss_penalty_factor
+        if ctx.metric is Metric.L2:
+            return (row_thresholds**2) * factor
+        return row_thresholds * factor
+
+
+class TopKStage:
+    """Stage C2: per-query top-k selection over the scored candidates."""
+
+    name = "top_k"
+
+    def run(self, ctx: QueryContext) -> None:
+        candidates = ctx.require("candidates", self.name)
+        higher_is_better = ctx.higher_is_better
+        fill_value = -np.inf if higher_is_better else np.inf
+        k = ctx.k
+        all_ids = np.full((ctx.num_queries, k), -1, dtype=np.int64)
+        all_scores = np.full((ctx.num_queries, k), fill_value, dtype=np.float64)
+        for qi, pair in enumerate(candidates):
+            if pair is None:
+                continue
+            ids, scores = pair
+            order = np.argsort(-scores if higher_is_better else scores, kind="stable")[:k]
+            count = order.size
+            all_ids[qi, :count] = ids[order]
+            all_scores[qi, :count] = scores[order]
+        ctx.work.sorted_candidates += ctx.candidate_total
+        ctx.ids = all_ids
+        ctx.scores = all_scores
+
+
+class ExactRerankStage:
+    """Rescore already-selected candidates exactly against the raw corpus.
+
+    The sharded router appends this stage after its k-way merge: per-shard
+    scores live in shard-local PQ frames (JUNO-H) or are plain hit counts
+    (JUNO-L/M), so at aggressive ``threshold_scale`` the merged ranking mixes
+    incomparable score scales.  Reranking by the true metric restores a
+    globally consistent order.  After this stage, ``ctx.scores`` are exact
+    squared L2 distances (ascending) or inner products (descending)
+    regardless of the quality mode that produced the candidates -- the same
+    convention as :class:`repro.baselines.exact.ExactSearch`.
+
+    ``-1``-padded candidate slots are never scored: they keep the metric's
+    worst value and always sort behind every valid candidate, so fully padded
+    rows pass through unchanged.
+
+    Args:
+        points: ``(N, D)`` corpus in the candidates' (global) id space.
+        metric: ranking metric; defaults to the context's metric at run time.
+    """
+
+    name = "exact_rerank"
+
+    def __init__(self, points: np.ndarray, metric: Metric | None = None) -> None:
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.metric = Metric(metric) if metric is not None else None
+
+    def run(self, ctx: QueryContext) -> None:
+        ids = ctx.require("ids", self.name)
+        metric = self.metric if self.metric is not None else ctx.metric
+        from repro.baselines.exact import exact_candidate_scores
+
+        exact = exact_candidate_scores(self.points, ctx.queries, ids, metric)
+        ctx.work.rerank_flops += 2.0 * float((ids >= 0).sum()) * self.points.shape[1]
+        ctx.ids, ctx.scores = padded_top_k(
+            ids,
+            exact,
+            ctx.k,
+            higher_is_better=not metric.lower_is_better,
+            worst=metric.worst_value(),
+        )
+        ctx.extra["reranked"] = True
+        ctx.extra["rerank_candidates"] = float((ids >= 0).sum())

@@ -12,6 +12,13 @@ family in the repository is served through one uniform interface
 """
 
 from repro.serving.engine import EngineResult, ServingEngine
+from repro.serving.executors import (
+    ProcessShardExecutor,
+    SequentialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    make_shard_executor,
+)
 from repro.serving.persistence import (
     FORMAT_VERSION,
     PersistenceError,
@@ -33,11 +40,16 @@ __all__ = [
     "EngineResult",
     "FORMAT_VERSION",
     "PersistenceError",
+    "ProcessShardExecutor",
     "QueryTicket",
     "SchedulerStats",
+    "SequentialShardExecutor",
     "ServingEngine",
+    "ShardExecutor",
     "ShardedJunoIndex",
+    "ThreadShardExecutor",
     "load_index",
+    "make_shard_executor",
     "merge_shard_results",
     "save_index",
     "search_results_equal",

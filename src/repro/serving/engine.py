@@ -10,8 +10,17 @@ harness, an RPC layer someday -- is written once:
   with ``-1``, aligned scores and a :class:`~repro.gpu.work.SearchWork`
   record for the GPU cost model;
 * backend-specific knobs (``nprobs``, ``quality_mode``, ``threshold_scale``,
-  ``ef``) are declared per adapter, and passing a knob the backend does not
-  understand raises instead of being silently dropped.
+  ``ef``, and for the JUNO backends a custom ``pipeline``) are declared per
+  adapter, and passing a knob the backend does not understand raises instead
+  of being silently dropped;
+* JUNO backends surface the staged pipeline's per-stage wall-clock and
+  :class:`SearchWork` breakdowns (``extra["stage_seconds"]`` /
+  ``extra["stage_work"]``), which :meth:`ServingEngine.modelled_stage_latencies`
+  feeds to the cost model stage by stage instead of per batch.
+
+The engine is a context manager; exiting (or calling the idempotent
+:meth:`ServingEngine.close`) releases backend resources such as a sharded
+index's fan-out executor.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ class EngineResult:
     extra: dict = field(default_factory=dict)
 
 
-_JUNO_PARAMS = frozenset({"nprobs", "quality_mode", "threshold_scale"})
+_JUNO_PARAMS = frozenset({"nprobs", "quality_mode", "threshold_scale", "pipeline"})
 _IVFPQ_PARAMS = frozenset({"nprobs"})
 _HNSW_PARAMS = frozenset({"ef"})
 _EXACT_PARAMS: frozenset = frozenset()
@@ -191,3 +200,44 @@ class ServingEngine:
         if pipelined is None:
             pipelined = self.backend in ("juno", "sharded-juno")
         return self.cost_model.qps(result.work, pipelined=pipelined)
+
+    def stage_seconds(self, result: EngineResult) -> dict[str, float]:
+        """Measured per-stage seconds of a staged-pipeline result.
+
+        For the single-index backend these are wall-clock stage timings.
+        For the sharded backend they are *summed over shards*, so under a
+        parallel fan-out executor they are aggregate per-shard work time and
+        can exceed the batch's elapsed wall-clock by up to the shard count
+        -- compare stages against each other, not against end-to-end
+        latency.  Empty for backends that do not run the staged pipeline.
+        """
+        return dict(result.extra.get("stage_seconds", {}))
+
+    def modelled_stage_latencies(self, result: EngineResult) -> dict[str, float]:
+        """Modelled per-stage GPU seconds from the result's work breakdown.
+
+        Routes every stage's :class:`SearchWork` slice through the cost
+        model (:meth:`repro.gpu.cost_model.CostModel.stage_latencies`), so
+        the model is fed per stage instead of per batch.  Empty for backends
+        without a stage breakdown.
+        """
+        if self.cost_model is None:
+            raise RuntimeError("ServingEngine was constructed without a cost model")
+        stage_work = result.extra.get("stage_work", {})
+        return self.cost_model.stage_latencies(stage_work)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        Only the sharded backend holds resources today (its fan-out
+        executor); other backends are no-ops.
+        """
+        index_close = getattr(self.index, "close", None)
+        if callable(index_close):
+            index_close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,143 @@
+"""Pluggable fan-out backends for the sharded serving router.
+
+The thread pool that shipped with :class:`~repro.serving.shard.ShardedJunoIndex`
+is GIL-bound outside NumPy kernels, so the Python-heavy parts of the staged
+query pipeline (per-query candidate loops, LUT row materialisation) serialise
+across shards.  This module abstracts the fan-out behind a tiny executor
+interface with three backends:
+
+* :class:`SequentialShardExecutor` -- in-process loop, zero overhead, the
+  reference for correctness tests;
+* :class:`ThreadShardExecutor` -- shared-memory thread pool, best when the
+  NumPy kernels dominate;
+* :class:`ProcessShardExecutor` -- process pool for true parallelism of the
+  Python-level stage code.  Per-shard searches are shipped as picklable
+  ``(shard, queries, k, params)`` payloads executed by a module-level task
+  function; everything a per-shard pipeline carries (trained
+  :class:`~repro.core.index.JunoIndex` state and the built-in stage objects)
+  pickles cleanly.
+
+All executors are context managers with idempotent ``close()``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+_EXECUTOR_KINDS = ("sequential", "thread", "process")
+
+
+def search_shard_task(payload) -> object:
+    """Run one shard's search from a picklable payload.
+
+    ``payload`` is ``(shard, queries, k, params)`` where ``params`` are the
+    keyword arguments of :meth:`repro.core.index.JunoIndex.search` (including
+    an optional per-shard ``pipeline``).  Module-level so process pools can
+    pickle it by reference.
+    """
+    shard, queries, k, params = payload
+    return shard.search(queries, k, **params)
+
+
+class ShardExecutor:
+    """Interface of a fan-out backend: map a task over payloads, then close."""
+
+    kind: str = "abstract"
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        """Apply ``fn`` to every payload, preserving order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; safe to call repeatedly."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SequentialShardExecutor(ShardExecutor):
+    """Searches shards one after another in the calling thread."""
+
+    kind = "sequential"
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        return [fn(payload) for payload in payloads]
+
+
+class _PooledShardExecutor(ShardExecutor):
+    """Shared lazy-pool plumbing for the thread and process backends.
+
+    The pool is created on first use and reused across batches (the serving
+    hot path flushes a batch every few milliseconds; per-batch pool creation
+    would dominate).  ``close()`` shuts it down and is idempotent; the next
+    ``map`` after a close transparently builds a fresh pool.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return list(self._pool.map(fn, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadShardExecutor(_PooledShardExecutor):
+    """Thread-pool fan-out (NumPy releases the GIL in the hot kernels)."""
+
+    kind = "thread"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.num_workers)
+
+
+class ProcessShardExecutor(_PooledShardExecutor):
+    """Process-pool fan-out for GIL-free parallelism of the stage code.
+
+    Payloads (including the shard indexes themselves) are pickled per call,
+    which trades serialisation bandwidth for parallel Python execution --
+    worthwhile for large batches on multi-core serving hosts.
+    """
+
+    kind = "process"
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.num_workers)
+
+
+def make_shard_executor(spec: "str | ShardExecutor", num_workers: int) -> ShardExecutor:
+    """Build (or pass through) a fan-out executor.
+
+    Args:
+        spec: an executor instance (returned as-is), or one of
+            ``"sequential"``, ``"thread"``, ``"process"``.  The pooled kinds
+            collapse to sequential when ``num_workers <= 1``.
+        num_workers: worker budget for the pooled backends.
+
+    Returns:
+        A ready-to-use :class:`ShardExecutor`.
+    """
+    if isinstance(spec, ShardExecutor):
+        return spec
+    if spec not in _EXECUTOR_KINDS:
+        raise ValueError(f"executor must be one of {_EXECUTOR_KINDS} or a ShardExecutor")
+    if spec == "sequential" or num_workers <= 1:
+        return SequentialShardExecutor()
+    if spec == "thread":
+        return ThreadShardExecutor(num_workers)
+    return ProcessShardExecutor(num_workers)

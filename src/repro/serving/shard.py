@@ -13,17 +13,21 @@ applies that decomposition to :class:`~repro.core.index.JunoIndex`:
   merging, so callers never observe shard-local ids;
 * the per-shard :class:`~repro.core.index.JunoSearchResult` records are
   k-way merged into a single global top-k with aggregated
-  :class:`~repro.gpu.work.SearchWork` counters.
+  :class:`~repro.gpu.work.SearchWork` counters and per-stage breakdowns.
 
-Fan-out uses a :class:`~concurrent.futures.ThreadPoolExecutor` (NumPy
-releases the GIL in the hot kernels) with a sequential fallback for
-``num_workers <= 1``.
+Fan-out runs on a pluggable :class:`~repro.serving.executors.ShardExecutor`
+(sequential, thread pool, or process pool -- the per-shard staged pipeline is
+picklable, so true process-level parallelism works).  With ``exact_rerank``
+enabled the router appends an
+:class:`~repro.pipeline.stages.ExactRerankStage` after the k-way merge:
+per-shard scores live in shard-local PQ frames, so at aggressive
+``threshold_scale`` the merged ranking mixes incomparable scales, and the
+exact rescoring restores a globally consistent order.
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict
 from pathlib import Path
 from typing import Sequence
@@ -33,7 +37,15 @@ import numpy as np
 from repro.core.config import JunoConfig, QualityMode
 from repro.core.index import JunoIndex, JunoSearchResult
 from repro.gpu.work import SearchWork
-from repro.metrics.distances import Metric
+from repro.metrics.distances import Metric, padded_top_k
+from repro.pipeline.context import QueryContext
+from repro.pipeline.pipeline import QueryPipeline
+from repro.pipeline.stages import ExactRerankStage
+from repro.serving.executors import (
+    ShardExecutor,
+    make_shard_executor,
+    search_shard_task,
+)
 from repro.serving.persistence import (
     FORMAT_VERSION,
     MANIFEST_NAME,
@@ -45,6 +57,7 @@ from repro.serving.persistence import (
 
 _SHARDED_KIND = "sharded-juno-index"
 _ASSIGNMENTS = ("round_robin", "contiguous")
+_RERANK_CORPUS_NAME = "rerank_corpus.npz"
 
 
 def merge_shard_results(
@@ -66,10 +79,12 @@ def merge_shard_results(
         metric: metric the results were ranked under (decides direction).
 
     Returns:
-        A :class:`JunoSearchResult` with global ids, merged scores, summed
-        work counters (``num_queries`` stays the batch size, not the batch
-        size times the shard count) and a ray-weighted average of the
-        per-shard selected-entry fractions.
+        A :class:`JunoSearchResult` with exactly ``(Q, k)`` ids/scores
+        (padded with ``-1`` / the metric-and-mode's worst score when the
+        shards yielded fewer than ``k`` candidates), summed work counters
+        (``num_queries`` stays the batch size, not the batch size times the
+        shard count), aggregated per-stage breakdowns and a ray-weighted
+        average of the per-shard selected-entry fractions.
     """
     if not results:
         raise ValueError("merge_shard_results needs at least one shard result")
@@ -77,12 +92,24 @@ def merge_shard_results(
         raise ValueError("results and global_ids must have one entry per shard")
     num_queries = results[0].ids.shape[0]
     mode = results[0].quality_mode
+    reranked = bool(results[0].extra.get("reranked"))
     for result in results[1:]:
         if result.ids.shape[0] != num_queries:
             raise ValueError("shard results disagree on the query batch size")
         if result.quality_mode is not mode:
             raise ValueError("shard results were produced with different quality modes")
-    higher_is_better = mode.higher_is_better(metric)
+        if bool(result.extra.get("reranked")) != reranked:
+            raise ValueError(
+                "cannot merge reranked and non-reranked shard results: their "
+                "scores are on different scales"
+            )
+    # A per-shard ExactRerankStage replaces the mode's native scores with
+    # exact metric-direction scores (squared L2 ascending / IP descending),
+    # so the merge direction must follow the metric, not the quality mode.
+    if reranked:
+        higher_is_better = not Metric(metric).lower_is_better
+    else:
+        higher_is_better = mode.higher_is_better(metric)
     worst = -np.inf if higher_is_better else np.inf
 
     remapped: list[np.ndarray] = []
@@ -97,11 +124,9 @@ def merge_shard_results(
 
     cat_ids = np.concatenate(remapped, axis=1)
     cat_scores = np.concatenate(masked_scores, axis=1)
-    sort_keys = -cat_scores if higher_is_better else cat_scores
-    order = np.argsort(sort_keys, axis=1, kind="stable")[:, :k]
-    merged_ids = np.take_along_axis(cat_ids, order, axis=1)
-    merged_scores = np.take_along_axis(cat_scores, order, axis=1)
-    merged_scores[merged_ids < 0] = worst
+    merged_ids, merged_scores = padded_top_k(
+        cat_ids, cat_scores, k, higher_is_better=higher_is_better, worst=worst
+    )
 
     work = SearchWork(num_queries=0, lut_pairwise_dims=results[0].work.lut_pairwise_dims)
     for result in results:
@@ -120,6 +145,28 @@ def merge_shard_results(
         "rt_hits": float(sum(r.extra.get("rt_hits", 0.0) for r in results)),
         "per_shard_candidates": [float(r.extra.get("num_candidates", 0.0)) for r in results],
     }
+    if reranked:
+        extra["reranked"] = True
+    # Per-stage seconds are summed over shards, i.e. they are aggregate
+    # per-shard *work* time: under a parallel executor the shards overlap,
+    # so these sums can exceed the batch's elapsed wall-clock by up to the
+    # shard count.  (Work counters sum correctly by construction.)
+    stage_seconds: dict[str, float] = {}
+    stage_work: dict[str, SearchWork] = {}
+    for result in results:
+        for name, seconds in result.extra.get("stage_seconds", {}).items():
+            stage_seconds[name] = stage_seconds.get(name, 0.0) + float(seconds)
+        for name, shard_work in result.extra.get("stage_work", {}).items():
+            if name in stage_work:
+                stage_work[name].merge(shard_work)
+            else:
+                stage_work[name] = shard_work.copy()
+    for merged_stage_work in stage_work.values():
+        merged_stage_work.num_queries = num_queries
+    if stage_seconds:
+        extra["stage_seconds"] = stage_seconds
+    if stage_work:
+        extra["stage_work"] = stage_work
     return JunoSearchResult(
         ids=merged_ids,
         scores=merged_scores,
@@ -155,8 +202,18 @@ class ShardedJunoIndex:
             ``global_id % num_shards``, giving every shard an unbiased
             sample of the corpus; ``"contiguous"`` splits the id range into
             blocks, which preserves any locality of the insertion order.
-        num_workers: threads used to fan a query batch out; ``1`` searches
-            shards sequentially.  Defaults to one thread per shard.
+        num_workers: fan-out parallelism; ``1`` searches shards
+            sequentially.  Defaults to one worker per shard.
+        executor: fan-out backend -- ``"thread"`` (default), ``"process"``
+            (GIL-free parallelism of the per-shard stage code),
+            ``"sequential"``, or a ready
+            :class:`~repro.serving.executors.ShardExecutor` instance.
+        exact_rerank: when ``True``, :meth:`train` retains the corpus and
+            every search appends an
+            :class:`~repro.pipeline.stages.ExactRerankStage` after the
+            k-way merge (see :meth:`enable_exact_rerank`).
+        rerank_depth: merged candidates kept per query for the rerank;
+            defaults to all ``num_shards * k`` of them.
     """
 
     def __init__(
@@ -165,22 +222,34 @@ class ShardedJunoIndex:
         num_shards: int,
         assignment: str = "round_robin",
         num_workers: int | None = None,
+        executor: str | ShardExecutor = "thread",
+        exact_rerank: bool = False,
+        rerank_depth: int | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if assignment not in _ASSIGNMENTS:
             raise ValueError(f"assignment must be one of {_ASSIGNMENTS}")
+        if rerank_depth is not None and rerank_depth <= 0:
+            raise ValueError("rerank_depth must be positive")
         self.config = config
         self.metric = config.metric
         self.num_shards = int(num_shards)
         self.assignment = assignment
         self.num_workers = int(num_workers) if num_workers is not None else self.num_shards
+        self.executor_spec = executor
+        self.exact_rerank = bool(exact_rerank)
+        self.rerank_depth = int(rerank_depth) if rerank_depth is not None else None
         self.shards: list[JunoIndex] = []
         self.shard_global_ids: list[np.ndarray] = []
         self.dim: int | None = None
         self.num_points: int = 0
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_workers: int = 0
+        self._rerank_points: np.ndarray | None = None
+        self._executor: ShardExecutor | None = None
+        self._executor_key: tuple | None = None
+        if not isinstance(executor, ShardExecutor):
+            # Validate eagerly so a typo fails at construction, not first search.
+            make_shard_executor(executor, 1).close()
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -190,12 +259,18 @@ class ShardedJunoIndex:
             raise ValueError("the RT-core mapping requires an even dimensionality")
         assignment = config_overrides.pop("assignment", "round_robin")
         num_workers = config_overrides.pop("num_workers", None)
+        executor = config_overrides.pop("executor", "thread")
+        exact_rerank = config_overrides.pop("exact_rerank", False)
+        rerank_depth = config_overrides.pop("rerank_depth", None)
         config_overrides.setdefault("num_subspaces", dim // 2)
         return cls(
             JunoConfig(**config_overrides),
             num_shards=num_shards,
             assignment=assignment,
             num_workers=num_workers,
+            executor=executor,
+            exact_rerank=exact_rerank,
+            rerank_depth=rerank_depth,
         )
 
     # ----------------------------------------------------------------- train
@@ -233,6 +308,43 @@ class ShardedJunoIndex:
             shard.train(points[global_ids])
             self.shards.append(shard)
             self.shard_global_ids.append(global_ids)
+        if self.exact_rerank:
+            self._rerank_points = points
+        return self
+
+    # ------------------------------------------------------------ exact rerank
+    def enable_exact_rerank(
+        self, points: np.ndarray, rerank_depth: int | None = None
+    ) -> "ShardedJunoIndex":
+        """Attach the raw corpus and rerank merged candidates exactly.
+
+        Args:
+            points: the full ``(num_points, dim)`` corpus in global id order
+                (the same array the router was trained on).
+            rerank_depth: merged candidates kept per query before the exact
+                rescoring; ``None`` keeps all ``num_shards * k``.
+
+        Returns:
+            ``self`` (builder style).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if self.num_points and points.shape[0] != self.num_points:
+            raise ValueError(
+                f"rerank corpus has {points.shape[0]} points but the router was "
+                f"trained on {self.num_points}"
+            )
+        if rerank_depth is not None and rerank_depth <= 0:
+            raise ValueError("rerank_depth must be positive")
+        self._rerank_points = points
+        self.exact_rerank = True
+        if rerank_depth is not None:
+            self.rerank_depth = int(rerank_depth)
+        return self
+
+    def disable_exact_rerank(self) -> "ShardedJunoIndex":
+        """Drop the rerank corpus and return to plain merged results."""
+        self.exact_rerank = False
+        self._rerank_points = None
         return self
 
     # ----------------------------------------------------------------- search
@@ -243,57 +355,116 @@ class ShardedJunoIndex:
         nprobs: int = 8,
         quality_mode: QualityMode | str | None = None,
         threshold_scale: float | None = None,
+        pipeline: "QueryPipeline | None" = None,
     ) -> JunoSearchResult:
         """Fan the batch out to every shard and merge the per-shard top-k.
 
         Arguments match :meth:`JunoIndex.search`; ``nprobs`` is probed *per
-        shard*.  The returned ids are global corpus ids.
+        shard* and ``pipeline`` (when given) runs *inside every shard*, in
+        the shard's **local** id space -- so do not append an
+        :class:`ExactRerankStage` over the global corpus to a per-shard
+        pipeline (its corpus rows would be indexed with shard-local ids);
+        use :attr:`exact_rerank` / :meth:`enable_exact_rerank`, which rerank
+        *after* the global-id merge, instead.  The returned ids are global
+        corpus ids.  With :attr:`exact_rerank` enabled, the merged
+        candidates are rescored against the raw corpus and the returned
+        scores are exact squared L2 distances / inner products instead of
+        the quality mode's native scores.
         """
         if not self.is_trained:
             raise RuntimeError("ShardedJunoIndex must be trained before searching")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        params: dict = {
+            "nprobs": nprobs,
+            "quality_mode": quality_mode,
+            "threshold_scale": threshold_scale,
+        }
+        if pipeline is not None:
+            params["pipeline"] = pipeline
+        payloads = [(shard, queries, k, params) for shard in self.shards]
+        results = self._fanout_executor().map(search_shard_task, payloads)
 
-        def _one(shard: JunoIndex) -> JunoSearchResult:
-            return shard.search(
-                queries,
-                k=k,
-                nprobs=nprobs,
-                quality_mode=quality_mode,
-                threshold_scale=threshold_scale,
-            )
-
-        if self.num_workers > 1 and self.num_shards > 1:
-            results = list(self._executor().map(_one, self.shards))
-        else:
-            results = [_one(shard) for shard in self.shards]
+        if self.exact_rerank and self._rerank_points is not None:
+            depth = self.rerank_depth if self.rerank_depth is not None else self.num_shards * k
+            merge_k = max(k, min(depth, self.num_shards * k))
+            merged = merge_shard_results(results, self.shard_global_ids, merge_k, self.metric)
+            return self._run_exact_rerank(queries, k, nprobs, merged)
         return merge_shard_results(results, self.shard_global_ids, k, self.metric)
 
-    def _executor(self) -> ThreadPoolExecutor:
-        """Lazily created, reused fan-out pool (rebuilt if num_workers changes).
+    def _run_exact_rerank(
+        self, queries: np.ndarray, k: int, nprobs: int, merged: JunoSearchResult
+    ) -> JunoSearchResult:
+        """Rescore the merged candidates exactly and cut the list back to ``k``.
+
+        The rerank runs as a one-stage :class:`QueryPipeline` over a context
+        seeded with the merged result, so its wall-clock time and
+        :class:`SearchWork` slice land in the same ``stage_seconds`` /
+        ``stage_work`` breakdowns as the per-shard stages.
+        """
+        ctx = QueryContext(
+            queries=queries,
+            k=k,
+            nprobs=nprobs,
+            quality_mode=merged.quality_mode,
+            threshold_scale=merged.threshold_scale,
+            metric=self.metric,
+            work=merged.work,
+            ids=merged.ids,
+            scores=merged.scores,
+            selected_entry_fraction=merged.selected_entry_fraction,
+        )
+        ctx.extra = {
+            key: value
+            for key, value in merged.extra.items()
+            if key not in ("stage_seconds", "stage_work")
+        }
+        ctx.stage_seconds = dict(merged.extra.get("stage_seconds", {}))
+        ctx.stage_work = dict(merged.extra.get("stage_work", {}))
+        rerank = ExactRerankStage(self._rerank_points, metric=self.metric)
+        QueryPipeline((rerank,)).run(ctx)
+        return ctx.to_result()
+
+    def _fanout_executor(self) -> ShardExecutor:
+        """Lazily created, reused fan-out executor.
 
         The serving hot path flushes a batch every few milliseconds; reusing
-        one pool avoids per-batch thread creation and teardown.  Rebuilding
-        waits for in-flight work, but reconfiguring ``num_workers`` is not
-        meant to race concurrent ``search`` calls.
+        one executor avoids per-batch pool creation and teardown.  The
+        executor is rebuilt when ``num_workers`` or ``executor_spec``
+        changes, which is not meant to race concurrent ``search`` calls.
+        An executor *instance* passed at construction is used as-is.
         """
+        if isinstance(self.executor_spec, ShardExecutor):
+            return self.executor_spec
         workers = min(self.num_workers, self.num_shards)
-        if self._pool is None or self._pool_workers != workers:
-            self.close()
-            self._pool = ThreadPoolExecutor(max_workers=workers)
-            self._pool_workers = workers
-        return self._pool
+        key = (self.executor_spec, workers)
+        if self._executor is None or self._executor_key != key:
+            if self._executor is not None:
+                self._executor.close()
+            self._executor = make_shard_executor(self.executor_spec, workers)
+            self._executor_key = key
+        return self._executor
 
     def close(self) -> None:
-        """Shut the fan-out pool down (searches recreate it on demand).
+        """Shut the router-owned fan-out executor down (idempotent).
 
-        Call this when retiring an index to release its worker threads;
-        long sweeps over many sharded configurations otherwise accumulate
-        idle threads for the life of the process.
+        Searches recreate the executor on demand, so retiring an index twice
+        (or via both an explicit call and the context-manager exit) is safe.
+        Call it when discarding an index so long sweeps over many sharded
+        configurations don't accumulate idle workers for the life of the
+        process.  A caller-supplied :class:`ShardExecutor` instance is *not*
+        closed -- the caller created it (possibly sharing it across several
+        routers) and keeps ownership of its lifecycle.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_workers = 0
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._executor_key = None
+
+    def __enter__(self) -> "ShardedJunoIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------ persistence
     def save(self, path: str | Path) -> Path:
@@ -310,16 +481,25 @@ class ShardedJunoIndex:
             "assignment": self.assignment,
             "dim": int(self.dim),
             "num_points": int(self.num_points),
+            "exact_rerank": bool(self.exact_rerank and self._rerank_points is not None),
+            "rerank_depth": self.rerank_depth,
         }
         (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
         id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
         np.savez_compressed(path / "shard_ids.npz", **id_arrays)
+        if manifest["exact_rerank"]:
+            np.savez_compressed(path / _RERANK_CORPUS_NAME, points=self._rerank_points)
         for shard_id, shard in enumerate(self.shards):
             save_index(shard, path / f"shard_{shard_id:03d}")
         return path
 
     @classmethod
-    def load(cls, path: str | Path, num_workers: int | None = None) -> "ShardedJunoIndex":
+    def load(
+        cls,
+        path: str | Path,
+        num_workers: int | None = None,
+        executor: str | ShardExecutor = "thread",
+    ) -> "ShardedJunoIndex":
         """Restore a sharded index saved by :meth:`save` without retraining."""
         path = Path(path)
         manifest = read_manifest(path, _SHARDED_KIND)
@@ -328,6 +508,7 @@ class ShardedJunoIndex:
             num_shards=int(manifest["num_shards"]),
             assignment=manifest["assignment"],
             num_workers=num_workers,
+            executor=executor,
         )
         sharded.dim = int(manifest["dim"])
         sharded.num_points = int(manifest["num_points"])
@@ -338,4 +519,13 @@ class ShardedJunoIndex:
             load_index(path / f"shard_{shard_id:03d}")
             for shard_id in range(sharded.num_shards)
         ]
+        if manifest.get("exact_rerank"):
+            corpus_path = path / _RERANK_CORPUS_NAME
+            if not corpus_path.is_file():
+                raise PersistenceError(
+                    f"bundle at {path} declares exact_rerank but has no {_RERANK_CORPUS_NAME}"
+                )
+            with np.load(corpus_path) as corpus:
+                depth = manifest.get("rerank_depth")
+                sharded.enable_exact_rerank(corpus["points"], rerank_depth=depth)
         return sharded

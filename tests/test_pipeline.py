@@ -1,0 +1,391 @@
+"""Tests for the staged query-execution pipeline (repro.pipeline).
+
+The parity class pins the refactor's core guarantee: the default
+:class:`QueryPipeline` reproduces the pre-refactor monolithic
+``JunoIndex.search`` bit-identically.  ``_reference_monolithic_search`` below
+is a faithful port of that monolithic implementation (as of the serving-layer
+PR) operating on the index's trained state, so the snapshot travels with the
+test suite instead of a binary fixture.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_candidate_scores
+from repro.core.config import QualityMode
+from repro.core.hit_count import HitCountScorer
+from repro.core.selective_lut import SelectiveLUTConstructor
+from repro.core.threshold import ThresholdModel
+from repro.core.inner_product import inner_product_threshold_to_tmax
+from repro.gpu.work import SearchWork
+from repro.metrics.distances import Metric
+from repro.pipeline import (
+    CoarseFilterStage,
+    ExactRerankStage,
+    QueryContext,
+    QueryPipeline,
+    RTSelectStage,
+    ScoreStage,
+    ThresholdStage,
+    TopKStage,
+    default_search_pipeline,
+    rerank_pipeline,
+)
+
+
+# --------------------------------------------------------------- reference
+def _reference_thresholds_and_tmax(index, origins, scale, work):
+    num_rays, num_subspaces, _ = origins.shape
+    thresholds = np.empty((num_rays, num_subspaces))
+    t_max = np.empty((num_rays, num_subspaces))
+    for s in range(num_subspaces):
+        density = index.density_map.lookup(s, origins[:, s, :])
+        predicted = index.threshold_model.predict_from_density(density)
+        offset = float(index.origin_offsets[s])
+        if index.metric is Metric.L2:
+            effective = predicted * scale
+            thresholds[:, s] = effective
+            t_max[:, s] = ThresholdModel.threshold_to_tmax(
+                effective, index.sphere_radius, offset
+            )
+        else:
+            query_norm_sq = np.sum(origins[:, s, :] ** 2, axis=1)
+            base_tmax = inner_product_threshold_to_tmax(
+                predicted, query_norm_sq, index.sphere_radius, offset
+            )
+            scaled_tmax = np.clip(offset - (offset - base_tmax) / scale, 0.0, offset)
+            t_max[:, s] = scaled_tmax
+            thresholds[:, s] = (
+                query_norm_sq - index.sphere_radius**2 + (offset - scaled_tmax) ** 2
+            ) / 2.0
+    work.threshold_inferences += float(num_rays * num_subspaces)
+    return thresholds, t_max
+
+
+def _reference_miss_penalties(index, row_thresholds):
+    if index.metric is Metric.L2:
+        return (row_thresholds**2) * index.config.miss_penalty_factor
+    return row_thresholds * index.config.miss_penalty_factor
+
+
+def _reference_score_batch(
+    index, queries, selected, lut, thresholds, mode, k, query_cluster_ip, work
+):
+    num_queries, nprobs = selected.shape
+    num_subspaces = index.config.num_subspaces
+    subspace_range = np.arange(num_subspaces)
+    scorer = HitCountScorer(
+        use_inner_sphere=mode.uses_inner_sphere,
+        miss_penalty=index.config.hit_count_penalty,
+    )
+    higher_is_better = mode.higher_is_better(index.metric)
+    fill_value = -np.inf if higher_is_better else np.inf
+    all_ids = np.full((num_queries, k), -1, dtype=np.int64)
+    all_scores = np.full((num_queries, k), fill_value, dtype=np.float64)
+    candidate_total = 0.0
+    for qi in range(num_queries):
+        candidate_ids = []
+        candidate_scores = []
+        for ci in range(nprobs):
+            cluster_id = int(selected[qi, ci])
+            ray_id = qi * nprobs + ci
+            members = index.subspace_index.cluster_members(cluster_id)
+            if members.size == 0:
+                continue
+            codes = index.subspace_index.cluster_codes(cluster_id)
+            if mode.uses_exact_distance:
+                rows = lut.dense_rows(ray_id)
+                values = rows[subspace_range[None, :], codes]
+                miss = np.isnan(values)
+                matched = (~miss).sum(axis=1)
+                penalties = _reference_miss_penalties(index, thresholds[ray_id])
+                scores = np.where(miss, penalties[None, :], values).sum(axis=1)
+                if query_cluster_ip is not None:
+                    scores = scores + query_cluster_ip[qi, ci]
+            else:
+                hit_mask = lut.hit_mask_rows(ray_id)
+                inner_mask = lut.inner_mask_rows(ray_id) if mode.uses_inner_sphere else None
+                scores, matched = scorer.score_members(hit_mask, inner_mask, codes)
+            keep = matched >= 1
+            work.adc_lookups += float(matched.sum())
+            work.adc_candidates += float(keep.sum())
+            if not keep.any():
+                continue
+            candidate_ids.append(members[keep])
+            candidate_scores.append(scores[keep])
+        if not candidate_ids:
+            continue
+        ids = np.concatenate(candidate_ids)
+        scores = np.concatenate(candidate_scores)
+        candidate_total += float(ids.size)
+        order = np.argsort(-scores if higher_is_better else scores, kind="stable")[:k]
+        count = order.size
+        all_ids[qi, :count] = ids[order]
+        all_scores[qi, :count] = scores[order]
+    return all_ids, all_scores, candidate_total
+
+
+def _reference_monolithic_search(
+    index, queries, k, nprobs=8, quality_mode=None, threshold_scale=None
+):
+    """The pre-refactor ``JunoIndex.search``, verbatim, as a test oracle."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    mode = QualityMode(quality_mode) if quality_mode is not None else index.config.quality_mode
+    scale = float(threshold_scale) if threshold_scale is not None else index.config.threshold_scale
+    num_queries = queries.shape[0]
+    work = SearchWork(num_queries=num_queries, lut_pairwise_dims=2.0)
+
+    selected = index.ivf.select_clusters(queries, nprobs)
+    nprobs = selected.shape[1]
+    work.filter_flops += 2.0 * num_queries * index.dim * index.ivf.num_clusters
+
+    origins, query_cluster_ip = index._ray_origins(queries, selected)
+    thresholds, t_max = _reference_thresholds_and_tmax(index, origins, scale, work)
+    constructor = SelectiveLUTConstructor(
+        tracer=index.tracer,
+        base_radius=index.sphere_radius,
+        origin_offsets=index.origin_offsets,
+        metric=index.metric,
+        inner_sphere_ratio=index.config.inner_sphere_ratio if mode.uses_inner_sphere else None,
+    )
+    lut = constructor.construct(origins, t_max, thresholds=thresholds)
+    work.rt_rays += lut.stats.rays
+    work.rt_node_visits += lut.stats.node_visits
+    work.rt_aabb_tests += lut.stats.aabb_tests
+    work.rt_prim_tests += lut.stats.prim_tests
+    work.rt_hits += lut.stats.hits
+
+    ids, scores, candidate_total = _reference_score_batch(
+        index, queries, selected, lut, thresholds, mode, k, query_cluster_ip, work
+    )
+    work.sorted_candidates += candidate_total
+    return ids, scores, work, lut.selected_fraction(), candidate_total
+
+
+def _assert_matches_reference(index, dataset, mode, scale):
+    result = index.search(dataset.queries, k=10, nprobs=6, quality_mode=mode, threshold_scale=scale)
+    ref_ids, ref_scores, ref_work, ref_fraction, ref_candidates = _reference_monolithic_search(
+        index, dataset.queries, k=10, nprobs=6, quality_mode=mode, threshold_scale=scale
+    )
+    np.testing.assert_array_equal(result.ids, ref_ids)
+    np.testing.assert_array_equal(result.scores, ref_scores)
+    assert result.selected_entry_fraction == ref_fraction
+    assert result.extra["num_candidates"] == ref_candidates
+    for field_name in (
+        "filter_flops",
+        "rt_rays",
+        "rt_node_visits",
+        "rt_aabb_tests",
+        "rt_prim_tests",
+        "rt_hits",
+        "adc_lookups",
+        "adc_candidates",
+        "sorted_candidates",
+        "threshold_inferences",
+    ):
+        assert getattr(result.work, field_name) == getattr(ref_work, field_name), field_name
+
+
+# ------------------------------------------------------------------- parity
+class TestDefaultPipelineParity:
+    """Property: the staged default pipeline == the pre-refactor monolith."""
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    @pytest.mark.parametrize("scale", [0.6, 1.0, 2.0])
+    def test_l2_bit_identical(self, juno_l2, l2_dataset, mode, scale):
+        _assert_matches_reference(juno_l2, l2_dataset, mode, scale)
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-l"])
+    def test_ip_bit_identical(self, juno_ip, ip_dataset, mode):
+        _assert_matches_reference(juno_ip, ip_dataset, mode, 1.0)
+
+
+# -------------------------------------------------------------- composition
+class TestQueryPipelineComposition:
+    def test_default_stage_graph(self):
+        assert default_search_pipeline().stage_names == (
+            "coarse_filter",
+            "threshold",
+            "rt_select",
+            "score",
+            "top_k",
+        )
+
+    def test_insertion_helpers(self):
+        class Marker:
+            name = "marker"
+
+            def run(self, ctx):
+                pass
+
+        base = default_search_pipeline()
+        after = base.with_stage_after("score", Marker())
+        assert after.stage_names.index("marker") == after.stage_names.index("top_k") - 1
+        before = base.with_stage_before("score", Marker())
+        assert before.stage_names.index("marker") == before.stage_names.index("score") - 1
+        appended = base.appended(Marker())
+        assert appended.stage_names[-1] == "marker"
+        removed = appended.without_stage("marker")
+        assert removed.stage_names == base.stage_names
+        # the originals are untouched (pipelines are immutable)
+        assert base.stage_names == removed.stage_names
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(ValueError, match="no stage named"):
+            default_search_pipeline().with_stage_after("warp", TopKStage())
+
+    def test_empty_and_malformed_pipelines_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            QueryPipeline(())
+        with pytest.raises(TypeError, match="QueryStage"):
+            QueryPipeline((object(),))
+
+    def test_default_pipeline_is_picklable(self, l2_dataset):
+        pipeline = rerank_pipeline(l2_dataset.points[:8])
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone.stage_names == pipeline.stage_names
+
+
+# ---------------------------------------------------------------- execution
+class TestPipelineExecution:
+    def test_stage_breakdowns_cover_all_stages_and_sum_to_totals(self, juno_l2, l2_dataset):
+        result = juno_l2.search(l2_dataset.queries, k=10, nprobs=6)
+        seconds = result.extra["stage_seconds"]
+        stage_work = result.extra["stage_work"]
+        assert tuple(seconds) == default_search_pipeline().stage_names
+        assert tuple(stage_work) == default_search_pipeline().stage_names
+        assert all(value >= 0.0 for value in seconds.values())
+        for field_name in ("filter_flops", "rt_rays", "adc_lookups", "sorted_candidates"):
+            total = sum(getattr(work, field_name) for work in stage_work.values())
+            assert total == getattr(result.work, field_name), field_name
+        assert stage_work["coarse_filter"].filter_flops == result.work.filter_flops
+        assert stage_work["rt_select"].rt_rays == result.work.rt_rays
+        assert stage_work["top_k"].sorted_candidates == result.work.sorted_candidates
+
+    def test_custom_stage_runs_between_stages(self, juno_l2, l2_dataset):
+        class CandidateCap:
+            name = "candidate_cap"
+
+            def __init__(self, cap):
+                self.cap = cap
+
+            def run(self, ctx):
+                ctx.candidates = [
+                    None if pair is None else (pair[0][: self.cap], pair[1][: self.cap])
+                    for pair in ctx.candidates
+                ]
+
+        pipeline = default_search_pipeline().with_stage_after("score", CandidateCap(3))
+        result = juno_l2.search(l2_dataset.queries[:4], k=10, nprobs=6, pipeline=pipeline)
+        assert "candidate_cap" in result.extra["stage_seconds"]
+        assert (result.ids[:, 3:] == -1).all()
+
+    def test_missing_producer_stage_raises_clear_error(self, juno_l2, l2_dataset):
+        pipeline = QueryPipeline((RTSelectStage(),))
+        with pytest.raises(RuntimeError, match="rt_select.*origins"):
+            juno_l2.search(l2_dataset.queries[:2], k=5, pipeline=pipeline)
+
+    def test_pipeline_without_topk_raises(self, juno_l2, l2_dataset):
+        pipeline = QueryPipeline(
+            (CoarseFilterStage(), ThresholdStage(), RTSelectStage(), ScoreStage())
+        )
+        with pytest.raises(RuntimeError, match="TopKStage"):
+            juno_l2.search(l2_dataset.queries[:2], k=5, pipeline=pipeline)
+
+    def test_repeated_stage_names_accumulate(self, juno_l2, l2_dataset):
+        class Tick:
+            name = "tick"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, ctx):
+                self.calls += 1
+
+        tick = Tick()
+        pipeline = default_search_pipeline().with_stage_after("score", tick).appended(tick)
+        result = juno_l2.search(l2_dataset.queries[:2], k=5, nprobs=4, pipeline=pipeline)
+        assert tick.calls == 2
+        assert result.extra["stage_seconds"]["tick"] >= 0.0
+        assert result.extra["stage_work"]["tick"].num_queries == 2
+
+
+# -------------------------------------------------------------- exact rerank
+class TestExactRerankStage:
+    def _context(self, queries, ids, scores, k, metric=Metric.L2):
+        return QueryContext(
+            queries=np.atleast_2d(np.asarray(queries, dtype=np.float64)),
+            k=k,
+            nprobs=1,
+            quality_mode=QualityMode.HIGH,
+            threshold_scale=1.0,
+            metric=metric,
+            work=SearchWork(num_queries=np.atleast_2d(queries).shape[0]),
+            ids=np.asarray(ids, dtype=np.int64),
+            scores=np.asarray(scores, dtype=np.float64),
+        )
+
+    def test_reorders_by_exact_distance_and_truncates(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0], [10.0, 0.0]])
+        # candidate list deliberately ordered worst-first with bogus scores
+        ctx = self._context([[0.0, 0.0]], [[2, 1, 0]], [[0.1, 0.2, 0.3]], k=2)
+        QueryPipeline((ExactRerankStage(points),)).run(ctx)
+        np.testing.assert_array_equal(ctx.ids, [[0, 1]])
+        np.testing.assert_allclose(ctx.scores, [[0.0, 1.0]])
+        assert ctx.work.rerank_flops == 2.0 * 3 * 2
+
+    def test_inner_product_direction(self):
+        points = np.array([[1.0, 0.0], [2.0, 0.0], [0.5, 0.0]])
+        ctx = self._context(
+            [[1.0, 0.0]], [[0, 1, 2]], [[0.0, 0.0, 0.0]], k=3, metric=Metric.INNER_PRODUCT
+        )
+        QueryPipeline((ExactRerankStage(points, metric=Metric.INNER_PRODUCT),)).run(ctx)
+        np.testing.assert_array_equal(ctx.ids, [[1, 0, 2]])
+        np.testing.assert_allclose(ctx.scores, [[2.0, 1.0, 0.5]])
+
+    def test_padded_rows_pass_through_and_never_score(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        ctx = self._context(
+            [[0.0, 0.0], [5.0, 5.0]], [[1, -1], [-1, -1]], [[2.0, np.inf], [np.inf, np.inf]], k=2
+        )
+        QueryPipeline((ExactRerankStage(points),)).run(ctx)
+        np.testing.assert_array_equal(ctx.ids, [[1, -1], [-1, -1]])
+        assert ctx.scores[0, 1] == np.inf
+        assert np.all(np.isinf(ctx.scores[1]))
+
+    def test_widens_output_to_k(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ctx = self._context([[0.0, 0.0]], [[1]], [[9.0]], k=3)
+        QueryPipeline((ExactRerankStage(points),)).run(ctx)
+        assert ctx.ids.shape == (1, 3)
+        np.testing.assert_array_equal(ctx.ids, [[1, -1, -1]])
+
+
+# ------------------------------------------------------ exact score kernel
+class TestExactCandidateScores:
+    def test_matches_dense_pairwise(self, rng):
+        points = rng.standard_normal((20, 4))
+        queries = rng.standard_normal((3, 4))
+        ids = np.array([[0, 5, 19], [7, -1, 3], [-1, -1, -1]])
+        scores = exact_candidate_scores(points, queries, ids, Metric.L2)
+        for row in range(3):
+            for col in range(3):
+                if ids[row, col] < 0:
+                    assert scores[row, col] == np.inf
+                else:
+                    expected = np.sum((points[ids[row, col]] - queries[row]) ** 2)
+                    assert scores[row, col] == pytest.approx(expected)
+
+    def test_out_of_range_candidate_rejected(self, rng):
+        points = rng.standard_normal((4, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            exact_candidate_scores(points, np.zeros((1, 2)), np.array([[7]]))
+
+    def test_dimension_mismatch_rejected(self, rng):
+        points = rng.standard_normal((4, 2))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            exact_candidate_scores(points, np.zeros((1, 3)), np.array([[0]]))

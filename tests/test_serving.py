@@ -221,16 +221,77 @@ class TestShardedJunoIndex:
         assert result.work.rt_rays > 0
         assert 0.0 <= result.selected_entry_fraction <= 1.0
 
-    def test_fanout_pool_is_reused_across_batches(self, sharded_juno, shard_corpus):
+    def test_fanout_executor_is_reused_across_batches(self, sharded_juno, shard_corpus):
         sharded_juno.search(shard_corpus.queries[:2], k=5, nprobs=4)
-        pool = sharded_juno._pool
-        assert pool is not None
+        executor = sharded_juno._executor
+        assert executor is not None and executor.kind == "thread"
         sharded_juno.search(shard_corpus.queries[:2], k=5, nprobs=4)
-        assert sharded_juno._pool is pool
+        assert sharded_juno._executor is executor
         sharded_juno.close()
-        assert sharded_juno._pool is None
+        assert sharded_juno._executor is None
         result = sharded_juno.search(shard_corpus.queries[:2], k=5, nprobs=4)
         assert result.ids.shape == (2, 5)
+
+    def test_close_is_idempotent_and_context_manager_closes(self, shard_corpus):
+        sharded = ShardedJunoIndex.from_dim(
+            shard_corpus.dim, num_shards=2, **_shard_settings(shard_corpus)
+        )
+        sharded.train(shard_corpus.points)
+        with sharded:
+            sharded.search(shard_corpus.queries[:2], k=5, nprobs=4)
+            assert sharded._executor is not None
+        assert sharded._executor is None
+        sharded.close()
+        sharded.close()
+        assert sharded._executor is None
+
+    def test_process_executor_matches_sequential(self, sharded_juno, shard_corpus):
+        threaded = sharded_juno.search(shard_corpus.queries[:8], k=5, nprobs=4)
+        with ShardedJunoIndex.from_dim(
+            shard_corpus.dim,
+            num_shards=sharded_juno.num_shards,
+            executor="process",
+            **_shard_settings(shard_corpus),
+        ) as procs:
+            procs.shards = sharded_juno.shards
+            procs.shard_global_ids = sharded_juno.shard_global_ids
+            procs.dim = sharded_juno.dim
+            procs.num_points = sharded_juno.num_points
+            result = procs.search(shard_corpus.queries[:8], k=5, nprobs=4)
+            assert procs._executor.kind == "process"
+        assert search_results_equal(threaded, result)
+
+    def test_caller_supplied_executor_survives_close(self, sharded_juno, shard_corpus):
+        from repro.serving import ThreadShardExecutor
+
+        shared = ThreadShardExecutor(2)
+        try:
+            with ShardedJunoIndex.from_dim(
+                shard_corpus.dim,
+                num_shards=sharded_juno.num_shards,
+                executor=shared,
+                **_shard_settings(shard_corpus),
+            ) as borrowed:
+                borrowed.shards = sharded_juno.shards
+                borrowed.shard_global_ids = sharded_juno.shard_global_ids
+                borrowed.dim = sharded_juno.dim
+                borrowed.num_points = sharded_juno.num_points
+                borrowed.search(shard_corpus.queries[:2], k=5, nprobs=4)
+            # the router's close() (context-manager exit) must not shut down
+            # an executor the caller owns and may share with other routers
+            assert shared._pool is not None
+            assert shared.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        finally:
+            shared.close()
+
+    def test_unknown_executor_rejected(self, shard_corpus):
+        with pytest.raises(ValueError, match="executor"):
+            ShardedJunoIndex.from_dim(
+                shard_corpus.dim,
+                num_shards=2,
+                executor="fibers",
+                **_shard_settings(shard_corpus),
+            )
 
     def test_sequential_and_threaded_fanout_agree(self, sharded_juno, shard_corpus):
         threaded = sharded_juno.search(shard_corpus.queries, k=5, nprobs=4)
@@ -338,6 +399,158 @@ class TestMergeShardResults:
         r1 = _fake_result([[0]], [[2.0]], mode=QualityMode.LOW)
         with pytest.raises(ValueError, match="quality modes"):
             merge_shard_results([r0, r1], [np.array([0]), np.array([1])], 1, Metric.L2)
+
+    def test_fully_padded_shard_never_displaces_tied_valid_candidate(self):
+        """Regression: a valid candidate scoring exactly the sentinel value
+        must still outrank every ``-1``-padded slot of a fully padded shard
+        row (a plain stable argsort on scores used to surface the sentinel
+        ids first)."""
+        r0 = _fake_result([[-1, -1]], [[np.inf, np.inf]])
+        r1 = _fake_result([[0, -1]], [[np.inf, np.inf]])
+        merged = merge_shard_results(
+            [r0, r1], [np.array([10, 11]), np.array([20, 21])], 2, Metric.L2
+        )
+        np.testing.assert_array_equal(merged.ids, [[20, -1]])
+        assert np.all(np.isinf(merged.scores))
+
+    def test_all_padded_rows_stay_padded_hit_count_direction(self):
+        r0 = _fake_result([[-1, -1]], [[-np.inf, -np.inf]], mode=QualityMode.LOW)
+        r1 = _fake_result([[-1, -1]], [[-np.inf, -np.inf]], mode=QualityMode.LOW)
+        merged = merge_shard_results(
+            [r0, r1], [np.array([0, 1]), np.array([2, 3])], 2, Metric.L2
+        )
+        np.testing.assert_array_equal(merged.ids, [[-1, -1]])
+        np.testing.assert_array_equal(merged.scores, [[-np.inf, -np.inf]])
+
+    def test_merge_k_wider_than_columns_keeps_output_aligned(self):
+        r0 = _fake_result([[3, -1]], [[1.0, np.inf]])
+        merged = merge_shard_results([r0], [np.arange(5)], 4, Metric.L2)
+        assert merged.ids.shape == (1, 4)
+        assert merged.scores.shape == (1, 4)
+        np.testing.assert_array_equal(merged.ids, [[3, -1, -1, -1]])
+        np.testing.assert_array_equal(merged.scores, [[1.0, np.inf, np.inf, np.inf]])
+
+    def test_reranked_shard_results_merge_in_metric_direction(self):
+        """Regression: per-shard reranked scores are exact metric-direction
+        values (squared L2 ascending here), so the merge must not sort them
+        by the hit-count mode's higher-is-better convention."""
+        r0 = _fake_result([[0]], [[1.0]], mode=QualityMode.LOW)
+        r1 = _fake_result([[0]], [[4.0]], mode=QualityMode.LOW)
+        for result in (r0, r1):
+            result.extra["reranked"] = True
+        merged = merge_shard_results(
+            [r0, r1], [np.array([7]), np.array([9])], 2, Metric.L2
+        )
+        np.testing.assert_array_equal(merged.ids, [[7, 9]])
+        np.testing.assert_array_equal(merged.scores, [[1.0, 4.0]])
+        assert merged.extra["reranked"] is True
+
+    def test_mixed_reranked_and_plain_results_rejected(self):
+        r0 = _fake_result([[0]], [[1.0]])
+        r1 = _fake_result([[0]], [[2.0]])
+        r1.extra["reranked"] = True
+        with pytest.raises(ValueError, match="reranked"):
+            merge_shard_results([r0, r1], [np.array([0]), np.array([1])], 1, Metric.L2)
+
+    def test_stage_breakdowns_aggregate_across_shards(self):
+        r0 = _fake_result([[0]], [[1.0]])
+        r1 = _fake_result([[0]], [[2.0]])
+        for result, flops in ((r0, 4.0), (r1, 6.0)):
+            stage_work = SearchWork(num_queries=1, filter_flops=flops)
+            result.extra["stage_seconds"] = {"coarse_filter": 0.5}
+            result.extra["stage_work"] = {"coarse_filter": stage_work}
+        merged = merge_shard_results(
+            [r0, r1], [np.array([0]), np.array([1])], 1, Metric.L2
+        )
+        assert merged.extra["stage_seconds"] == {"coarse_filter": 1.0}
+        merged_stage = merged.extra["stage_work"]["coarse_filter"]
+        assert merged_stage.filter_flops == 10.0
+        assert merged_stage.num_queries == 1
+        # aggregation must not mutate the per-shard records
+        assert r0.extra["stage_work"]["coarse_filter"].filter_flops == 4.0
+
+
+# --------------------------------------------------------------- exact rerank
+@pytest.fixture()
+def reranking_sharded(sharded_juno, shard_corpus):
+    """The module's sharded index with exact rerank temporarily enabled."""
+    sharded_juno.enable_exact_rerank(shard_corpus.points)
+    yield sharded_juno
+    sharded_juno.disable_exact_rerank()
+
+
+class TestExactRerank:
+    @pytest.mark.parametrize("scale", [1.5, 2.0])
+    def test_rerank_recall_at_least_plain_sharded(
+        self, reranking_sharded, shard_corpus, scale
+    ):
+        """Property: at threshold_scale >= 1.5 the reranked top-k is chosen
+        by exact distance from a superset of the plain merge's candidates,
+        so recall@10 can never drop."""
+        gt = shard_corpus.ground_truth
+        with_rerank = reranking_sharded.search(
+            shard_corpus.queries, k=10, nprobs=8, threshold_scale=scale
+        )
+        reranking_sharded.disable_exact_rerank()
+        try:
+            plain = reranking_sharded.search(
+                shard_corpus.queries, k=10, nprobs=8, threshold_scale=scale
+            )
+        finally:
+            reranking_sharded.enable_exact_rerank(shard_corpus.points)
+        recall_rerank = recall_k_at_n(with_rerank.ids, gt, 10, 10)
+        recall_plain = recall_k_at_n(plain.ids, gt, 10, 10)
+        assert recall_rerank >= recall_plain
+
+    def test_rerank_reaches_unsharded_recall_at_aggressive_scale(
+        self, reranking_sharded, single_juno, shard_corpus
+    ):
+        """Acceptance: sharded + ExactRerankStage recall@10 >= the unsharded
+        index at threshold_scale=2.0."""
+        gt = shard_corpus.ground_truth
+        sharded = reranking_sharded.search(
+            shard_corpus.queries, k=10, nprobs=8, threshold_scale=2.0
+        )
+        single = single_juno.search(
+            shard_corpus.queries, k=10, nprobs=8, threshold_scale=2.0
+        )
+        recall_sharded = recall_k_at_n(sharded.ids, gt, 10, 10)
+        recall_single = recall_k_at_n(single.ids, gt, 10, 10)
+        assert recall_sharded >= recall_single
+
+    def test_rerank_scores_are_exact_squared_distances(
+        self, reranking_sharded, shard_corpus
+    ):
+        result = reranking_sharded.search(shard_corpus.queries[:4], k=5, nprobs=6)
+        assert result.extra["reranked"] is True
+        for row, (ids, scores) in enumerate(zip(result.ids, result.scores)):
+            valid = ids >= 0
+            expected = np.sum(
+                (shard_corpus.points[ids[valid]] - shard_corpus.queries[row]) ** 2,
+                axis=1,
+            )
+            np.testing.assert_allclose(scores[valid], expected)
+            assert (np.diff(scores[valid]) >= -1e-12).all()
+
+    def test_rerank_work_and_stage_breakdown(self, reranking_sharded, shard_corpus):
+        result = reranking_sharded.search(shard_corpus.queries[:4], k=5, nprobs=6)
+        assert result.work.rerank_flops > 0
+        assert "exact_rerank" in result.extra["stage_seconds"]
+        assert result.extra["stage_work"]["exact_rerank"].rerank_flops > 0
+
+    def test_rerank_corpus_size_mismatch_rejected(self, sharded_juno, shard_corpus):
+        with pytest.raises(ValueError, match="rerank corpus"):
+            sharded_juno.enable_exact_rerank(shard_corpus.points[:-1])
+
+    def test_save_load_roundtrip_preserves_rerank(
+        self, reranking_sharded, shard_corpus, tmp_path
+    ):
+        bundle = reranking_sharded.save(tmp_path / "rerank-deployment")
+        reloaded = ShardedJunoIndex.load(bundle)
+        assert reloaded.exact_rerank
+        expected = reranking_sharded.search(shard_corpus.queries, k=10, nprobs=6)
+        observed = reloaded.search(shard_corpus.queries, k=10, nprobs=6)
+        assert search_results_equal(expected, observed)
 
 
 # ----------------------------------------------------------------- scheduler
@@ -515,3 +728,74 @@ class TestServingEngine:
             CostModel("rtx4090"),
         ).records
         assert {record.extra["ef"] for record in records} == {8, 16}
+
+    def test_custom_pipeline_through_engine(self, juno_l2, l2_dataset):
+        from repro.pipeline import default_search_pipeline
+
+        engine = ServingEngine(juno_l2)
+        assert engine.accepts("pipeline")
+        direct = engine.search(l2_dataset.queries[:4], k=5, nprobs=6)
+        piped = engine.search(
+            l2_dataset.queries[:4], k=5, nprobs=6, pipeline=default_search_pipeline()
+        )
+        np.testing.assert_array_equal(direct.ids, piped.ids)
+        np.testing.assert_array_equal(direct.scores, piped.scores)
+
+    def test_pipeline_param_rejected_by_baselines(self, ivfpq_l2):
+        from repro.pipeline import default_search_pipeline
+
+        engine = ServingEngine(ivfpq_l2)
+        with pytest.raises(ValueError, match="does not accept"):
+            engine.search(np.zeros((1, 16)), k=5, pipeline=default_search_pipeline())
+
+    def test_stage_breakdowns_exposed(self, juno_l2, l2_dataset):
+        engine = ServingEngine(juno_l2, cost_model=CostModel("rtx4090"))
+        result = engine.search(l2_dataset.queries[:4], k=5, nprobs=6)
+        seconds = engine.stage_seconds(result)
+        modelled = engine.modelled_stage_latencies(result)
+        expected_stages = {"coarse_filter", "threshold", "rt_select", "score", "top_k"}
+        assert set(seconds) == expected_stages
+        assert set(modelled) == expected_stages
+        assert all(value >= 0.0 for value in seconds.values())
+        assert all(value > 0.0 for value in modelled.values())
+
+    def test_modelled_stage_latencies_require_cost_model(self, juno_l2, l2_dataset):
+        engine = ServingEngine(juno_l2)
+        result = engine.search(l2_dataset.queries[:2], k=5, nprobs=4)
+        with pytest.raises(RuntimeError, match="cost model"):
+            engine.modelled_stage_latencies(result)
+
+    def test_engine_context_manager_closes_sharded_backend(
+        self, sharded_juno, shard_corpus
+    ):
+        with ServingEngine(sharded_juno) as engine:
+            engine.search(shard_corpus.queries[:2], k=5, nprobs=4)
+            assert sharded_juno._executor is not None
+        assert sharded_juno._executor is None
+        engine.close()  # idempotent, and fine on every backend
+
+    def test_engine_close_is_noop_for_poolless_backends(self, l2_dataset):
+        engine = ServingEngine(ExactSearch().add(l2_dataset.points))
+        engine.close()
+        engine.close()
+
+    def test_engine_sweep_records_stage_breakdowns(self, juno_l2, l2_dataset):
+        sweep = SweepConfig(
+            nprobs_values=(4,),
+            threshold_scales=(1.0,),
+            quality_modes=(QualityMode.HIGH,),
+            k=10,
+            recall_k=1,
+            recall_n=10,
+        )
+        records = run_engine_sweep(
+            ServingEngine(juno_l2),
+            l2_dataset.queries,
+            l2_dataset.ground_truth,
+            sweep,
+            CostModel("rtx4090"),
+        ).records
+        assert len(records) == 1
+        assert "stage_seconds" in records[0].extra
+        assert "stage_modelled_s" in records[0].extra
+        assert "coarse_filter" in records[0].extra["stage_modelled_s"]
