@@ -22,6 +22,7 @@ reward/penalty hit count and JUNO-L the plain hit count (Sec. 5.4 / 6.1).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -42,6 +43,12 @@ from repro.rt.tracer import RayTracer
 
 if TYPE_CHECKING:  # pragma: no cover - the pipeline package imports core leaves
     from repro.pipeline.pipeline import QueryPipeline
+
+# Process-wide monotonic source of cache tokens: every (re)build of an
+# index's trained state gets a token no other index state in this process
+# ever had, so StageCache keys can never alias entries across retrains or
+# across a new index reusing a garbage-collected one's id().
+_CACHE_TOKENS = itertools.count()
 
 
 @dataclass
@@ -100,6 +107,7 @@ class JunoIndex:
         self.tracer: RayTracer | None = None
         self.sphere_radius: float = 1.0
         self.origin_offsets: np.ndarray | None = None
+        self.cache_token: int | None = None
 
     # ------------------------------------------------------------- factory
     @classmethod
@@ -248,6 +256,11 @@ class JunoIndex:
         sphere radius, so it is deterministic to rebuild; this is how
         :mod:`repro.serving.persistence` restores a reloaded index without
         re-running any training.
+
+        Every (re)build also stamps a fresh, process-unique
+        :attr:`cache_token`: :class:`~repro.pipeline.cache.StageCache` keys
+        include it, so retraining an index -- or loading new state into one
+        -- invalidates every cached stage output derived from the old state.
         """
         config = self.config
         if self.pq is None or not self.pq.is_trained:
@@ -265,6 +278,7 @@ class JunoIndex:
             self.scene.add_layer(s, entries, radii=radii, z=2.0 * s + 1.0)
         self.origin_offsets = offsets
         self.tracer = RayTracer(self.scene)
+        self.cache_token = next(_CACHE_TOKENS)
 
     # ----------------------------------------------------------------- search
     def default_pipeline(self) -> "QueryPipeline":

@@ -85,12 +85,24 @@ class SearchWork:
         return out
 
     def merge(self, other: "SearchWork") -> "SearchWork":
-        """Accumulate another batch's work into this record (in place)."""
+        """Accumulate another batch's work into this record (in place).
+
+        Numeric ``extra`` entries (diagnostic counters such as the stage
+        cache's ``cache_hits`` / ``cache_misses``) are summed under the same
+        key so they aggregate across shards like the primary counters;
+        non-numeric extras keep the first value seen.
+        """
         for f in fields(self):
             if f.name in ("extra", "lut_pairwise_dims"):
                 continue
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         self.lut_pairwise_dims = max(self.lut_pairwise_dims, other.lut_pairwise_dims)
+        for key, value in other.extra.items():
+            mine = self.extra.get(key)
+            if isinstance(value, (int, float)) and isinstance(mine, (int, float)):
+                self.extra[key] = mine + value
+            else:
+                self.extra.setdefault(key, value)
         return self
 
     def per_query(self) -> "SearchWork":

@@ -15,7 +15,7 @@ The default pipeline (``default_search_pipeline()``) is a linear graph::
           |
     RTSelectStage          selective L2-LUT on the RT engine      (Alg. 2, l.5-7)
           |
-    ScoreStage             per-candidate ADC / hit-count scores   (Sec. 5.4)
+    ScoreStage             batched ADC / hit-count scoring        (Sec. 5.4)
           |
     TopKStage              per-query top-k selection
 
@@ -26,6 +26,41 @@ with each edge carried by fields of a shared
 sixth stage that rescores final candidates against the raw corpus; the
 sharded router appends it after its k-way merge so scores from independently
 trained shards become comparable.
+
+Batched scoring
+---------------
+
+:class:`~repro.pipeline.stages.ScoreStage` is a vectorised kernel: the
+``(query, cluster)`` work items of the batch are grouped by cluster, each
+cluster's member codes are gathered once, and every ray touching the cluster
+is scored in one ``(rays, members, subspaces)`` NumPy block -- for the
+exact-distance (JUNO-H) and both hit-count (JUNO-L/M) modes.  The historical
+per-ray Python loop survives as
+:class:`~repro.pipeline.stages.LoopedScoreStage`, which the parity and
+property tests use as the oracle: results and
+:class:`~repro.gpu.work.SearchWork` deltas are bit-identical, only the batch
+shape of the arithmetic differs.
+
+Stage caching
+-------------
+
+A :class:`~repro.pipeline.cache.StageCache` passed to
+``default_search_pipeline(stage_cache=...)`` memoises the coarse-filter and
+threshold stages across searches.  Keys combine a content fingerprint of the
+query batch (shape + dtype + bytes) with the parameters that determine each
+stage's output -- ``(index identity, nprobs)`` for the coarse filter, plus
+``(selected-cluster fingerprint, threshold_scale)`` for the threshold stage
+-- so neither depends on the quality mode, and the coarse filter is also
+scale-independent: a ``threshold_scale`` x quality-mode sweep recomputes each
+slice once.  A changed query batch changes the fingerprint (automatic
+invalidation); old entries age out of the LRU ring.  Cache hits restore
+bit-identical arrays (stored read-only) but do *not* replay the stage's work
+counters -- the operations were genuinely skipped -- and each search reports
+its lookup counts under ``extra["stage_cache"]`` and on the per-stage work
+slices (``extra["stage_work"][name].extra["cache_hits"]`` /
+``["cache_misses"]``), which
+:meth:`repro.gpu.cost_model.CostModel.stage_latencies` uses to model fully
+cached slices as free.
 
 Inserting a custom stage
 ------------------------
@@ -55,6 +90,7 @@ are recorded under ``result.extra["stage_seconds"]`` /
 per-stage GPU latencies.
 """
 
+from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
 from repro.pipeline.pipeline import (
     QueryPipeline,
@@ -64,6 +100,7 @@ from repro.pipeline.pipeline import (
 from repro.pipeline.stages import (
     CoarseFilterStage,
     ExactRerankStage,
+    LoopedScoreStage,
     QueryStage,
     RTSelectStage,
     ScoreStage,
@@ -74,11 +111,13 @@ from repro.pipeline.stages import (
 __all__ = [
     "CoarseFilterStage",
     "ExactRerankStage",
+    "LoopedScoreStage",
     "QueryContext",
     "QueryPipeline",
     "QueryStage",
     "RTSelectStage",
     "ScoreStage",
+    "StageCache",
     "ThresholdStage",
     "TopKStage",
     "default_search_pipeline",

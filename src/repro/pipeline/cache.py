@@ -1,0 +1,159 @@
+"""Cross-sweep memoisation of query-stage outputs.
+
+A ``threshold_scale`` sweep (and a quality-mode sweep at a fixed scale) reruns
+the same query batch through the same index many times, but the early stages
+do not depend on every knob: the coarse filter depends only on
+``(index, queries, nprobs)`` and the threshold stage only additionally on
+``(selected clusters, threshold_scale)`` -- neither depends on the quality
+mode.  :class:`StageCache` exploits that by memoising those stages' outputs,
+keyed by a fingerprint of the arrays and parameters that actually determine
+them, so a sweep recomputes each coarse filtering / thresholding slice once
+instead of once per grid point.
+
+Semantics:
+
+* **Results are bit-identical.**  A cache hit restores the exact arrays the
+  stage produced on the miss (stored read-only, so downstream stages cannot
+  corrupt the cached copy).
+* **Work counters are honest.**  A hit does *not* replay the stage's
+  :class:`~repro.gpu.work.SearchWork` counters: the operations were genuinely
+  not re-executed, so the batch totals (and the cost model's modelled QPS)
+  reflect the saving.  Hit/miss counts are recorded per stage in
+  ``ctx.extra["stage_cache"]`` and attached to the per-stage
+  ``extra["stage_work"]`` entries (``extra["cache_hits"]`` /
+  ``extra["cache_misses"]``);
+  :meth:`repro.gpu.cost_model.CostModel.stage_latency` models a slice served
+  entirely from cache as free.
+* **Invalidation is by key.**  Keys include a content fingerprint of the
+  query batch (shape, dtype and bytes), so a changed batch can never alias a
+  cached entry; stale entries age out of the LRU ring
+  (``max_entries``).
+
+The cache is thread-safe (the sharded router's thread-pool fan-out shares
+one cache across shards; keys include the index identity) but deliberately
+does not survive pickling: a copy shipped to a process-pool worker starts
+empty, since memory is not shared across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+
+class StageCache:
+    """An LRU memo of stage outputs shared by the cache-aware stages.
+
+    Args:
+        max_entries: entries retained across all stages before the least
+            recently used one is evicted.  Each entry holds the output
+            arrays of one (stage, key) pair -- for the built-in cached
+            stages that is ``O(Q * nprobs * S)`` floats.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._counts: dict[str, list[int]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ fingerprint
+    @staticmethod
+    def fingerprint(array: np.ndarray) -> bytes:
+        """Content fingerprint of an array: shape, dtype and raw bytes.
+
+        Any change to the query batch (or the selected-cluster matrix)
+        changes the fingerprint, which is what invalidates cached entries --
+        there is no time-based expiry.
+        """
+        array = np.ascontiguousarray(array)
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+        return digest.digest()
+
+    # ------------------------------------------------------------ primitives
+    def fetch(self, stage_name: str, key: tuple) -> Any | None:
+        """Look an entry up, counting a hit or miss for ``stage_name``."""
+        with self._lock:
+            counts = self._counts.setdefault(stage_name, [0, 0])
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                counts[0] += 1
+                return self._entries[key]
+            counts[1] += 1
+            return None
+
+    def store(self, stage_name: str, key: tuple, value: Any) -> None:
+        """Insert an entry, evicting the least recently used past the cap."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._counts.clear()
+
+    # -------------------------------------------------------------- counters
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-stage ``{"hits": ..., "misses": ...}`` counters."""
+        with self._lock:
+            return {
+                name: {"hits": counts[0], "misses": counts[1]}
+                for name, counts in self._counts.items()
+            }
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all stages."""
+        with self._lock:
+            return sum(counts[0] for counts in self._counts.values())
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all stages."""
+        with self._lock:
+            return sum(counts[1] for counts in self._counts.values())
+
+    @property
+    def size(self) -> int:
+        """Number of live entries (``__len__`` is deliberately not defined:
+        an empty cache must not be falsy in ``stage_cache=...`` options)."""
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Pickle only the configuration: entries and counters stay local.
+
+        A process-pool shard worker receives an *empty* copy -- cached
+        arrays are not shared across address spaces, and re-shipping them
+        per batch would defeat the point of the cache.
+        """
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(max_entries=state["max_entries"])
+
+
+def freeze(array: np.ndarray | None) -> np.ndarray | None:
+    """Mark an array read-only before it enters the cache (and the context).
+
+    Cached outputs are shared by every later pipeline run that hits the same
+    key, so an in-place mutation by a downstream stage would silently corrupt
+    future searches; freezing turns that bug into an immediate ``ValueError``.
+    """
+    if array is not None:
+        array.flags.writeable = False
+    return array

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from typing import Iterable
 
+from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
 from repro.pipeline.stages import (
     CoarseFilterStage,
@@ -77,13 +78,24 @@ class QueryPipeline:
         The per-stage :class:`SearchWork` is the delta of the shared counters
         across the stage, so summing the breakdown over all stages recovers
         the batch totals exactly; a stage name that occurs twice accumulates.
+        Cache-aware stages record their hit/miss counts in
+        ``ctx.extra["stage_cache"]``; those counters are copied onto the
+        stage's work slice (``extra["cache_hits"]`` /
+        ``extra["cache_misses"]``) so they travel with ``stage_work`` into
+        sweep records and the cost model.
         """
         for stage in self.stages:
             before = ctx.work.copy()
+            before_counts = dict(ctx.extra.get("stage_cache", {}).get(stage.name, {}))
             started = time.perf_counter()
             stage.run(ctx)
             elapsed = time.perf_counter() - started
             delta = ctx.work.delta(before)
+            cache_counts = ctx.extra.get("stage_cache", {}).get(stage.name)
+            if cache_counts is not None:
+                before_misses = before_counts.get("misses", 0)
+                delta.extra["cache_hits"] = cache_counts["hits"] - before_counts.get("hits", 0)
+                delta.extra["cache_misses"] = cache_counts["misses"] - before_misses
             ctx.stage_seconds[stage.name] = ctx.stage_seconds.get(stage.name, 0.0) + elapsed
             if stage.name in ctx.stage_work:
                 ctx.stage_work[stage.name].merge(delta)
@@ -93,16 +105,24 @@ class QueryPipeline:
         return ctx
 
 
-def default_search_pipeline() -> QueryPipeline:
+def default_search_pipeline(stage_cache: StageCache | None = None) -> QueryPipeline:
     """The staged equivalent of the monolithic JUNO online path (Alg. 2).
 
     ``CoarseFilterStage -> ThresholdStage -> RTSelectStage -> ScoreStage ->
-    TopKStage``; bit-identical to the pre-pipeline ``JunoIndex.search``.
+    TopKStage``; bit-identical to the pre-pipeline ``JunoIndex.search``
+    (the score stage runs the batched kernel, which the parity tests pin to
+    the historical loop).
+
+    Args:
+        stage_cache: optional :class:`~repro.pipeline.cache.StageCache`
+            shared by the coarse-filter and threshold stages, so repeated
+            searches of the same batch (threshold-scale or quality-mode
+            sweeps) reuse their outputs instead of recomputing them.
     """
     return QueryPipeline(
         (
-            CoarseFilterStage(),
-            ThresholdStage(),
+            CoarseFilterStage(cache=stage_cache),
+            ThresholdStage(cache=stage_cache),
             RTSelectStage(),
             ScoreStage(),
             TopKStage(),
@@ -110,8 +130,10 @@ def default_search_pipeline() -> QueryPipeline:
     )
 
 
-def rerank_pipeline(points, metric=None) -> QueryPipeline:
+def rerank_pipeline(points, metric=None, stage_cache: StageCache | None = None) -> QueryPipeline:
     """A default pipeline with an exact rerank appended after top-k."""
     from repro.pipeline.stages import ExactRerankStage
 
-    return default_search_pipeline().appended(ExactRerankStage(points, metric=metric))
+    return default_search_pipeline(stage_cache=stage_cache).appended(
+        ExactRerankStage(points, metric=metric)
+    )

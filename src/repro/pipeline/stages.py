@@ -8,13 +8,23 @@ search is the composition
 ``CoarseFilterStage -> ThresholdStage -> RTSelectStage -> ScoreStage ->
 TopKStage``
 
-which is operation-for-operation the monolithic ``JunoIndex.search`` of
-earlier revisions (Alg. 2 plus the distance-calculation stage), so the
-default pipeline reproduces its results bit-identically.
+which computes the same results as the monolithic ``JunoIndex.search`` of
+earlier revisions (Alg. 2 plus the distance-calculation stage) bit for bit.
+:class:`ScoreStage` is the *batched* distance-calculation kernel: it groups
+the ``(query, cluster)`` work items of the batch by cluster, gathers each
+cluster's codes once and scores every ray touching the cluster in one NumPy
+kernel; :class:`LoopedScoreStage` keeps the historical per-ray Python loop
+as the reference implementation the parity tests pin the kernel against.
 :class:`ExactRerankStage` is the first stage with no monolithic counterpart:
 it rescores already-selected candidates against the raw corpus, which the
 sharded router appends after its k-way merge to restore cross-shard score
 comparability.
+
+:class:`CoarseFilterStage` and :class:`ThresholdStage` optionally memoise
+their outputs in a :class:`~repro.pipeline.cache.StageCache` (their outputs
+do not depend on the quality mode, and the coarse filter does not depend on
+``threshold_scale`` either, so sweeps reuse them across grid points); see
+:mod:`repro.pipeline.cache` for the key/invalidation scheme.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from repro.core.inner_product import inner_product_threshold_to_tmax
 from repro.core.selective_lut import SelectiveLUTConstructor
 from repro.core.threshold import ThresholdModel
 from repro.metrics.distances import Metric, padded_top_k
+from repro.pipeline.cache import StageCache, freeze
 from repro.pipeline.context import QueryContext
 
 
@@ -48,29 +59,117 @@ class QueryStage(Protocol):
         ...  # pragma: no cover - protocol stub
 
 
+def _index_cache_identity(index) -> tuple:
+    """The part of a stage-cache key that names the index's trained state.
+
+    ``cache_token`` is stamped process-uniquely on every scene (re)build, so
+    a retrained index -- or a new index whose ``id()`` happens to reuse a
+    collected one's -- can never alias another state's cached entries; the
+    ``id()`` component merely keeps tokenless stand-ins distinct.
+    """
+    return (id(index), getattr(index, "cache_token", None))
+
+
+def _note_cache_event(ctx: QueryContext, stage_name: str, hit: bool) -> None:
+    """Record one cache lookup in ``ctx.extra["stage_cache"]``.
+
+    The pipeline copies these counters onto the stage's
+    ``extra["stage_work"]`` slice after the stage runs, which is how they
+    reach sweep records and the cost model.
+    """
+    counters = ctx.extra.setdefault("stage_cache", {}).setdefault(
+        stage_name, {"hits": 0, "misses": 0}
+    )
+    counters["hits" if hit else "misses"] += 1
+
+
 class CoarseFilterStage:
-    """Stage A: brute-force coarse filtering over the IVF centroids."""
+    """Stage A: brute-force coarse filtering over the IVF centroids.
+
+    Args:
+        cache: optional :class:`StageCache`.  The selected-cluster matrix
+            depends only on ``(index, queries, nprobs)``, so every grid point
+            of a ``threshold_scale`` or quality-mode sweep past the first is
+            served from cache.  Hits do not replay the filtering FLOPs --
+            the work was genuinely skipped -- and are counted in
+            ``ctx.extra["stage_cache"]``.
+    """
 
     name = "coarse_filter"
 
+    def __init__(self, cache: StageCache | None = None) -> None:
+        self.cache = cache
+
     def run(self, ctx: QueryContext) -> None:
         index = ctx.require("index", self.name)
+        key = None
+        if self.cache is not None:
+            key = (
+                self.name,
+                _index_cache_identity(index),
+                int(ctx.nprobs),
+                self.cache.fingerprint(ctx.queries),
+            )
+            cached = self.cache.fetch(self.name, key)
+            _note_cache_event(ctx, self.name, hit=cached is not None)
+            if cached is not None:
+                ctx.selected = cached
+                ctx.nprobs = cached.shape[1]
+                return
         selected = index.ivf.select_clusters(ctx.queries, ctx.nprobs)
         ctx.nprobs = selected.shape[1]
         ctx.selected = selected
         ctx.work.filter_flops += 2.0 * ctx.num_queries * index.dim * index.ivf.num_clusters
+        if self.cache is not None:
+            self.cache.store(self.name, key, freeze(selected))
 
 
 class ThresholdStage:
-    """Stage B1: ray origins plus dynamic per-ray thresholds and ``t_max``."""
+    """Stage B1: ray origins plus dynamic per-ray thresholds and ``t_max``.
+
+    Args:
+        cache: optional :class:`StageCache`.  Origins, thresholds and
+            ``t_max`` depend on ``(index, queries, selected clusters,
+            threshold_scale)`` but not on the quality mode, so a quality-mode
+            sweep at a fixed scale reuses them.  Hits skip the
+            threshold-regressor work (and its counters).
+    """
 
     name = "threshold"
+
+    def __init__(self, cache: StageCache | None = None) -> None:
+        self.cache = cache
 
     def run(self, ctx: QueryContext) -> None:
         index = ctx.require("index", self.name)
         selected = ctx.require("selected", self.name)
+        key = None
+        if self.cache is not None:
+            key = (
+                self.name,
+                _index_cache_identity(index),
+                float(ctx.threshold_scale),
+                self.cache.fingerprint(ctx.queries),
+                self.cache.fingerprint(selected),
+            )
+            cached = self.cache.fetch(self.name, key)
+            _note_cache_event(ctx, self.name, hit=cached is not None)
+            if cached is not None:
+                ctx.origins, ctx.query_cluster_ip, ctx.thresholds, ctx.t_max = cached
+                return
         ctx.origins, ctx.query_cluster_ip = index._ray_origins(ctx.queries, selected)
         ctx.thresholds, ctx.t_max = self._thresholds_and_tmax(ctx, ctx.origins)
+        if self.cache is not None:
+            self.cache.store(
+                self.name,
+                key,
+                (
+                    freeze(ctx.origins),
+                    freeze(ctx.query_cluster_ip),
+                    freeze(ctx.thresholds),
+                    freeze(ctx.t_max),
+                ),
+            )
 
     def _thresholds_and_tmax(
         self, ctx: QueryContext, origins: np.ndarray
@@ -138,12 +237,143 @@ class RTSelectStage:
         ctx.extra["rt_hits"] = lut.stats.hits
 
 
+# Per-block element budget of the batched score kernel's largest
+# intermediate (~32 MB of float64); see the blocking comment in ScoreStage.
+_SCORE_BLOCK_ELEMENTS = 1 << 22
+
+
+def _miss_penalties(ctx: QueryContext, row_thresholds: np.ndarray) -> np.ndarray:
+    """Per-subspace score contribution of unselected entries.
+
+    For L2 the true per-subspace distance of a miss is at least the
+    threshold, so the squared threshold (scaled by ``miss_penalty_factor``)
+    is a conservative stand-in.  For MIPS the true contribution is at most
+    the threshold, which is used directly.  Operates on ``(S,)`` rows and
+    ``(R, S)`` batches alike (pure elementwise arithmetic).
+    """
+    factor = ctx.index.config.miss_penalty_factor
+    if ctx.metric is Metric.L2:
+        return (row_thresholds**2) * factor
+    return row_thresholds * factor
+
+
 class ScoreStage:
-    """Stage C1: distance calculation over the selected points only.
+    """Stage C1: batched distance calculation over the selected points only.
+
+    The ``(query, cluster)`` work items of the batch are grouped by cluster:
+    each cluster's member codes are gathered once and every ray touching the
+    cluster is scored in one vectorised NumPy kernel -- a ``(rays, members,
+    subspaces)`` block for both the exact-distance (JUNO-H) and hit-count
+    (JUNO-L/M) quality modes -- instead of one Python iteration per
+    ``(query, cluster)`` pair.  Scores, candidate ordering and
+    :class:`SearchWork` deltas are bit-identical to
+    :class:`LoopedScoreStage` (the historical per-ray loop, kept as the
+    parity-test reference): the per-element arithmetic and the per-(ray,
+    member) reduction over the subspace axis are unchanged, only the batch
+    shape differs.
 
     Produces one concatenated ``(ids, scores)`` candidate pair per query
     (``None`` for queries whose probed clusters yielded no candidate); the
     ranking itself is left to :class:`TopKStage`.
+    """
+
+    name = "score"
+
+    def run(self, ctx: QueryContext) -> None:
+        index = ctx.require("index", self.name)
+        selected = ctx.require("selected", self.name)
+        lut = ctx.require("lut", self.name)
+        thresholds = ctx.require("thresholds", self.name)
+        mode = ctx.quality_mode
+        num_queries, nprobs = selected.shape
+        num_rays = num_queries * nprobs
+        subspace_range = np.arange(index.config.num_subspaces)
+        scorer = HitCountScorer(
+            use_inner_sphere=mode.uses_inner_sphere,
+            miss_penalty=index.config.hit_count_penalty,
+        )
+        query_cluster_ip = (
+            None if ctx.query_cluster_ip is None else ctx.query_cluster_ip.reshape(-1)
+        )
+
+        # Group the (query, cluster) work items by cluster id.  The stable
+        # sort keeps each group's ray ids ascending, i.e. in the same
+        # (query-major, probe-order) sequence the per-ray loop visits them.
+        flat_clusters = np.asarray(selected).reshape(-1)
+        order = np.argsort(flat_clusters, kind="stable")
+        sorted_clusters = flat_clusters[order]
+        if order.size:
+            boundaries = np.flatnonzero(np.diff(sorted_clusters)) + 1
+            group_starts = np.concatenate(([0], boundaries))
+            group_stops = np.concatenate((boundaries, [order.size]))
+        else:  # empty query batch: no rays, no groups
+            group_starts = group_stops = np.zeros(0, dtype=np.int64)
+
+        per_ray: list[tuple[np.ndarray, np.ndarray] | None] = [None] * num_rays
+        adc_lookups = 0.0
+        adc_candidates = 0.0
+        for start, stop in zip(group_starts, group_stops):
+            cluster_id = int(sorted_clusters[start])
+            members = index.subspace_index.cluster_members(cluster_id)
+            if members.size == 0:
+                continue
+            codes = index.subspace_index.cluster_codes(cluster_id)
+            # Bound the working set: the kernel materialises (rays, S, E)
+            # tables and a (rays, members, S) gather, so a cluster probed by
+            # most of a large batch is scored in ray blocks sized to keep
+            # the larger of the two near _SCORE_BLOCK_ELEMENTS elements.
+            # Rows are independent, so blocking cannot change any result.
+            per_ray_elements = subspace_range.size * max(members.size, lut.num_entries)
+            block = max(1, _SCORE_BLOCK_ELEMENTS // max(per_ray_elements, 1))
+            for block_start in range(start, stop, block):
+                ray_ids = order[block_start : min(block_start + block, stop)]
+                if mode.uses_exact_distance:
+                    tables = lut.dense_tables(ray_ids)
+                    values = tables[:, subspace_range[None, :], codes]
+                    miss = np.isnan(values)
+                    matched = (~miss).sum(axis=2)
+                    penalties = _miss_penalties(ctx, thresholds[ray_ids])
+                    scores = np.where(miss, penalties[:, None, :], values).sum(axis=2)
+                    if query_cluster_ip is not None:
+                        scores = scores + query_cluster_ip[ray_ids, None]
+                else:
+                    hits, inner = lut.mask_tables(ray_ids, include_inner=mode.uses_inner_sphere)
+                    scores, matched = scorer.score_members_batch(hits, inner, codes)
+                keep = matched >= 1
+                adc_lookups += float(matched.sum())
+                adc_candidates += float(keep.sum())
+                for row, ray_id in enumerate(ray_ids):
+                    row_keep = keep[row]
+                    if row_keep.any():
+                        per_ray[int(ray_id)] = (members[row_keep], scores[row][row_keep])
+        ctx.work.adc_lookups += adc_lookups
+        ctx.work.adc_candidates += adc_candidates
+
+        # Reassemble per query in probe order, exactly like the per-ray loop.
+        candidates: list[tuple[np.ndarray, np.ndarray] | None] = []
+        candidate_total = 0.0
+        for qi in range(num_queries):
+            pieces = [p for p in per_ray[qi * nprobs : (qi + 1) * nprobs] if p is not None]
+            if not pieces:
+                candidates.append(None)
+                continue
+            ids = np.concatenate([ids for ids, _ in pieces])
+            scores = np.concatenate([scores for _, scores in pieces])
+            candidate_total += float(ids.size)
+            candidates.append((ids, scores))
+        ctx.candidates = candidates
+        ctx.candidate_total = candidate_total
+        ctx.extra["num_candidates"] = candidate_total
+
+
+class LoopedScoreStage:
+    """The historical per-(query, cluster) Python-loop distance calculation.
+
+    Kept as the reference implementation that :class:`ScoreStage` (the
+    batched kernel) is pinned against by the parity and property tests; it
+    shares the same ``name`` so the two are drop-in interchangeable in a
+    pipeline.  Use it only for verification -- the per-ray loop is the
+    online path's wall-clock hotspot the batched kernel removes.
     """
 
     name = "score"
@@ -178,7 +408,7 @@ class ScoreStage:
                     values = rows[subspace_range[None, :], codes]
                     miss = np.isnan(values)
                     matched = (~miss).sum(axis=1)
-                    penalties = self._miss_penalties(ctx, thresholds[ray_id])
+                    penalties = _miss_penalties(ctx, thresholds[ray_id])
                     scores = np.where(miss, penalties[None, :], values).sum(axis=1)
                     if ctx.query_cluster_ip is not None:
                         scores = scores + ctx.query_cluster_ip[qi, ci]
@@ -203,19 +433,6 @@ class ScoreStage:
         ctx.candidates = candidates
         ctx.candidate_total = candidate_total
         ctx.extra["num_candidates"] = candidate_total
-
-    def _miss_penalties(self, ctx: QueryContext, row_thresholds: np.ndarray) -> np.ndarray:
-        """Per-subspace score contribution of unselected entries.
-
-        For L2 the true per-subspace distance of a miss is at least the
-        threshold, so the squared threshold (scaled by
-        ``miss_penalty_factor``) is a conservative stand-in.  For MIPS the
-        true contribution is at most the threshold, which is used directly.
-        """
-        factor = ctx.index.config.miss_penalty_factor
-        if ctx.metric is Metric.L2:
-            return (row_thresholds**2) * factor
-        return row_thresholds * factor
 
 
 class TopKStage:

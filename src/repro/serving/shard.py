@@ -38,8 +38,9 @@ from repro.core.config import JunoConfig, QualityMode
 from repro.core.index import JunoIndex, JunoSearchResult
 from repro.gpu.work import SearchWork
 from repro.metrics.distances import Metric, padded_top_k
+from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
-from repro.pipeline.pipeline import QueryPipeline
+from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
 from repro.pipeline.stages import ExactRerankStage
 from repro.serving.executors import (
     ShardExecutor,
@@ -167,6 +168,17 @@ def merge_shard_results(
         extra["stage_seconds"] = stage_seconds
     if stage_work:
         extra["stage_work"] = stage_work
+    # Stage-cache lookups sum across shards (each shard consults the shared
+    # cache once per cached stage), keeping the merged result's extra
+    # schema-compatible with a single index's.
+    stage_cache: dict[str, dict[str, int]] = {}
+    for result in results:
+        for name, counts in result.extra.get("stage_cache", {}).items():
+            merged_counts = stage_cache.setdefault(name, {"hits": 0, "misses": 0})
+            merged_counts["hits"] += int(counts.get("hits", 0))
+            merged_counts["misses"] += int(counts.get("misses", 0))
+    if stage_cache:
+        extra["stage_cache"] = stage_cache
     return JunoSearchResult(
         ids=merged_ids,
         scores=merged_scores,
@@ -214,6 +226,18 @@ class ShardedJunoIndex:
             k-way merge (see :meth:`enable_exact_rerank`).
         rerank_depth: merged candidates kept per query for the rerank;
             defaults to all ``num_shards * k`` of them.
+        stage_cache: enable a shared
+            :class:`~repro.pipeline.cache.StageCache` for the per-shard
+            default pipelines (pass ``True`` for a router-owned cache or a
+            ready instance to share one across routers).  Cache keys include
+            each shard's identity, so the fan-out reuses every shard's
+            coarse-filter/threshold outputs when the same batch is searched
+            repeatedly (threshold-scale or quality-mode sweeps) instead of
+            recomputing them per shard per grid point.  The cache lives in
+            router memory: with ``executor="process"`` the workers receive
+            empty copies each batch, so it only pays off on the sequential
+            and thread executors.  Ignored when a custom ``pipeline=`` is
+            passed to :meth:`search`.
     """
 
     def __init__(
@@ -225,6 +249,7 @@ class ShardedJunoIndex:
         executor: str | ShardExecutor = "thread",
         exact_rerank: bool = False,
         rerank_depth: int | None = None,
+        stage_cache: "bool | StageCache" = False,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -247,6 +272,13 @@ class ShardedJunoIndex:
         self._rerank_points: np.ndarray | None = None
         self._executor: ShardExecutor | None = None
         self._executor_key: tuple | None = None
+        if isinstance(stage_cache, StageCache):
+            self._stage_cache: StageCache | None = stage_cache
+            self._owns_stage_cache = False
+        else:
+            self._stage_cache = StageCache() if stage_cache else None
+            self._owns_stage_cache = self._stage_cache is not None
+        self._cached_pipeline: QueryPipeline | None = None
         if not isinstance(executor, ShardExecutor):
             # Validate eagerly so a typo fails at construction, not first search.
             make_shard_executor(executor, 1).close()
@@ -262,6 +294,7 @@ class ShardedJunoIndex:
         executor = config_overrides.pop("executor", "thread")
         exact_rerank = config_overrides.pop("exact_rerank", False)
         rerank_depth = config_overrides.pop("rerank_depth", None)
+        stage_cache = config_overrides.pop("stage_cache", False)
         config_overrides.setdefault("num_subspaces", dim // 2)
         return cls(
             JunoConfig(**config_overrides),
@@ -271,6 +304,7 @@ class ShardedJunoIndex:
             executor=executor,
             exact_rerank=exact_rerank,
             rerank_depth=rerank_depth,
+            stage_cache=stage_cache,
         )
 
     # ----------------------------------------------------------------- train
@@ -381,6 +415,10 @@ class ShardedJunoIndex:
         }
         if pipeline is not None:
             params["pipeline"] = pipeline
+        elif self._stage_cache is not None:
+            if self._cached_pipeline is None:
+                self._cached_pipeline = default_search_pipeline(stage_cache=self._stage_cache)
+            params["pipeline"] = self._cached_pipeline
         payloads = [(shard, queries, k, params) for shard in self.shards]
         results = self._fanout_executor().map(search_shard_task, payloads)
 
@@ -459,6 +497,23 @@ class ShardedJunoIndex:
             self._executor.close()
             self._executor = None
             self._executor_key = None
+        # Only drop entries of a cache this router created (stage_cache=True):
+        # a caller-supplied instance may be shared across routers and keeps
+        # its entries and counters, mirroring the executor ownership rule.
+        if self._stage_cache is not None and self._owns_stage_cache:
+            self._stage_cache.clear()
+
+    # ------------------------------------------------------------ stage cache
+    @property
+    def stage_cache(self) -> StageCache | None:
+        """The router's shared per-shard stage cache, if enabled."""
+        return self._stage_cache
+
+    def stage_cache_stats(self) -> dict[str, dict[str, int]]:
+        """Per-stage hit/miss counters of the router's stage cache."""
+        if self._stage_cache is None:
+            return {}
+        return self._stage_cache.stats()
 
     def __enter__(self) -> "ShardedJunoIndex":
         return self

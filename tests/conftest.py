@@ -1,10 +1,23 @@
 """Shared fixtures: small datasets and pre-trained indexes.
 
 The heavier fixtures are session-scoped so the offline training cost (k-means
-for IVF and for every PQ subspace) is paid once per test session.
+for IVF and for every PQ subspace) is paid once per test session.  See
+``tests/README.md`` for the full fixture/seeding scheme.
+
+Determinism: every random quantity in the suite flows from an explicit seed
+-- dataset makers, index configs and the ``rng`` fixture all take literal
+seeds, and the autouse fixture below pins the *global* NumPy/stdlib RNGs per
+test as a back-stop so a code path that reaches for ``np.random`` without a
+generator cannot make the parity fixtures flake, or drift between the Python
+3.10 and 3.12 CI matrix entries.  (NumPy's ``default_rng``/``RandomState``
+streams are platform- and version-stable for a fixed seed, so the same seeds
+produce the same corpora, the same trained indexes and the same search
+results on both interpreters.)
 """
 
 from __future__ import annotations
+
+import random
 
 import numpy as np
 import pytest
@@ -14,6 +27,25 @@ from repro.core.config import JunoConfig
 from repro.core.index import JunoIndex
 from repro.datasets.synthetic import make_clustered_dataset
 from repro.metrics.distances import Metric
+
+#: One literal seed for the whole suite's global-RNG back-stop.  Bump it only
+#: deliberately: parity tests compare bit-exact results of two code paths, so
+#: the seed value never matters for correctness, but changing it reshuffles
+#: which edge cases the synthetic corpora happen to contain.
+SUITE_SEED = 20260728
+
+
+@pytest.fixture(autouse=True)
+def _pin_global_rngs():
+    """Reseed the legacy global RNGs before every test.
+
+    Explicitly seeded ``default_rng`` generators (the norm in this suite) are
+    unaffected; this only pins ``np.random.*`` and ``random.*`` so test
+    outcomes cannot depend on execution order, ``-p no:randomly``-style
+    reordering, or interpreter version.
+    """
+    np.random.seed(SUITE_SEED % (2**32))
+    random.seed(SUITE_SEED)
 
 
 @pytest.fixture(scope="session")

@@ -16,25 +16,58 @@ import numpy as np
 import pytest
 
 from repro.baselines.exact import exact_candidate_scores
-from repro.core.config import QualityMode
+from repro.core.config import JunoConfig, QualityMode
 from repro.core.hit_count import HitCountScorer
+from repro.core.index import JunoIndex
 from repro.core.selective_lut import SelectiveLUTConstructor
+from repro.core.subspace_index import SubspaceInvertedIndex
 from repro.core.threshold import ThresholdModel
 from repro.core.inner_product import inner_product_threshold_to_tmax
+from repro.datasets.synthetic import make_clustered_dataset
+from repro.gpu.cost_model import CostModel
 from repro.gpu.work import SearchWork
 from repro.metrics.distances import Metric
 from repro.pipeline import (
     CoarseFilterStage,
     ExactRerankStage,
+    LoopedScoreStage,
     QueryContext,
     QueryPipeline,
     RTSelectStage,
     ScoreStage,
+    StageCache,
     ThresholdStage,
     TopKStage,
     default_search_pipeline,
     rerank_pipeline,
 )
+
+WORK_COUNTER_FIELDS = (
+    "filter_flops",
+    "rt_rays",
+    "rt_node_visits",
+    "rt_aabb_tests",
+    "rt_prim_tests",
+    "rt_hits",
+    "adc_lookups",
+    "adc_candidates",
+    "sorted_candidates",
+    "threshold_inferences",
+    "rerank_flops",
+)
+
+
+def looped_score_pipeline() -> QueryPipeline:
+    """The default pipeline with the historical per-ray score loop."""
+    return QueryPipeline(
+        (
+            CoarseFilterStage(),
+            ThresholdStage(),
+            RTSelectStage(),
+            LoopedScoreStage(),
+            TopKStage(),
+        )
+    )
 
 
 # --------------------------------------------------------------- reference
@@ -175,19 +208,18 @@ def _assert_matches_reference(index, dataset, mode, scale):
     np.testing.assert_array_equal(result.scores, ref_scores)
     assert result.selected_entry_fraction == ref_fraction
     assert result.extra["num_candidates"] == ref_candidates
-    for field_name in (
-        "filter_flops",
-        "rt_rays",
-        "rt_node_visits",
-        "rt_aabb_tests",
-        "rt_prim_tests",
-        "rt_hits",
-        "adc_lookups",
-        "adc_candidates",
-        "sorted_candidates",
-        "threshold_inferences",
-    ):
+    for field_name in WORK_COUNTER_FIELDS:
         assert getattr(result.work, field_name) == getattr(ref_work, field_name), field_name
+
+
+def _assert_results_bit_identical(result, other):
+    """Bit-identical ids/scores plus exact SearchWork counter equality."""
+    np.testing.assert_array_equal(result.ids, other.ids)
+    np.testing.assert_array_equal(result.scores, other.scores)
+    assert result.selected_entry_fraction == other.selected_entry_fraction
+    assert result.extra["num_candidates"] == other.extra["num_candidates"]
+    for field_name in WORK_COUNTER_FIELDS:
+        assert getattr(result.work, field_name) == getattr(other.work, field_name), field_name
 
 
 # ------------------------------------------------------------------- parity
@@ -202,6 +234,299 @@ class TestDefaultPipelineParity:
     @pytest.mark.parametrize("mode", ["juno-h", "juno-l"])
     def test_ip_bit_identical(self, juno_ip, ip_dataset, mode):
         _assert_matches_reference(juno_ip, ip_dataset, mode, 1.0)
+
+
+# ------------------------------------------------- looped vs batched scoring
+@pytest.fixture(scope="class")
+def edge_case_juno():
+    """A small trained index/dataset pair the edge-case tests can doctor."""
+    dataset = make_clustered_dataset(
+        name="edge-l2",
+        num_points=320,
+        num_queries=10,
+        dim=8,
+        num_components=10,
+        query_jitter=0.2,
+        seed=7,
+    )
+    config = JunoConfig(
+        num_clusters=8,
+        num_subspaces=4,
+        num_entries=8,
+        metric=Metric.L2,
+        num_threshold_samples=24,
+        threshold_top_k=30,
+        kmeans_iters=6,
+        density_grid=12,
+        seed=5,
+    )
+    return JunoIndex(config).train(dataset.points), dataset
+
+
+class TestScoreStageParity:
+    """The batched ScoreStage is bit-identical to the per-ray loop."""
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    @pytest.mark.parametrize("scale", [0.6, 1.0, 2.0])
+    def test_l2_looped_vs_vectorised(self, juno_l2, l2_dataset, mode, scale):
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=scale)
+        vectorised = juno_l2.search(l2_dataset.queries, **kwargs)
+        looped = juno_l2.search(l2_dataset.queries, pipeline=looped_score_pipeline(), **kwargs)
+        _assert_results_bit_identical(vectorised, looped)
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    def test_ip_looped_vs_vectorised(self, juno_ip, ip_dataset, mode):
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=1.0)
+        vectorised = juno_ip.search(ip_dataset.queries, **kwargs)
+        looped = juno_ip.search(ip_dataset.queries, pipeline=looped_score_pipeline(), **kwargs)
+        _assert_results_bit_identical(vectorised, looped)
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    def test_empty_cluster_parity(self, edge_case_juno, mode):
+        """Clusters whose posting list is empty are skipped identically."""
+        index, dataset = edge_case_juno
+        original = index.subspace_index
+        # Empty the largest cluster's posting list: with nprobs == num_clusters
+        # every query probes it, exercising the members.size == 0 path.
+        posting = [index.ivf.posting_lists[c] for c in range(index.config.num_clusters)]
+        victim = int(np.argmax([ids.size for ids in posting]))
+        posting[victim] = np.array([], dtype=np.int64)
+        index.subspace_index = SubspaceInvertedIndex(index.config.num_entries).build(
+            posting, index.codes
+        )
+        try:
+            kwargs = dict(
+                k=10, nprobs=index.config.num_clusters, quality_mode=mode, threshold_scale=1.0
+            )
+            vectorised = index.search(dataset.queries, **kwargs)
+            looped = index.search(dataset.queries, pipeline=looped_score_pipeline(), **kwargs)
+        finally:
+            index.subspace_index = original
+        _assert_results_bit_identical(vectorised, looped)
+        ref_ids = np.concatenate([ids for c, ids in enumerate(posting) if c != victim])
+        assert not np.isin(vectorised.ids[vectorised.ids >= 0], posting[victim]).any()
+        assert np.isin(vectorised.ids[vectorised.ids >= 0], ref_ids).all()
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    def test_all_miss_parity(self, edge_case_juno, mode):
+        """A threshold scale so tight that no ray hits anything: all-padded output."""
+        index, dataset = edge_case_juno
+        kwargs = dict(k=10, nprobs=4, quality_mode=mode, threshold_scale=1e-6)
+        vectorised = index.search(dataset.queries, **kwargs)
+        looped = index.search(dataset.queries, pipeline=looped_score_pipeline(), **kwargs)
+        _assert_results_bit_identical(vectorised, looped)
+        assert (vectorised.ids == -1).all()
+        assert vectorised.extra["num_candidates"] == 0.0
+        assert vectorised.work.adc_candidates == 0.0
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    def test_empty_query_batch(self, juno_l2, mode):
+        """A (0, D) batch returns (0, k) cleanly from both scorer variants."""
+        empty = np.empty((0, juno_l2.dim))
+        kwargs = dict(k=5, nprobs=4, quality_mode=mode, threshold_scale=1.0)
+        vectorised = juno_l2.search(empty, **kwargs)
+        looped = juno_l2.search(empty, pipeline=looped_score_pipeline(), **kwargs)
+        _assert_results_bit_identical(vectorised, looped)
+        assert vectorised.ids.shape == (0, 5)
+        assert vectorised.extra["num_candidates"] == 0.0
+
+    @pytest.mark.parametrize("mode", ["juno-h", "juno-m", "juno-l"])
+    def test_ray_blocking_does_not_change_results(self, juno_l2, l2_dataset, mode, monkeypatch):
+        """Shrinking the kernel's memory budget to one ray per block is a no-op."""
+        from repro.pipeline import stages
+
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=1.0)
+        unblocked = juno_l2.search(l2_dataset.queries, **kwargs)
+        monkeypatch.setattr(stages, "_SCORE_BLOCK_ELEMENTS", 1)
+        blocked = juno_l2.search(l2_dataset.queries, **kwargs)
+        _assert_results_bit_identical(unblocked, blocked)
+
+    def test_batched_lut_accessors_match_scalar(self, juno_l2, l2_dataset):
+        """dense/hit/inner batched tables equal the per-ray accessors row by row."""
+        ctx = QueryContext(
+            index=juno_l2,
+            queries=l2_dataset.queries[:6],
+            k=5,
+            nprobs=4,
+            quality_mode=QualityMode.MEDIUM,
+            threshold_scale=1.0,
+            metric=juno_l2.metric,
+            work=SearchWork(num_queries=6),
+        )
+        QueryPipeline((CoarseFilterStage(), ThresholdStage(), RTSelectStage())).run(ctx)
+        lut = ctx.lut
+        ray_ids = np.array([3, 0, 7, 3])  # unordered, with a duplicate
+        dense = lut.dense_tables(ray_ids)
+        hit = lut.hit_mask_tables(ray_ids)
+        inner = lut.inner_mask_tables(ray_ids)
+        for row, ray_id in enumerate(ray_ids):
+            np.testing.assert_array_equal(dense[row], lut.dense_rows(int(ray_id)))
+            np.testing.assert_array_equal(hit[row], lut.hit_mask_rows(int(ray_id)))
+            np.testing.assert_array_equal(inner[row], lut.inner_mask_rows(int(ray_id)))
+
+
+# --------------------------------------------------------------- stage cache
+class TestStageCache:
+    def _search(self, index, dataset, pipeline=None, scale=1.0, queries=None, mode="juno-h"):
+        return index.search(
+            dataset.queries if queries is None else queries,
+            k=10,
+            nprobs=6,
+            quality_mode=mode,
+            threshold_scale=scale,
+            pipeline=pipeline,
+        )
+
+    def test_cached_results_bit_identical_across_scales(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        for scale in (1.0, 0.6, 1.0, 0.6):
+            cached = self._search(juno_l2, l2_dataset, pipeline=pipeline, scale=scale)
+            plain = self._search(juno_l2, l2_dataset, scale=scale)
+            np.testing.assert_array_equal(cached.ids, plain.ids)
+            np.testing.assert_array_equal(cached.scores, plain.scores)
+        stats = cache.stats()
+        # one coarse miss total; one threshold miss per distinct scale
+        assert stats["coarse_filter"] == {"hits": 3, "misses": 1}
+        assert stats["threshold"] == {"hits": 2, "misses": 2}
+
+    def test_cached_results_bit_identical_mips(self, juno_ip, ip_dataset):
+        """The cached query_cluster_ip path (MIPS-only) restores identically."""
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        for _ in range(2):
+            cached = self._search(juno_ip, ip_dataset, pipeline=pipeline)
+            plain = self._search(juno_ip, ip_dataset)
+            np.testing.assert_array_equal(cached.ids, plain.ids)
+            np.testing.assert_array_equal(cached.scores, plain.scores)
+        assert cache.stats()["threshold"] == {"hits": 1, "misses": 1}
+
+    def test_quality_mode_sweep_reuses_thresholds(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        for mode in ("juno-h", "juno-m", "juno-l"):
+            cached = self._search(juno_l2, l2_dataset, pipeline=pipeline, mode=mode)
+            plain = self._search(juno_l2, l2_dataset, mode=mode)
+            np.testing.assert_array_equal(cached.ids, plain.ids)
+            np.testing.assert_array_equal(cached.scores, plain.scores)
+        assert cache.stats()["threshold"] == {"hits": 2, "misses": 1}
+
+    def test_cache_invalidation_on_query_batch_change(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        other_queries = l2_dataset.queries + 0.25
+        cached = self._search(juno_l2, l2_dataset, pipeline=pipeline, queries=other_queries)
+        plain = self._search(juno_l2, l2_dataset, queries=other_queries)
+        np.testing.assert_array_equal(cached.ids, plain.ids)
+        np.testing.assert_array_equal(cached.scores, plain.scores)
+        assert cache.stats()["coarse_filter"] == {"hits": 0, "misses": 2}
+
+    def test_retrained_index_invalidates_cached_entries(self):
+        """A retrain stamps a new cache token: no stale hits, correct results."""
+        first = make_clustered_dataset(
+            name="retrain-a", num_points=240, num_queries=6, dim=8, num_components=6, seed=21
+        )
+        second = make_clustered_dataset(
+            name="retrain-b", num_points=240, num_queries=6, dim=8, num_components=6, seed=22
+        )
+        config = JunoConfig(
+            num_clusters=5,
+            num_subspaces=4,
+            num_entries=8,
+            num_threshold_samples=16,
+            threshold_top_k=20,
+            kmeans_iters=4,
+            density_grid=10,
+            seed=9,
+        )
+        index = JunoIndex(config).train(first.points)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=5, nprobs=4, quality_mode="juno-h", threshold_scale=1.0)
+        index.search(second.queries, pipeline=pipeline, **kwargs)
+        token_before = index.cache_token
+        index.train(second.points)
+        assert index.cache_token != token_before
+        cached = index.search(second.queries, pipeline=pipeline, **kwargs)
+        plain = index.search(second.queries, **kwargs)
+        np.testing.assert_array_equal(cached.ids, plain.ids)
+        np.testing.assert_array_equal(cached.scores, plain.scores)
+        # both trainings missed: the retrained state never hit stale entries
+        assert cache.stats()["coarse_filter"] == {"hits": 0, "misses": 2}
+
+    def test_hit_skips_work_and_counts_in_stage_work(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        first = self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        second = self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        assert first.work.filter_flops > 0.0
+        assert second.work.filter_flops == 0.0
+        assert second.work.threshold_inferences == 0.0
+        coarse = second.extra["stage_work"]["coarse_filter"]
+        assert coarse.extra == {"cache_hits": 1, "cache_misses": 0}
+        assert first.extra["stage_work"]["coarse_filter"].extra == {
+            "cache_hits": 0,
+            "cache_misses": 1,
+        }
+        assert second.extra["stage_cache"]["threshold"] == {"hits": 1, "misses": 0}
+
+    def test_cost_model_treats_fully_cached_slice_as_free(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        second = self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        latencies = CostModel("rtx4090").stage_latencies(second.extra["stage_work"])
+        assert latencies["coarse_filter"] == 0.0
+        assert latencies["threshold"] == 0.0
+        assert latencies["rt_select"] > 0.0
+
+    def test_lru_eviction_and_len(self, juno_l2, l2_dataset):
+        cache = StageCache(max_entries=1)
+        pipeline = default_search_pipeline(stage_cache=cache)
+        self._search(juno_l2, l2_dataset, scale=1.0, pipeline=pipeline)
+        assert cache.size == 1
+        self._search(juno_l2, l2_dataset, scale=0.6, pipeline=pipeline)
+        assert cache.size == 1
+        # scale 1.0's threshold entry was evicted -> miss again
+        self._search(juno_l2, l2_dataset, scale=1.0, pipeline=pipeline)
+        assert cache.stats()["threshold"] == {"hits": 0, "misses": 3}
+
+    def test_cached_arrays_are_frozen(self, juno_l2, l2_dataset):
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        ctx = QueryContext(
+            index=juno_l2,
+            queries=l2_dataset.queries[:4],
+            k=5,
+            nprobs=4,
+            quality_mode=QualityMode.HIGH,
+            threshold_scale=1.0,
+            metric=juno_l2.metric,
+            work=SearchWork(num_queries=4),
+        )
+        pipeline.run(ctx)
+        with pytest.raises(ValueError, match="read-only"):
+            ctx.selected[0, 0] = 0
+        with pytest.raises(ValueError, match="read-only"):
+            ctx.thresholds[0, 0] = 0.0
+
+    def test_pickling_drops_entries_but_keeps_config(self, juno_l2, l2_dataset):
+        cache = StageCache(max_entries=7)
+        pipeline = default_search_pipeline(stage_cache=cache)
+        self._search(juno_l2, l2_dataset, pipeline=pipeline)
+        assert cache.size > 0
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.max_entries == 7
+        assert clone.size == 0
+        assert clone.stats() == {}
+        # a cached pipeline stays picklable for the process-pool executor
+        pipeline_clone = pickle.loads(pickle.dumps(pipeline))
+        assert pipeline_clone.stage_names == pipeline.stage_names
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            StageCache(max_entries=0)
 
 
 # -------------------------------------------------------------- composition

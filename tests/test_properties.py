@@ -6,9 +6,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.core.config import JunoConfig
+from repro.core.index import JunoIndex
 from repro.core.threshold import ThresholdModel
+from repro.datasets.synthetic import make_clustered_dataset
 from repro.metrics.distances import Metric, l2_squared_matrix, pairwise_distance, top_k
 from repro.metrics.recall import recall_k_at_n
+from repro.pipeline import (
+    CoarseFilterStage,
+    LoopedScoreStage,
+    QueryPipeline,
+    RTSelectStage,
+    StageCache,
+    ThresholdStage,
+    TopKStage,
+    default_search_pipeline,
+)
 from repro.quantization.scalar_quantizer import ScalarQuantizer
 from repro.rt.bvh import BVH
 from repro.rt.primitives import Sphere
@@ -121,6 +134,150 @@ class TestThresholdConversionProperties:
         # bounded by sqrt(eps) * radius rather than eps.
         np.testing.assert_allclose(back, [threshold], atol=1e-6 * radius)
         assert 0.0 <= t_max[0] <= radius + 1e-12
+
+
+# --------------------------------------------------- pipeline parity / cache
+# Trained indexes over seeded random corpora, memoised because hypothesis
+# revisits seeds while shrinking; every stream below derives from the drawn
+# seed, so each (seed, metric) pair names exactly one corpus + index.
+_TRAINED: dict[tuple, tuple] = {}
+
+
+def _seeded_juno(seed: int, metric: Metric = Metric.L2):
+    key = (seed, metric)
+    if key not in _TRAINED:
+        if len(_TRAINED) > 12:
+            _TRAINED.clear()
+        dataset = make_clustered_dataset(
+            name=f"prop-{metric.value}-{seed}",
+            num_points=220,
+            num_queries=6,
+            dim=8,
+            num_components=8,
+            metric=metric,
+            query_jitter=0.25,
+            seed=seed,
+        )
+        config = JunoConfig(
+            num_clusters=6,
+            num_subspaces=4,
+            num_entries=8,
+            metric=metric,
+            num_threshold_samples=16,
+            threshold_top_k=20,
+            kmeans_iters=4,
+            density_grid=10,
+            seed=seed + 1,
+        )
+        _TRAINED[key] = (JunoIndex(config).train(dataset.points), dataset)
+    return _TRAINED[key]
+
+
+def _looped_pipeline() -> QueryPipeline:
+    return QueryPipeline(
+        (
+            CoarseFilterStage(),
+            ThresholdStage(),
+            RTSelectStage(),
+            LoopedScoreStage(),
+            TopKStage(),
+        )
+    )
+
+
+def _assert_identical_results(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.scores, b.scores)
+
+
+class TestScoreStageParityProperties:
+    """The batched ScoreStage equals the per-ray loop on random corpora."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5),
+        mode=st.sampled_from(["juno-h", "juno-m", "juno-l"]),
+        scale=st.sampled_from([0.5, 1.0, 1.8]),
+        nprobs=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_vectorised_matches_looped(self, seed, mode, scale, nprobs):
+        index, dataset = _seeded_juno(seed)
+        kwargs = dict(k=8, nprobs=nprobs, quality_mode=mode, threshold_scale=scale)
+        vectorised = index.search(dataset.queries, **kwargs)
+        looped = index.search(dataset.queries, pipeline=_looped_pipeline(), **kwargs)
+        _assert_identical_results(vectorised, looped)
+        for field in ("adc_lookups", "adc_candidates", "sorted_candidates"):
+            assert getattr(vectorised.work, field) == getattr(looped.work, field), field
+
+    @given(seed=st.integers(min_value=0, max_value=3), mode=st.sampled_from(["juno-h", "juno-l"]))
+    @settings(max_examples=6, deadline=None)
+    def test_vectorised_matches_looped_mips(self, seed, mode):
+        index, dataset = _seeded_juno(seed, metric=Metric.INNER_PRODUCT)
+        kwargs = dict(k=8, nprobs=4, quality_mode=mode, threshold_scale=1.0)
+        vectorised = index.search(dataset.queries, **kwargs)
+        looped = index.search(dataset.queries, pipeline=_looped_pipeline(), **kwargs)
+        _assert_identical_results(vectorised, looped)
+
+
+class TestStageCacheProperties:
+    """Caching never changes results; invalidation tracks the query batch."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5),
+        mode=st.sampled_from(["juno-h", "juno-m", "juno-l"]),
+        scales=st.lists(
+            st.sampled_from([0.5, 0.7, 1.0, 1.5]), min_size=2, max_size=5
+        ),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_cached_sweep_identical_to_uncached(self, seed, mode, scales):
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        for scale in scales:
+            cached = index.search(
+                dataset.queries,
+                k=8,
+                nprobs=4,
+                quality_mode=mode,
+                threshold_scale=scale,
+                pipeline=pipeline,
+            )
+            plain = index.search(
+                dataset.queries, k=8, nprobs=4, quality_mode=mode, threshold_scale=scale
+            )
+            _assert_identical_results(cached, plain)
+        stats = cache.stats()
+        # the coarse filter does not depend on the scale: one miss, then hits
+        assert stats["coarse_filter"] == {"hits": len(scales) - 1, "misses": 1}
+        # the threshold stage recomputes once per *distinct* scale
+        assert stats["threshold"] == {
+            "hits": len(scales) - len(set(scales)),
+            "misses": len(set(scales)),
+        }
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        jitter=st.floats(min_value=0.05, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_cache_invalidates_on_query_batch_change(self, seed, jitter):
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode="juno-h", threshold_scale=1.0)
+        index.search(dataset.queries, pipeline=pipeline, **kwargs)
+        changed = dataset.queries + jitter
+        cached = index.search(changed, pipeline=pipeline, **kwargs)
+        plain = index.search(changed, **kwargs)
+        _assert_identical_results(cached, plain)
+        # the changed batch can never alias the first batch's entries
+        assert cache.stats()["coarse_filter"] == {"hits": 0, "misses": 2}
+        # ... but repeating either batch is served from cache, still identically
+        repeat = index.search(dataset.queries, pipeline=pipeline, **kwargs)
+        plain_repeat = index.search(dataset.queries, **kwargs)
+        _assert_identical_results(repeat, plain_repeat)
+        assert cache.stats()["coarse_filter"]["hits"] == 1
 
 
 class TestScalarQuantizerProperties:
