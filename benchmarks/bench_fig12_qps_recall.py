@@ -14,7 +14,13 @@ from repro.bench.harness import (
     run_juno_sweep,
     speedup_summary,
 )
-from repro.bench.report import emit, format_records_table, format_table
+from repro.bench.report import (
+    emit,
+    format_records_table,
+    format_table,
+    throughput_record_dict,
+    update_bench_json,
+)
 from repro.core.config import QualityMode
 from repro.pipeline import StageCache
 
@@ -69,6 +75,18 @@ def test_fig12_qps_recall(which, deep_workload, sift_workload, tti_workload, rtx
     juno, baseline, summary = benchmark.pedantic(
         _run_dataset, args=(workload, rtx4090, label), rounds=1, iterations=1
     )
+    # Machine-readable trajectory tracking: one section per dataset with the
+    # Pareto frontier of both systems plus the per-band speed-ups, so the
+    # perf numbers diff cleanly across PRs.
+    update_bench_json(
+        f"fig12_{which}",
+        {
+            "dataset": label,
+            "juno_frontier": [throughput_record_dict(r) for r in juno.frontier],
+            "baseline_frontier": [throughput_record_dict(r) for r in baseline.frontier],
+            "speedups": summary,
+        },
+    )
     assert summary, "both systems must reach at least one recall band"
     # The paper's headline: JUNO wins at the reachable quality bands, with the
     # largest wins at the lower quality requirements.  The MIPS dataset (TTI)
@@ -119,6 +137,22 @@ def test_fig12_sweep_stage_cache_reuse(deep_workload, rtx4090, benchmark):
     expected_threshold_misses = len(SWEEP.nprobs_values) * len(SWEEP.threshold_scales)
     assert stats["threshold"]["misses"] == expected_threshold_misses
     assert stats["threshold"]["hits"] == grid_points - expected_threshold_misses
+    # The RT-select memo keys include the inner-sphere setting: JUNO-H and
+    # JUNO-L share one LUT per (nprobs, scale) point, JUNO-M recomputes it.
+    expected_rt_misses = 2 * expected_threshold_misses
+    assert stats["rt_select"]["misses"] == expected_rt_misses
+    assert stats["rt_select"]["hits"] == grid_points - expected_rt_misses
+    update_bench_json(
+        "fig12_stage_cache",
+        {
+            "grid_points": grid_points,
+            "stats": stats,
+            "hit_rates": {
+                name: counts["hits"] / max(counts["hits"] + counts["misses"], 1)
+                for name, counts in stats.items()
+            },
+        },
+    )
 
 
 def test_fig12_r100_at_1000(deep_workload, rtx4090, benchmark):

@@ -1,0 +1,124 @@
+"""Closed-loop serving benchmark: concurrent clients, measured QPS/latency.
+
+The figure benchmarks sweep batched offline searches; this benchmark drives
+the serving stack the way traffic actually arrives -- N closed-loop asyncio
+clients, each awaiting its answer through the async batching front-end
+before sending its next query -- and reports measured QPS plus p50/p99
+request latency for three deployments of the same corpus:
+
+* the single-process JUNO index behind a :class:`ServingEngine`;
+* a sharded router with worker-resident process shards (the full
+  front-end -> replica routing -> worker runtime stack);
+* the exact-search baseline behind the same engine interface.
+
+Results land in ``BENCH_serving.json`` (section ``closed_loop``) so the
+serving-performance trajectory is tracked across PRs alongside the Fig. 12
+sweep sections.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.exact import ExactSearch
+from repro.bench.harness import run_closed_loop
+from repro.bench.report import emit, format_table, update_bench_json
+from repro.serving import ServingEngine, ShardedJunoIndex
+
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 8
+K = 10
+MAX_WAIT_S = 0.002
+
+
+def _report_row(report):
+    return {
+        "system": report.label,
+        "qps": report.qps,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "batches": report.num_batches,
+        "mean_batch": report.mean_batch_size,
+    }
+
+
+def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
+    dataset = deep_workload.dataset
+    queries = dataset.queries
+
+    juno_engine = ServingEngine(deep_workload.juno, label="JUNO")
+    juno_report = benchmark.pedantic(
+        run_closed_loop,
+        args=(juno_engine, queries),
+        kwargs=dict(
+            k=K,
+            num_clients=NUM_CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            max_wait_s=MAX_WAIT_S,
+            nprobs=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    sharded = ShardedJunoIndex.from_dim(
+        dataset.dim,
+        num_shards=2,
+        num_clusters=deep_workload.juno.config.num_clusters,
+        num_entries=deep_workload.juno.config.num_entries,
+        num_threshold_samples=32,
+        kmeans_iters=6,
+        seed=7,
+    )
+    sharded.train(dataset.points)
+    sharded.make_resident(tmp_path / "resident-deployment", num_replicas=1)
+    with sharded, ServingEngine(sharded, label="JUNO x2 resident") as resident_engine:
+        resident_report = run_closed_loop(
+            resident_engine,
+            queries,
+            k=K,
+            num_clients=NUM_CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            max_wait_s=MAX_WAIT_S,
+            nprobs=8,
+        )
+
+    exact_engine = ServingEngine(
+        ExactSearch(metric=dataset.metric).add(dataset.points), label="exact"
+    )
+    exact_report = run_closed_loop(
+        exact_engine,
+        queries,
+        k=K,
+        num_clients=NUM_CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        max_wait_s=MAX_WAIT_S,
+    )
+
+    reports = [juno_report, resident_report, exact_report]
+    emit()
+    emit(
+        format_table(
+            [_report_row(report) for report in reports],
+            title=f"Closed-loop serving [{dataset.name}]: "
+            f"{NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests",
+        )
+    )
+    update_bench_json(
+        "closed_loop",
+        {
+            "dataset": dataset.name,
+            "num_clients": NUM_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "systems": [report.to_json_dict() for report in reports],
+        },
+    )
+
+    expected = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    for report in reports:
+        assert report.num_requests == expected
+        assert report.qps > 0
+        assert 0 < report.latency_p50_s <= report.latency_p99_s
+        # closed-loop batching must actually batch concurrent clients
+        assert report.mean_batch_size > 1.0
+    # worker-resident sharding answers from resident state: its workers see
+    # query-only payloads, and repeated hot batches hit the worker caches
+    assert resident_report.num_batches >= 1

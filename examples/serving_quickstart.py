@@ -10,10 +10,16 @@ persists every shard to disk, restores the deployment in a fresh router
 batching scheduler and the engine facade -- printing recall, the measured
 scheduler throughput and the modelled RTX 4090 throughput for JUNO and
 the exact baseline behind the same interface.
+
+It then switches the deployment to the worker-resident runtime (each shard
+loaded once into replicated worker processes; per-batch IPC is query-only)
+and serves concurrent asyncio clients through the async batching front-end
+-- the three-layer serving architecture described in ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import tempfile
 from pathlib import Path
 
@@ -25,6 +31,7 @@ from repro import (
     make_deep_like,
     recall_at,
 )
+from repro.bench.harness import run_closed_loop
 
 NUM_SHARDS = 4
 K = 10
@@ -86,6 +93,55 @@ def main() -> None:
             f"{engine.label:<16} {recall:>10.3f} {stats.qps:>14.3g} {modelled:>14.3g}"
             f"   ({stats.num_batches} batches of ~{stats.mean_batch_size:.0f})"
         )
+
+    # 5. Worker-resident serving + async front-end: persist the deployment,
+    #    boot two worker processes per shard (each loads its shard bundle
+    #    once; afterwards only query arrays cross the process boundary) and
+    #    serve concurrent asyncio clients through `await submit(query)`.
+    with tempfile.TemporaryDirectory() as tmp:
+        serving.make_resident(Path(tmp) / "resident", num_replicas=2)
+        # the engine context shuts the resident worker processes down even if
+        # a step below fails (engine.close() -> router.close() -> executor)
+        with ServingEngine(serving, label="JUNO resident") as resident_engine:
+
+            async def async_clients() -> float:
+                async with resident_engine.serve_async(
+                    k=K, max_batch_size=16, max_wait_s=0.002, nprobs=8
+                ) as scheduler:
+                    tasks = [
+                        asyncio.ensure_future(scheduler.submit(query))
+                        for query in dataset.queries
+                    ]
+                    rows = await asyncio.gather(*tasks)
+                ids = [row_ids for row_ids, _ in rows]
+                return recall_at(ids, ground_truth, K)
+
+            async_recall = asyncio.run(async_clients())
+            payload_bytes = serving.executor_spec.last_batch_payload_bytes
+            print()
+            print(
+                f"resident async serving: recall@10 {async_recall:.3f}, "
+                f"last fan-out shipped {payload_bytes / 1024:.1f} KiB of query payloads "
+                f"({NUM_SHARDS} shards x 2 replicas resident in workers)"
+            )
+
+            # Closed-loop load test: 8 clients, each keeping one request in
+            # flight, batched by the same async front-end.
+            report = run_closed_loop(
+                resident_engine,
+                dataset.queries,
+                k=K,
+                num_clients=8,
+                requests_per_client=4,
+                max_wait_s=0.002,
+                nprobs=8,
+            )
+            print(
+                f"closed loop (8 clients): {report.qps:.1f} QPS measured, "
+                f"p50 {report.latency_p50_s * 1e3:.1f} ms, "
+                f"p99 {report.latency_p99_s * 1e3:.1f} ms, "
+                f"batches of ~{report.mean_batch_size:.1f}"
+            )
 
 
 if __name__ == "__main__":

@@ -38,8 +38,10 @@ from repro.pipeline import (
     default_search_pipeline,
 )
 from repro.serving import (
+    AsyncBatchingScheduler,
     BatchingScheduler,
     EngineResult,
+    ResidentProcessShardExecutor,
     ServingEngine,
     ShardedJunoIndex,
     load_index,
@@ -76,7 +78,9 @@ __all__ = [
     "QueryContext",
     "QueryPipeline",
     "default_search_pipeline",
+    "AsyncBatchingScheduler",
     "BatchingScheduler",
+    "ResidentProcessShardExecutor",
     "EngineResult",
     "ServingEngine",
     "ShardedJunoIndex",

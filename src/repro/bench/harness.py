@@ -10,6 +10,8 @@ spends its modelled time, not just the end-to-end number.
 
 from __future__ import annotations
 
+import asyncio
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.metrics.qps import ThroughputRecord, pareto_frontier
 from repro.metrics.recall import recall_k_at_n
 from repro.pipeline.cache import StageCache
 from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
+from repro.serving.async_scheduler import AsyncBatchingScheduler
 from repro.serving.engine import ServingEngine
 from repro.serving.shard import ShardedJunoIndex
 
@@ -264,6 +267,149 @@ def run_engine_sweep(
             )
         )
     return out
+
+
+@dataclass
+class ClosedLoopReport:
+    """Measured serving behaviour of one closed-loop multi-client run.
+
+    A *closed loop* means every client keeps exactly one request in flight:
+    it submits, awaits its result, then immediately submits the next query.
+    Offered load therefore adapts to the system's speed (the standard
+    serving-benchmark shape), and per-request latency includes both queue
+    wait and the batch's search time.
+
+    Attributes:
+        label: engine label the run measured.
+        num_clients: concurrent closed-loop clients.
+        num_requests: total requests completed.
+        wall_s: elapsed wall-clock of the whole run.
+        qps: completed requests per wall-clock second.
+        latency_p50_s / latency_p99_s: request latency percentiles.
+        latency_mean_s: mean request latency.
+        num_batches: batches the scheduler flushed.
+        mean_batch_size: average queries per flushed batch.
+        stage_cache: accumulated per-stage cache counters (empty when the
+            engine ran uncached).
+    """
+
+    label: str
+    num_clients: int
+    num_requests: int
+    wall_s: float
+    qps: float
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    num_batches: int
+    mean_batch_size: float
+    stage_cache: dict = field(default_factory=dict)
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        """Per-stage hit rates in ``[0, 1]`` from the accumulated counters."""
+        rates = {}
+        for name, counts in self.stage_cache.items():
+            total = counts.get("hits", 0) + counts.get("misses", 0)
+            if total:
+                rates[name] = counts["hits"] / total
+        return rates
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable summary for ``BENCH_serving.json``."""
+        return {
+            "label": self.label,
+            "num_clients": self.num_clients,
+            "num_requests": self.num_requests,
+            "wall_s": self.wall_s,
+            "qps": self.qps,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_mean_s": self.latency_mean_s,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "stage_cache": {name: dict(counts) for name, counts in self.stage_cache.items()},
+            "cache_hit_rates": self.cache_hit_rates(),
+        }
+
+
+def run_closed_loop(
+    engine,
+    queries: np.ndarray,
+    k: int = 10,
+    num_clients: int = 8,
+    requests_per_client: int = 16,
+    max_batch_size: int | None = None,
+    max_wait_s: float = 0.002,
+    label: str | None = None,
+    clock=time.perf_counter,
+    **search_params,
+) -> ClosedLoopReport:
+    """Drive an engine with concurrent closed-loop clients; report QPS/latency.
+
+    Each of ``num_clients`` asyncio clients walks the query set in a striped
+    order (client ``c`` issues queries ``c, c + C, c + 2C, ...`` modulo the
+    set) and awaits every answer through one shared
+    :class:`~repro.serving.async_scheduler.AsyncBatchingScheduler` before
+    issuing the next -- so batches form from genuinely concurrent traffic,
+    exactly what the synchronous sweeps above cannot model.  ``engine`` is
+    anything with ``search(queries, k, **params)``: a
+    :class:`~repro.serving.engine.ServingEngine`, a raw index, or a sharded
+    router (resident workers included).
+
+    ``max_batch_size`` defaults to ``num_clients`` -- with every client
+    blocked awaiting, that is the largest batch a closed loop can form, so
+    full batches flush on size and stragglers flush on ``max_wait_s``.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if requests_per_client <= 0:
+        raise ValueError("requests_per_client must be positive")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if max_batch_size is None:
+        max_batch_size = num_clients
+    latencies: list[float] = []
+
+    async def _client(client_id: int, scheduler: AsyncBatchingScheduler) -> None:
+        for request in range(requests_per_client):
+            query = queries[(client_id + request * num_clients) % queries.shape[0]]
+            started = clock()
+            await scheduler.submit(query)
+            latencies.append(clock() - started)
+
+    async def _run() -> ClosedLoopReport:
+        async with AsyncBatchingScheduler(
+            engine,
+            k=k,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            clock=clock,
+            **search_params,
+        ) as scheduler:
+            started = clock()
+            await asyncio.gather(
+                *(_client(client_id, scheduler) for client_id in range(num_clients))
+            )
+            wall = max(clock() - started, 1e-12)
+            stats = scheduler.stats()
+            lat = np.asarray(latencies, dtype=np.float64)
+            return ClosedLoopReport(
+                label=label if label is not None else getattr(engine, "label", "engine"),
+                num_clients=num_clients,
+                num_requests=int(lat.size),
+                wall_s=float(wall),
+                qps=float(lat.size / wall),
+                latency_p50_s=float(np.percentile(lat, 50)),
+                latency_p99_s=float(np.percentile(lat, 99)),
+                latency_mean_s=float(lat.mean()),
+                num_batches=stats.num_batches,
+                mean_batch_size=stats.mean_batch_size,
+                stage_cache={
+                    name: dict(counts)
+                    for name, counts in scheduler.stage_cache_counters.items()
+                },
+            )
+
+    return asyncio.run(_run())
 
 
 def speedup_summary(

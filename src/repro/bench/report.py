@@ -7,9 +7,16 @@ it directly.
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.metrics.qps import ThroughputRecord
+
+#: Default machine-readable benchmark output file; override with the
+#: ``REPRO_BENCH_JSON`` environment variable.
+BENCH_JSON_NAME = "BENCH_serving.json"
 
 
 def _format_value(value) -> str:
@@ -63,6 +70,59 @@ def format_records_table(records: Sequence[ThroughputRecord], title: str | None 
         row.update({k: v for k, v in record.extra.items()})
         rows.append(row)
     return format_table(rows, title=title)
+
+
+def throughput_record_dict(record: ThroughputRecord) -> dict:
+    """A JSON-serialisable dict of one throughput record (for bench JSON)."""
+    return {
+        "label": record.label,
+        "recall": float(record.recall),
+        "qps": float(record.qps),
+        "latency_s": float(record.latency_s),
+        "num_queries": int(record.num_queries),
+        "extra": {
+            key: value
+            for key, value in record.extra.items()
+            if isinstance(value, (str, int, float, bool, dict, list)) or value is None
+        },
+    }
+
+
+def bench_json_path(path: "str | Path | None" = None) -> Path:
+    """Resolve the machine-readable benchmark output path.
+
+    Precedence: explicit argument, then the ``REPRO_BENCH_JSON`` environment
+    variable, then ``BENCH_serving.json`` in the current directory.
+    """
+    if path is not None:
+        return Path(path)
+    return Path(os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_NAME))
+
+
+def update_bench_json(section: str, payload, path: "str | Path | None" = None) -> Path:
+    """Merge one benchmark's results into the machine-readable output file.
+
+    The file maps section names to JSON payloads; each benchmark owns its
+    section(s) and updates them in place, so running benchmarks in any order
+    (or one at a time) accumulates one tracking file whose values can be
+    diffed across PRs.  An unreadable existing file is replaced rather than
+    crashing the benchmark that found it.
+
+    Returns the path written.
+    """
+    target = bench_json_path(path)
+    data: dict = {}
+    if target.is_file():
+        try:
+            existing = json.loads(target.read_text())
+            if isinstance(existing, dict):
+                data = existing
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[str(section)] = payload
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
 
 
 def emit(text: str = "") -> None:

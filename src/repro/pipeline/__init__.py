@@ -45,15 +45,21 @@ Stage caching
 -------------
 
 A :class:`~repro.pipeline.cache.StageCache` passed to
-``default_search_pipeline(stage_cache=...)`` memoises the coarse-filter and
-threshold stages across searches.  Keys combine a content fingerprint of the
-query batch (shape + dtype + bytes) with the parameters that determine each
-stage's output -- ``(index identity, nprobs)`` for the coarse filter, plus
-``(selected-cluster fingerprint, threshold_scale)`` for the threshold stage
--- so neither depends on the quality mode, and the coarse filter is also
-scale-independent: a ``threshold_scale`` x quality-mode sweep recomputes each
-slice once.  A changed query batch changes the fingerprint (automatic
-invalidation); old entries age out of the LRU ring.  Cache hits restore
+``default_search_pipeline(stage_cache=...)`` memoises the coarse-filter,
+threshold and RT-select stages across searches.  Keys combine a content
+fingerprint of the query batch (shape + dtype + bytes) with the parameters
+that determine each stage's output -- ``(index identity, nprobs)`` for the
+coarse filter, plus ``(selected-cluster fingerprint, threshold_scale)`` for
+the threshold stage -- so neither depends on the quality mode, and the
+coarse filter is also scale-independent: a ``threshold_scale`` x
+quality-mode sweep recomputes each slice once.  The RT-select memo keys on
+the full upstream slice (origins, ``t_max``, thresholds, metric *and* the
+quality mode's inner-sphere setting), so it serves exact repeat batches
+only -- hot repeated queries against worker-resident serving shards, or a
+sweep revisiting a grid point -- and a JUNO-M search can never alias a
+JUNO-H LUT that carries no inner-sphere flags.  A changed query batch
+changes the fingerprint (automatic invalidation); old entries age out of
+the LRU ring.  Cache hits restore
 bit-identical arrays (stored read-only) but do *not* replay the stage's work
 counters -- the operations were genuinely skipped -- and each search reports
 its lookup counts under ``extra["stage_cache"]`` and on the per-stage work

@@ -115,15 +115,19 @@ def default_search_pipeline(stage_cache: StageCache | None = None) -> QueryPipel
 
     Args:
         stage_cache: optional :class:`~repro.pipeline.cache.StageCache`
-            shared by the coarse-filter and threshold stages, so repeated
-            searches of the same batch (threshold-scale or quality-mode
-            sweeps) reuse their outputs instead of recomputing them.
+            shared by the coarse-filter, threshold and RT-select stages, so
+            repeated searches of the same batch (threshold-scale or
+            quality-mode sweeps, hot repeat queries against resident shard
+            workers) reuse their outputs instead of recomputing them.  The
+            RT-select memo keys on the full upstream slice -- including the
+            quality mode's inner-sphere setting and the ``t_max`` budgets --
+            so it only hits for exact repeats.
     """
     return QueryPipeline(
         (
             CoarseFilterStage(cache=stage_cache),
             ThresholdStage(cache=stage_cache),
-            RTSelectStage(),
+            RTSelectStage(cache=stage_cache),
             ScoreStage(),
             TopKStage(),
         )

@@ -23,8 +23,11 @@ comparability.
 :class:`CoarseFilterStage` and :class:`ThresholdStage` optionally memoise
 their outputs in a :class:`~repro.pipeline.cache.StageCache` (their outputs
 do not depend on the quality mode, and the coarse filter does not depend on
-``threshold_scale`` either, so sweeps reuse them across grid points); see
-:mod:`repro.pipeline.cache` for the key/invalidation scheme.
+``threshold_scale`` either, so sweeps reuse them across grid points);
+:class:`RTSelectStage` can memoise its selective LUT too, keyed by the full
+upstream slice including the inner-sphere setting and ``t_max``, so it pays
+off only for exact repeat batches.  See :mod:`repro.pipeline.cache` for the
+key/invalidation scheme.
 """
 
 from __future__ import annotations
@@ -207,14 +210,66 @@ class ThresholdStage:
 
 
 class RTSelectStage:
-    """Stage B2: selective L2-LUT construction on the RT engine."""
+    """Stage B2: selective L2-LUT construction on the RT engine.
+
+    Args:
+        cache: optional :class:`StageCache` memoising the constructed
+            :class:`~repro.core.selective_lut.SelectiveLUT`.  Unlike the
+            earlier stages the LUT depends on *everything* upstream -- the
+            ray origins, the ``t_max`` travel budgets (and hence the
+            threshold scale), the metric, and whether the quality mode
+            evaluates the inner sphere -- so the key fingerprints the
+            origins/``t_max``/``thresholds`` slices and includes the
+            effective inner-sphere ratio: it only pays off for exact repeat
+            batches (an online workload's hot queries, or a sweep revisiting
+            a grid point), and a JUNO-M search can never alias a JUNO-H LUT
+            that carries no inner-sphere flags.  Hits restore the identical
+            LUT (arrays frozen read-only) without replaying the traversal
+            counters.
+    """
 
     name = "rt_select"
+
+    def __init__(self, cache: StageCache | None = None) -> None:
+        self.cache = cache
+
+    def _cache_key(self, ctx: QueryContext, index, origins, t_max) -> tuple:
+        inner_ratio = (
+            float(index.config.inner_sphere_ratio)
+            if ctx.quality_mode.uses_inner_sphere
+            else None
+        )
+        return (
+            self.name,
+            _index_cache_identity(index),
+            ctx.metric.value,
+            inner_ratio,
+            self.cache.fingerprint(origins),
+            self.cache.fingerprint(t_max),
+            None if ctx.thresholds is None else self.cache.fingerprint(ctx.thresholds),
+        )
+
+    @staticmethod
+    def _freeze_lut(lut) -> None:
+        for arrays in (lut.offsets, lut.entries, lut.values, lut.inner_flags or ()):
+            for array in arrays:
+                freeze(array)
 
     def run(self, ctx: QueryContext) -> None:
         index = ctx.require("index", self.name)
         origins = ctx.require("origins", self.name)
         t_max = ctx.require("t_max", self.name)
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(ctx, index, origins, t_max)
+            cached = self.cache.fetch(self.name, key)
+            _note_cache_event(ctx, self.name, hit=cached is not None)
+            if cached is not None:
+                lut, fraction = cached
+                ctx.lut = lut
+                ctx.selected_entry_fraction = fraction
+                ctx.extra["rt_hits"] = lut.stats.hits
+                return
         constructor = SelectiveLUTConstructor(
             tracer=index.tracer,
             base_radius=index.sphere_radius,
@@ -235,6 +290,9 @@ class RTSelectStage:
         ctx.work.rt_hits += lut.stats.hits
         ctx.selected_entry_fraction = lut.selected_fraction()
         ctx.extra["rt_hits"] = lut.stats.hits
+        if self.cache is not None:
+            self._freeze_lut(lut)
+            self.cache.store(self.name, key, (lut, ctx.selected_entry_fraction))
 
 
 # Per-block element budget of the batched score kernel's largest

@@ -6,11 +6,21 @@ loaded by any number of serving processes (:mod:`repro.serving.persistence`),
 large corpora are partitioned across independently trained shards whose
 results are k-way merged back into a global top-k
 (:mod:`repro.serving.shard`), online single-query traffic is batched to keep
-the RT/Tensor pipeline busy (:mod:`repro.serving.scheduler`), and every index
-family in the repository is served through one uniform interface
+the RT/Tensor pipeline busy (:mod:`repro.serving.scheduler` synchronously,
+:mod:`repro.serving.async_scheduler` for concurrent asyncio clients), and
+every index family in the repository is served through one uniform interface
 (:mod:`repro.serving.engine`).
+
+The fan-out behind the sharded router is layered (see ``docs/serving.md``):
+a batching **front-end** feeds the **routing layer**
+(:mod:`repro.serving.routing`: replica selection, load balancing, failover),
+which dispatches query-only payloads to the **worker runtime**
+(:mod:`repro.serving.runtime`: processes that load their shard from a
+per-shard bundle once and keep it -- plus a private stage cache -- resident
+for their lifetime).
 """
 
+from repro.serving.async_scheduler import AsyncBatchingScheduler
 from repro.serving.engine import EngineResult, ServingEngine
 from repro.serving.executors import (
     ProcessShardExecutor,
@@ -25,16 +35,27 @@ from repro.serving.persistence import (
     load_index,
     save_index,
     search_results_equal,
+    shard_bundle_path,
 )
+from repro.serving.routing import (
+    ResidentProcessShardExecutor,
+    WorkerFailoverError,
+)
+from repro.serving.runtime import ResidentWorker
 from repro.serving.scheduler import (
     BatchingScheduler,
     BatchRecord,
     QueryTicket,
     SchedulerStats,
 )
-from repro.serving.shard import ShardedJunoIndex, merge_shard_results
+from repro.serving.shard import (
+    ResidentShardHandle,
+    ShardedJunoIndex,
+    merge_shard_results,
+)
 
 __all__ = [
+    "AsyncBatchingScheduler",
     "BatchRecord",
     "BatchingScheduler",
     "EngineResult",
@@ -42,15 +63,20 @@ __all__ = [
     "PersistenceError",
     "ProcessShardExecutor",
     "QueryTicket",
+    "ResidentProcessShardExecutor",
+    "ResidentShardHandle",
+    "ResidentWorker",
     "SchedulerStats",
     "SequentialShardExecutor",
     "ServingEngine",
     "ShardExecutor",
     "ShardedJunoIndex",
     "ThreadShardExecutor",
+    "WorkerFailoverError",
     "load_index",
     "make_shard_executor",
     "merge_shard_results",
     "save_index",
     "search_results_equal",
+    "shard_bundle_path",
 ]

@@ -26,8 +26,12 @@ index's fan-out executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.serving.async_scheduler import AsyncBatchingScheduler
 
 from repro.baselines.exact import ExactSearch
 from repro.baselines.hnsw import HNSWIndex
@@ -178,16 +182,40 @@ class ServingEngine:
         ``max_wait_s``, ``clock``) are passed through; everything else is
         treated as a search parameter and validated against the backend.
         """
-        scheduler_keys = ("max_batch_size", "max_wait_s", "clock")
+        scheduler_kwargs, search_params = self._split_scheduler_params(
+            scheduler_params, ("max_batch_size", "max_wait_s", "clock")
+        )
+        return BatchingScheduler(self, k=k, **scheduler_kwargs, **search_params)
+
+    def serve_async(self, k: int = 10, **scheduler_params) -> "AsyncBatchingScheduler":
+        """An :class:`AsyncBatchingScheduler` front-end over this engine.
+
+        The asyncio counterpart of :meth:`make_scheduler`: concurrent
+        clients ``await scheduler.submit(query)`` and resolve when their
+        batch flushes.  Scheduler knobs (``max_batch_size``, ``max_wait_s``,
+        ``clock``, ``poll_interval_s``) pass through; everything else is a
+        search parameter validated against the backend.  Use it as an async
+        context manager so pending clients are cancelled on exit.
+        """
+        from repro.serving.async_scheduler import AsyncBatchingScheduler
+
+        scheduler_kwargs, search_params = self._split_scheduler_params(
+            scheduler_params, ("max_batch_size", "max_wait_s", "clock", "poll_interval_s")
+        )
+        return AsyncBatchingScheduler(self, k=k, **scheduler_kwargs, **search_params)
+
+    def _split_scheduler_params(
+        self, params: dict, scheduler_keys: tuple[str, ...]
+    ) -> tuple[dict, dict]:
         scheduler_kwargs = {}
         search_params = {}
-        for key, value in scheduler_params.items():
+        for key, value in params.items():
             if key in scheduler_keys:
                 scheduler_kwargs[key] = value
             else:
                 search_params[key] = value
         self._validate_params(search_params)
-        return BatchingScheduler(self, k=k, **scheduler_kwargs, **search_params)
+        return scheduler_kwargs, search_params
 
     def modelled_qps(self, result: EngineResult, pipelined: bool | None = None) -> float:
         """Modelled throughput of a result under the engine's cost model.

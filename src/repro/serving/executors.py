@@ -15,9 +15,16 @@ interface with three backends:
   ``(shard, queries, k, params)`` payloads executed by a module-level task
   function; everything a per-shard pipeline carries (trained
   :class:`~repro.core.index.JunoIndex` state and the built-in stage objects)
-  pickles cleanly.
+  pickles cleanly.  Note the IPC profile: the *whole shard* is re-pickled
+  per batch, which the worker-resident executor below avoids.
+* :class:`~repro.serving.routing.ResidentProcessShardExecutor` (in
+  :mod:`repro.serving.routing`) -- worker-resident processes booted from
+  per-shard disk bundles with replicated routing and failover; per-batch
+  payloads carry queries only.
 
-All executors are context managers with idempotent ``close()``.
+The router talks to executors through :meth:`ShardExecutor.search_shards`;
+the generic ``map`` remains for the payload-agnostic backends.  All
+executors are context managers with idempotent ``close()``.
 """
 
 from __future__ import annotations
@@ -41,13 +48,29 @@ def search_shard_task(payload) -> object:
 
 
 class ShardExecutor:
-    """Interface of a fan-out backend: map a task over payloads, then close."""
+    """Interface of a fan-out backend: map a task over payloads, then close.
+
+    ``resident`` marks executors whose workers own their shard state for the
+    process lifetime; the router uses it to skip shipping router-side cached
+    pipelines (the workers keep private caches instead).
+    """
 
     kind: str = "abstract"
+    resident: bool = False
 
     def map(self, fn: Callable, payloads: Sequence) -> list:
         """Apply ``fn`` to every payload, preserving order."""
         raise NotImplementedError
+
+    def search_shards(self, shards: Sequence, queries, k: int, params: dict) -> list:
+        """Search every shard with one query batch, preserving shard order.
+
+        The default implementation ships the shard objects themselves (the
+        payload shape every pooled backend understands); resident executors
+        override it with query-only payloads routed to the workers that
+        already hold the shard.
+        """
+        return self.map(search_shard_task, [(shard, queries, k, params) for shard in shards])
 
     def close(self) -> None:
         """Release backend resources; safe to call repeatedly."""
@@ -134,6 +157,12 @@ def make_shard_executor(spec: "str | ShardExecutor", num_workers: int) -> ShardE
     """
     if isinstance(spec, ShardExecutor):
         return spec
+    if spec == "resident":
+        raise ValueError(
+            "the resident executor needs a shard bundle on disk; build it via "
+            "ShardedJunoIndex.load(path, executor='resident') / make_resident(path), "
+            "or construct a repro.serving.routing.ResidentProcessShardExecutor directly"
+        )
     if spec not in _EXECUTOR_KINDS:
         raise ValueError(f"executor must be one of {_EXECUTOR_KINDS} or a ShardExecutor")
     if spec == "sequential" or num_workers <= 1:

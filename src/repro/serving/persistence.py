@@ -46,6 +46,16 @@ class PersistenceError(RuntimeError):
     """Raised when a bundle is missing, corrupt or fails validation."""
 
 
+def shard_bundle_path(root: str | Path, shard_id: int) -> Path:
+    """The per-shard index bundle directory inside a sharded deployment bundle.
+
+    One canonical place for the layout so the router's save/load and the
+    worker-resident runtime (which loads single shards into pool workers)
+    can never drift apart.
+    """
+    return Path(root) / f"shard_{int(shard_id):03d}"
+
+
 def save_index(
     index: JunoIndex,
     path: str | Path,
@@ -156,7 +166,7 @@ def load_index(path: str | Path) -> JunoIndex:
     manifest = read_manifest(path, _INDEX_KIND)
     arrays_path = path / ARRAYS_NAME
     if not arrays_path.is_file():
-        raise PersistenceError(f"no index bundle at {path}")
+        raise PersistenceError(f"index bundle at {path} is missing {ARRAYS_NAME}")
 
     config = JunoConfig(**manifest["config"])
     index = JunoIndex(config)

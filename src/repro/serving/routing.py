@@ -1,0 +1,289 @@
+"""Replicated shard routing for the worker-resident runtime.
+
+This is the middle layer of the serving stack: above it sit the batching
+front-ends (:mod:`repro.serving.scheduler` and
+:mod:`repro.serving.async_scheduler`) and the
+:class:`~repro.serving.shard.ShardedJunoIndex` router that k-way merges
+per-shard results; below it sit the worker processes of
+:mod:`repro.serving.runtime`, each owning its shard state for the life of
+the process.
+
+:class:`ResidentProcessShardExecutor` implements the
+:class:`~repro.serving.executors.ShardExecutor` fan-out interface on top of
+a replica table: every shard is hosted by ``num_replicas`` independent
+worker processes, batches are load-balanced round-robin across the live
+replicas of each shard, and when a worker dies mid-batch (detected as a
+broken pool) the batch is transparently retried on a surviving replica.
+Per-batch IPC is query-only -- a payload is ``(shard_id, queries, k,
+params)`` -- so its pickled size is independent of the corpus; shard bytes
+reach the workers through the per-shard bundles on disk, at pool init.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import BrokenExecutor, Future
+from pathlib import Path
+
+from repro.serving.executors import ShardExecutor
+from repro.serving.runtime import ResidentWorker
+
+
+class WorkerFailoverError(RuntimeError):
+    """A shard's batch could not be completed on any replica."""
+
+
+class _ReplicaSet:
+    """The live replicas of one shard plus its round-robin cursor."""
+
+    def __init__(self, shard_id: int, workers: list[ResidentWorker]) -> None:
+        self.shard_id = int(shard_id)
+        self.workers = list(workers)
+        self._cursor = 0
+
+    def alive(self) -> list[ResidentWorker]:
+        return [worker for worker in self.workers if worker.alive]
+
+    def pick(self, exclude: set[int] | None = None) -> ResidentWorker:
+        """Next live replica in round-robin order, skipping ``exclude``."""
+        exclude = exclude or set()
+        candidates = [w for w in self.alive() if w.replica_id not in exclude]
+        if not candidates:
+            raise WorkerFailoverError(
+                f"no surviving replica can serve shard {self.shard_id} "
+                f"({len(self.workers)} configured, {len(self.alive())} alive, "
+                f"{sorted(exclude)} excluded for this batch)"
+            )
+        worker = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return worker
+
+
+class ResidentProcessShardExecutor(ShardExecutor):
+    """Process fan-out over worker-resident shards with replicated routing.
+
+    Args:
+        bundle_path: directory written by
+            :meth:`~repro.serving.shard.ShardedJunoIndex.save`; each worker
+            loads its shard from the per-shard bundle inside it.
+        num_shards: shard count; read from the bundle's ``manifest.json``
+            when omitted.
+        num_replicas: worker processes hosting *each* shard.  ``R > 1`` buys
+            failover (a dying worker's batches retry on a sibling) and
+            load-balancing headroom at the cost of ``R`` resident copies.
+        stage_cache: give every worker a private
+            :class:`~repro.pipeline.cache.StageCache` that survives across
+            batches (worker-resident caching; the router-side cache cannot
+            cross the process boundary).
+        warm: ping every worker at construction so a bad bundle raises its
+            typed error immediately (and shard loading provably happens at
+            pool init, not on the first live batch).
+
+    Attributes:
+        last_batch_payload_bytes: summed pickled size of the last fan-out's
+            payloads -- the regression-tested IPC observable.  Stays flat as
+            the corpus grows because payloads carry queries, never shards.
+        retried_batches: shard batches that were re-routed to a surviving
+            replica after a worker death.
+    """
+
+    kind = "resident"
+    resident = True
+
+    def __init__(
+        self,
+        bundle_path: str | Path,
+        num_shards: int | None = None,
+        num_replicas: int = 1,
+        stage_cache: bool = True,
+        warm: bool = True,
+    ) -> None:
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        self.bundle_path = Path(bundle_path)
+        if num_shards is None:
+            num_shards = self._read_num_shards(self.bundle_path)
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = int(num_shards)
+        self.num_replicas = int(num_replicas)
+        self.stage_cache = bool(stage_cache)
+        self.last_batch_payload_bytes = 0
+        self.retried_batches = 0
+        self._injected_failures: set[tuple[int, int]] = set()
+        self._closed = False
+        self._replica_sets: list[_ReplicaSet] = []
+        try:
+            self._replica_sets = [
+                _ReplicaSet(
+                    shard_id,
+                    [
+                        ResidentWorker(
+                            self.bundle_path,
+                            (shard_id,),
+                            replica_id=replica,
+                            stage_cache=self.stage_cache,
+                        )
+                        for replica in range(self.num_replicas)
+                    ],
+                )
+                for shard_id in range(self.num_shards)
+            ]
+            if warm:
+                self.warm()
+        except BaseException:
+            # A failed boot (bad bundle, dead interpreter) must not leak the
+            # worker pools already spawned for earlier shards/replicas.
+            self.close()
+            raise
+
+    @staticmethod
+    def _read_num_shards(bundle_path: Path) -> int:
+        from repro.serving.persistence import read_manifest
+        from repro.serving.shard import SHARDED_KIND
+
+        return int(read_manifest(bundle_path, SHARDED_KIND)["num_shards"])
+
+    # ---------------------------------------------------------------- lifecycle
+    def warm(self) -> None:
+        """Boot every worker and verify its shard loaded (fail fast).
+
+        All readiness probes are submitted before any is awaited, so the
+        worker processes spawn and load their shard bundles concurrently --
+        startup costs one bundle load, not ``num_shards * num_replicas``.
+        """
+        probes = [
+            (worker, worker.submit_ping())
+            for replica_set in self._replica_sets
+            for worker in replica_set.alive()
+        ]
+        for worker, probe in probes:
+            loaded = probe.result()
+            if list(worker.shard_ids) != loaded:  # pragma: no cover - defensive
+                raise WorkerFailoverError(
+                    f"worker for shard {worker.shard_ids} reports shards {loaded}"
+                )
+
+    def alive_replicas(self, shard_id: int) -> list[int]:
+        """Replica ids currently able to serve ``shard_id`` (diagnostics)."""
+        return [w.replica_id for w in self._replica_sets[shard_id].alive()]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for replica_set in self._replica_sets:
+            for worker in replica_set.workers:
+                worker.close()
+
+    # ------------------------------------------------------------- fault inject
+    def inject_failure(self, shard_id: int, replica_id: int | None = None) -> None:
+        """Arrange for a worker to crash when the next batch reaches it.
+
+        The test/chaos hook behind the failover guarantee: the poisoned
+        worker dies *mid-fan-out* of a live batch, which must then complete
+        (bit-identically) on a surviving replica.  ``replica_id=None``
+        poisons whichever replica the router picks next.
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        self._injected_failures.add((int(shard_id), -1 if replica_id is None else int(replica_id)))
+
+    def _pop_injected_failure(self, shard_id: int, replica_id: int) -> bool:
+        for key in ((shard_id, replica_id), (shard_id, -1)):
+            if key in self._injected_failures:
+                self._injected_failures.discard(key)
+                return True
+        return False
+
+    # ----------------------------------------------------------------- fan-out
+    def map(self, fn, payloads):
+        raise NotImplementedError(
+            "ResidentProcessShardExecutor routes (shard_id, queries) payloads to "
+            "resident workers; use search_shards() (the ShardedJunoIndex router "
+            "does) instead of the generic map() interface"
+        )
+
+    def search_shards(self, shards, queries, k: int, params: dict) -> list:
+        """Fan one query batch out to every shard's resident workers.
+
+        ``shards`` is accepted for interface compatibility but only its
+        length is used -- the shard state lives in the workers.  Payloads are
+        query-only; their summed pickled size is recorded in
+        :attr:`last_batch_payload_bytes`.
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        if len(shards) != self.num_shards:
+            raise ValueError(
+                f"router has {len(shards)} shards but the resident runtime was "
+                f"built for {self.num_shards}"
+            )
+        # IPC observable: payloads are identical across shards except for the
+        # small-int shard id, so pickling one and scaling keeps the metric
+        # exact without re-serialising the batch once per shard.
+        self.last_batch_payload_bytes = self.num_shards * len(
+            pickle.dumps((0, queries, k, params))
+        )
+        inflight: list[tuple[ResidentWorker, Future, set[int]]] = []
+        for shard_id in range(self.num_shards):
+            inflight.append(self._dispatch(shard_id, queries, k, params))
+        results = []
+        for shard_id, (worker, future, exclude) in enumerate(inflight):
+            results.append(
+                self._collect(shard_id, worker, future, exclude, queries, k, params)
+            )
+        return results
+
+    def _dispatch(
+        self, shard_id: int, queries, k: int, params: dict, exclude: set[int] | None = None
+    ) -> tuple[ResidentWorker, Future, set[int]]:
+        """Submit one shard's batch to the next live replica.
+
+        Submission itself can observe a broken pool (the worker died between
+        batches, or an injected crash was detected before the submit went
+        through); those replicas are marked dead and the batch moves on to
+        the next one, so callers only ever see a queued future.
+        """
+        exclude = set(exclude or ())
+        while True:
+            worker = self._replica_sets[shard_id].pick(exclude)
+            if self._pop_injected_failure(shard_id, worker.replica_id):
+                # Crash the worker under a live batch; depending on how fast
+                # the pool notices, the search fails either at submit time or
+                # through its future -- both take the failover path below.
+                try:
+                    worker.submit_die()
+                except BrokenExecutor:  # pragma: no cover - already gone
+                    pass
+            try:
+                return worker, worker.submit_search(shard_id, queries, k, params), exclude
+            except BrokenExecutor:
+                self._retire(worker, exclude)
+
+    def _retire(self, worker: ResidentWorker, exclude: set[int]) -> None:
+        worker.mark_dead()
+        worker.close()
+        exclude.add(worker.replica_id)
+        self.retried_batches += 1
+
+    def _collect(
+        self,
+        shard_id: int,
+        worker: ResidentWorker,
+        future: Future,
+        exclude: set[int],
+        queries,
+        k,
+        params,
+    ):
+        """Await one shard's result, failing over across replicas on death."""
+        while True:
+            try:
+                return future.result()
+            except BrokenExecutor:
+                self._retire(worker, exclude)
+                worker, future, exclude = self._dispatch(
+                    shard_id, queries, k, params, exclude=exclude
+                )

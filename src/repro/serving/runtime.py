@@ -1,0 +1,182 @@
+"""Worker-resident shard runtime: what runs *inside* a serving worker process.
+
+The original process-pool fan-out re-pickled every trained shard into the
+pool on every batch, so per-batch IPC grew with the corpus instead of the
+query batch.  This module is the worker half of the resident architecture
+(the Megatron-style "workers own their model state for a process lifetime"
+shape): a pool worker is booted with an initializer that loads its assigned
+shard(s) from persisted per-shard bundles exactly once, keeps them -- plus a
+private, batch-surviving :class:`~repro.pipeline.cache.StageCache` -- in
+process-global state, and from then on receives only
+``(shard_id, queries, k, params)`` payloads.  Shard bytes cross the process
+boundary at pool init (via the filesystem), never per batch.
+
+Layering: this module knows nothing about replicas or batching.  Replica
+assignment, load balancing and failover live in :mod:`repro.serving.routing`;
+the batching front-ends live in :mod:`repro.serving.scheduler` /
+:mod:`repro.serving.async_scheduler`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+#: Process-global state of a resident worker, populated by
+#: :func:`resident_worker_init` when the pool boots the process.  Maps
+#: ``shard_id -> (JunoIndex, QueryPipeline | None)``; the ``"__error__"`` key
+#: holds an initializer failure so tasks can re-raise it as a typed error
+#: instead of breaking the pool.
+_RESIDENT_SHARDS: dict = {}
+
+
+def resident_worker_init(
+    bundle_path: str, shard_ids: Sequence[int], stage_cache: bool
+) -> None:
+    """Pool initializer: load the assigned shards from disk, once.
+
+    Runs inside the freshly started worker process.  Each shard is restored
+    from its per-shard bundle (written by
+    :meth:`repro.serving.shard.ShardedJunoIndex.save`) and paired with a
+    worker-private cached pipeline when ``stage_cache`` is set -- the cache
+    lives for the worker's whole life, so repeated batches hit it across
+    flushes (unlike the router-side cache, which pickles empty into process
+    pools).
+
+    A failing load is *recorded* rather than raised: an initializer exception
+    would break the whole pool with an untyped
+    :class:`~concurrent.futures.process.BrokenProcessPool`; instead every
+    subsequent task re-raises the stored (typed) error.
+    """
+    from repro.pipeline.cache import StageCache
+    from repro.pipeline.pipeline import default_search_pipeline
+    from repro.serving.persistence import load_index, shard_bundle_path
+
+    _RESIDENT_SHARDS.clear()
+    try:
+        root = Path(bundle_path)
+        for shard_id in shard_ids:
+            index = load_index(shard_bundle_path(root, shard_id))
+            pipeline = (
+                default_search_pipeline(stage_cache=StageCache()) if stage_cache else None
+            )
+            _RESIDENT_SHARDS[int(shard_id)] = (index, pipeline)
+    except Exception as exc:  # noqa: BLE001 - re-raised typed by every task
+        _RESIDENT_SHARDS["__error__"] = exc
+
+
+def _check_worker_ready() -> None:
+    error = _RESIDENT_SHARDS.get("__error__")
+    if error is not None:
+        raise error
+
+
+def resident_ping_task() -> list[int]:
+    """Report the shard ids resident in this worker (readiness probe).
+
+    The routing layer submits this right after constructing a worker so a
+    bad bundle fails fast with the initializer's typed error instead of
+    surfacing on the first live batch -- and so the shard bundles are
+    demonstrably loaded *before* any query payload is shipped.
+    """
+    _check_worker_ready()
+    return sorted(sid for sid in _RESIDENT_SHARDS if isinstance(sid, int))
+
+
+def resident_search_task(shard_id: int, queries, k: int, params: dict):
+    """Run one shard's search against worker-resident state.
+
+    The payload carries only the query batch and search knobs; the shard
+    itself (and its private stage cache) already lives in this process.  An
+    explicit ``params["pipeline"]`` (shipped pickled, like the non-resident
+    executors) overrides the worker's cached default pipeline.
+    """
+    _check_worker_ready()
+    try:
+        index, pipeline = _RESIDENT_SHARDS[int(shard_id)]
+    except KeyError:
+        raise RuntimeError(
+            f"shard {shard_id} is not resident in this worker "
+            f"(resident: {sorted(s for s in _RESIDENT_SHARDS if isinstance(s, int))})"
+        ) from None
+    params = dict(params)
+    if "pipeline" not in params and pipeline is not None:
+        params["pipeline"] = pipeline
+    return index.search(queries, k, **params)
+
+
+def resident_die_task() -> None:
+    """Kill the worker process without cleanup (failure injection).
+
+    Exists so tests (and chaos drills) can simulate a worker crash: the
+    worker exits hard mid-task, the owning pool breaks, and the routing
+    layer must fail the batch over to a surviving replica.
+    """
+    os._exit(1)
+
+
+class ResidentWorker:
+    """One worker process owning one replica of one (or more) shard(s).
+
+    A thin handle over a single-process :class:`ProcessPoolExecutor` whose
+    initializer loads ``shard_ids`` from ``bundle_path``.  The handle tracks
+    liveness: once the underlying pool breaks (worker death), the routing
+    layer marks the replica dead and stops scheduling onto it.
+
+    Args:
+        bundle_path: root of the sharded deployment bundle (the directory
+            :meth:`ShardedJunoIndex.save` produced).
+        shard_ids: shards this worker hosts (usually exactly one).
+        replica_id: which replica of those shards this worker is.
+        stage_cache: give the worker a private, batch-surviving
+            :class:`~repro.pipeline.cache.StageCache`.
+    """
+
+    def __init__(
+        self,
+        bundle_path: str | Path,
+        shard_ids: Sequence[int],
+        replica_id: int = 0,
+        stage_cache: bool = True,
+    ) -> None:
+        self.bundle_path = str(bundle_path)
+        self.shard_ids = tuple(int(s) for s in shard_ids)
+        self.replica_id = int(replica_id)
+        self.stage_cache = bool(stage_cache)
+        self.alive = True
+        self._pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=resident_worker_init,
+            initargs=(self.bundle_path, self.shard_ids, self.stage_cache),
+        )
+
+    def submit_ping(self) -> Future:
+        """Queue a readiness probe (spawns the worker process if needed)."""
+        return self._pool.submit(resident_ping_task)
+
+    def ping(self) -> list[int]:
+        """Block until the worker booted; returns its resident shard ids."""
+        return self.submit_ping().result()
+
+    def submit_search(self, shard_id: int, queries, k: int, params: dict) -> Future:
+        """Queue one shard search on this worker (query-only payload)."""
+        return self._pool.submit(resident_search_task, shard_id, queries, k, params)
+
+    def submit_die(self) -> Future:
+        """Queue a hard crash (failure injection); breaks the pool."""
+        return self._pool.submit(resident_die_task)
+
+    def mark_dead(self) -> None:
+        """Record that the worker process died; the pool is unusable."""
+        self.alive = False
+
+    def close(self) -> None:
+        """Shut the worker's pool down (idempotent; safe on broken pools)."""
+        self.alive = False
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"ResidentWorker(shards={self.shard_ids}, replica={self.replica_id}, {state})"

@@ -41,7 +41,13 @@ class QueryTicket:
         return self._ids is not None
 
     def result(self) -> tuple[np.ndarray, np.ndarray]:
-        """The ``(ids, scores)`` row for this query.
+        """The ``(ids, scores)`` row for this query, as *read-only* views.
+
+        The rows of every ticket in a batch share the batched result's
+        memory, so a client mutating its row in place would silently corrupt
+        its batch-mates' results; like stage-cache restores, the views are
+        frozen so that bug raises immediately instead.  Callers that need a
+        mutable array should copy (``ids.copy()``).
 
         Raises:
             RuntimeError: if the batch has not been flushed yet; call
@@ -53,8 +59,16 @@ class QueryTicket:
         return self._ids, self._scores
 
     def _complete(self, ids: np.ndarray, scores: np.ndarray) -> None:
-        self._ids = ids
-        self._scores = scores
+        self._ids, self._scores = freeze_result_rows(ids, scores)
+
+
+def freeze_result_rows(ids: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Read-only views of one query's result rows (shared batch memory)."""
+    ids = ids[...]
+    scores = scores[...]
+    ids.flags.writeable = False
+    scores.flags.writeable = False
+    return ids, scores
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,50 @@ class SchedulerStats:
         )
 
 
+def aggregate_batch_records(records: "list[BatchRecord]") -> SchedulerStats:
+    """Fold per-batch records into :class:`SchedulerStats`.
+
+    Shared by the synchronous :class:`BatchingScheduler` and the asyncio
+    front-end (:class:`repro.serving.async_scheduler.AsyncBatchingScheduler`)
+    so both report identical statistics for identical batch histories.
+    """
+    num_batches = len(records)
+    num_queries = sum(record.batch_size for record in records)
+    total_latency = sum(record.latency_s for record in records)
+    if num_batches == 0:
+        return SchedulerStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+    mean_wait = sum(record.queue_wait_s for record in records) / num_batches
+    if total_latency > 0 and num_queries > 0:
+        qps = queries_per_second(num_queries, total_latency)
+    else:
+        qps = 0.0
+    return SchedulerStats(
+        num_batches=num_batches,
+        num_queries=num_queries,
+        mean_batch_size=num_queries / num_batches,
+        total_latency_s=total_latency,
+        mean_queue_wait_s=mean_wait,
+        qps=qps,
+    )
+
+
+def accumulate_stage_cache_counters(counters: dict, result) -> None:
+    """Fold one batched result's stage-cache hit/miss counts into ``counters``.
+
+    Works for any result shape the schedulers accept; results without an
+    ``extra["stage_cache"]`` entry (baselines, uncached pipelines) are a
+    no-op.  The accumulated shape matches
+    :meth:`repro.pipeline.cache.StageCache.stats`.
+    """
+    extra = getattr(result, "extra", None)
+    if not isinstance(extra, dict):
+        return
+    for name, counts in extra.get("stage_cache", {}).items():
+        merged = counters.setdefault(name, {"hits": 0, "misses": 0})
+        merged["hits"] += int(counts.get("hits", 0))
+        merged["misses"] += int(counts.get("misses", 0))
+
+
 @dataclass
 class _PendingBatch:
     queries: list[np.ndarray] = field(default_factory=list)
@@ -152,6 +210,7 @@ class BatchingScheduler:
         self.clock = clock
         self.search_params = dict(search_params)
         self.records: list[BatchRecord] = []
+        self.stage_cache_counters: dict[str, dict[str, int]] = {}
         self._pending = _PendingBatch()
 
     # ------------------------------------------------------------ submission
@@ -187,6 +246,7 @@ class BatchingScheduler:
             ids, scores = result.ids, result.scores
         else:
             ids, scores = result[0], result[1]
+        accumulate_stage_cache_counters(self.stage_cache_counters, result)
         for row, ticket in enumerate(pending.tickets):
             ticket._complete(ids[row], scores[row])
         self.records.append(
@@ -201,21 +261,4 @@ class BatchingScheduler:
     # ------------------------------------------------------------ statistics
     def stats(self) -> SchedulerStats:
         """Aggregate the per-batch records collected so far."""
-        num_batches = len(self.records)
-        num_queries = sum(record.batch_size for record in self.records)
-        total_latency = sum(record.latency_s for record in self.records)
-        if num_batches == 0:
-            return SchedulerStats(0, 0, 0.0, 0.0, 0.0, 0.0)
-        mean_wait = sum(record.queue_wait_s for record in self.records) / num_batches
-        if total_latency > 0 and num_queries > 0:
-            qps = queries_per_second(num_queries, total_latency)
-        else:
-            qps = 0.0
-        return SchedulerStats(
-            num_batches=num_batches,
-            num_queries=num_queries,
-            mean_batch_size=num_queries / num_batches,
-            total_latency_s=total_latency,
-            mean_queue_wait_s=mean_wait,
-            qps=qps,
-        )
+        return aggregate_batch_records(self.records)

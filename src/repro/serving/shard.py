@@ -45,7 +45,6 @@ from repro.pipeline.stages import ExactRerankStage
 from repro.serving.executors import (
     ShardExecutor,
     make_shard_executor,
-    search_shard_task,
 )
 from repro.serving.persistence import (
     FORMAT_VERSION,
@@ -54,9 +53,38 @@ from repro.serving.persistence import (
     load_index,
     read_manifest,
     save_index,
+    shard_bundle_path,
 )
 
-_SHARDED_KIND = "sharded-juno-index"
+SHARDED_KIND = "sharded-juno-index"
+_SHARDED_KIND = SHARDED_KIND  # backwards-compatible alias
+_SHARD_IDS_NAME = "shard_ids.npz"
+
+
+class ResidentShardHandle:
+    """Coordinator-side stand-in for a shard that lives in worker processes.
+
+    A bundle-backed resident deployment keeps the trained shard state in its
+    workers; the coordinator only needs the shard *count* (fan-out width)
+    and the global-id mappings (k-way merge).  Loading the full indexes into
+    the coordinator as well would duplicate the whole corpus-sized index in
+    router RAM and double bundle reads at boot, so ``load(executor=
+    "resident")`` installs these handles instead.  Any attempt to search one
+    locally fails loudly.
+    """
+
+    is_trained = True
+
+    def __init__(self, shard_id: int, bundle_path: Path) -> None:
+        self.shard_id = int(shard_id)
+        self.bundle_path = Path(bundle_path)
+
+    def search(self, *args, **kwargs):
+        raise RuntimeError(
+            f"shard {self.shard_id} is resident in worker processes (bundle "
+            f"{self.bundle_path}); it cannot be searched in the coordinator. "
+            "Load with load_shards=True for a coordinator-local copy."
+        )
 _ASSIGNMENTS = ("round_robin", "contiguous")
 _RERANK_CORPUS_NAME = "rerank_corpus.npz"
 
@@ -272,6 +300,10 @@ class ShardedJunoIndex:
         self._rerank_points: np.ndarray | None = None
         self._executor: ShardExecutor | None = None
         self._executor_key: tuple | None = None
+        # A router *owns* an executor instance it built itself (load() with
+        # executor="resident", or make_resident()); caller-supplied instances
+        # stay caller-owned and survive close().
+        self._owns_spec_executor = False
         if isinstance(stage_cache, StageCache):
             self._stage_cache: StageCache | None = stage_cache
             self._owns_stage_cache = False
@@ -408,6 +440,7 @@ class ShardedJunoIndex:
         if not self.is_trained:
             raise RuntimeError("ShardedJunoIndex must be trained before searching")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        executor = self._fanout_executor()
         params: dict = {
             "nprobs": nprobs,
             "quality_mode": quality_mode,
@@ -415,12 +448,13 @@ class ShardedJunoIndex:
         }
         if pipeline is not None:
             params["pipeline"] = pipeline
-        elif self._stage_cache is not None:
+        elif self._stage_cache is not None and not executor.resident:
+            # Resident workers keep their own batch-surviving caches; the
+            # router-side cache would pickle empty into their processes.
             if self._cached_pipeline is None:
                 self._cached_pipeline = default_search_pipeline(stage_cache=self._stage_cache)
             params["pipeline"] = self._cached_pipeline
-        payloads = [(shard, queries, k, params) for shard in self.shards]
-        results = self._fanout_executor().map(search_shard_task, payloads)
+        results = executor.search_shards(self.shards, queries, k, params)
 
         if self.exact_rerank and self._rerank_points is not None:
             depth = self.rerank_depth if self.rerank_depth is not None else self.num_shards * k
@@ -491,12 +525,16 @@ class ShardedJunoIndex:
         configurations don't accumulate idle workers for the life of the
         process.  A caller-supplied :class:`ShardExecutor` instance is *not*
         closed -- the caller created it (possibly sharing it across several
-        routers) and keeps ownership of its lifecycle.
+        routers) and keeps ownership of its lifecycle.  Resident executors
+        the router built itself (``load(..., executor="resident")`` /
+        :meth:`make_resident`) *are* router-owned and are shut down here.
         """
         if self._executor is not None:
             self._executor.close()
             self._executor = None
             self._executor_key = None
+        if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
+            self.executor_spec.close()
         # Only drop entries of a cache this router created (stage_cache=True):
         # a caller-supplied instance may be shared across routers and keeps
         # its entries and counters, mirroring the executor ownership rule.
@@ -526,6 +564,13 @@ class ShardedJunoIndex:
         """Persist the router manifest plus one index bundle per shard."""
         if not self.is_trained:
             raise PersistenceError("cannot save an untrained ShardedJunoIndex")
+        if any(isinstance(shard, ResidentShardHandle) for shard in self.shards):
+            raise PersistenceError(
+                "this router is bundle-backed (shards are resident in worker "
+                "processes, not coordinator memory); its persistent form is the "
+                "bundle directory it was loaded from -- copy that, or reload "
+                "with load_shards=True to save a new bundle"
+            )
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         manifest = {
@@ -541,11 +586,11 @@ class ShardedJunoIndex:
         }
         (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
         id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
-        np.savez_compressed(path / "shard_ids.npz", **id_arrays)
+        np.savez_compressed(path / _SHARD_IDS_NAME, **id_arrays)
         if manifest["exact_rerank"]:
             np.savez_compressed(path / _RERANK_CORPUS_NAME, points=self._rerank_points)
         for shard_id, shard in enumerate(self.shards):
-            save_index(shard, path / f"shard_{shard_id:03d}")
+            save_index(shard, shard_bundle_path(path, shard_id))
         return path
 
     @classmethod
@@ -554,33 +599,156 @@ class ShardedJunoIndex:
         path: str | Path,
         num_workers: int | None = None,
         executor: str | ShardExecutor = "thread",
+        num_replicas: int = 1,
+        worker_stage_cache: bool = True,
+        load_shards: bool | None = None,
     ) -> "ShardedJunoIndex":
-        """Restore a sharded index saved by :meth:`save` without retraining."""
+        """Restore a sharded index saved by :meth:`save` without retraining.
+
+        ``executor="resident"`` additionally boots the worker-resident
+        runtime from the same bundle: one
+        :class:`~repro.serving.routing.ResidentProcessShardExecutor` whose
+        pool workers load their shard(s) from the per-shard bundles at init,
+        with ``num_replicas`` workers per shard and (by default) a private
+        batch-surviving stage cache per worker.  The router owns that
+        executor and shuts it down on :meth:`close`.
+
+        ``load_shards`` controls whether the coordinator also materialises
+        the shard indexes locally.  It defaults to ``True`` for the local
+        executors (they search coordinator memory) and ``False`` for the
+        resident executor -- the shard state already lives in the workers,
+        so the coordinator keeps only :class:`ResidentShardHandle` stubs,
+        the shard-id mappings for the merge, and (if enabled) the rerank
+        corpus; memory and boot time stop scaling with a second index copy.
+        A bundle-backed router cannot be re-:meth:`save`\\ d (the bundle
+        *is* its persistent form); pass ``load_shards=True`` if a local
+        copy is genuinely needed.
+        """
         path = Path(path)
-        manifest = read_manifest(path, _SHARDED_KIND)
-        sharded = cls(
-            JunoConfig(**manifest["config"]),
-            num_shards=int(manifest["num_shards"]),
-            assignment=manifest["assignment"],
-            num_workers=num_workers,
-            executor=executor,
-        )
+        manifest = read_manifest(path, SHARDED_KIND)
+        num_shards = int(manifest["num_shards"])
+        missing = [
+            shard_id
+            for shard_id in range(num_shards)
+            if not (shard_bundle_path(path, shard_id) / MANIFEST_NAME).is_file()
+        ]
+        if missing:
+            raise PersistenceError(
+                f"sharded bundle at {path} declares {num_shards} shards but "
+                f"is missing the per-shard bundle(s) {missing}"
+            )
+        owns_executor = False
+        if executor == "resident":
+            from repro.serving.routing import ResidentProcessShardExecutor
+
+            executor = ResidentProcessShardExecutor(
+                path,
+                num_shards=num_shards,
+                num_replicas=num_replicas,
+                stage_cache=worker_stage_cache,
+            )
+            owns_executor = True
+        try:
+            sharded = cls(
+                JunoConfig(**manifest["config"]),
+                num_shards=int(manifest["num_shards"]),
+                assignment=manifest["assignment"],
+                num_workers=num_workers,
+                executor=executor,
+            )
+        except BaseException:
+            # e.g. a manifest config key this version does not understand:
+            # the resident workers booted above must not outlive the failure.
+            if owns_executor:
+                executor.close()
+            raise
+        sharded._owns_spec_executor = owns_executor
         sharded.dim = int(manifest["dim"])
         sharded.num_points = int(manifest["num_points"])
-        with np.load(path / "shard_ids.npz") as id_arrays:
-            keys = [f"shard_{s}" for s in range(sharded.num_shards)]
-            sharded.shard_global_ids = [id_arrays[key] for key in keys]
-        sharded.shards = [
-            load_index(path / f"shard_{shard_id:03d}")
-            for shard_id in range(sharded.num_shards)
-        ]
-        if manifest.get("exact_rerank"):
-            corpus_path = path / _RERANK_CORPUS_NAME
-            if not corpus_path.is_file():
+        try:
+            ids_path = path / _SHARD_IDS_NAME
+            if not ids_path.is_file():
                 raise PersistenceError(
-                    f"bundle at {path} declares exact_rerank but has no {_RERANK_CORPUS_NAME}"
+                    f"sharded bundle at {path} is missing {_SHARD_IDS_NAME}"
                 )
-            with np.load(corpus_path) as corpus:
-                depth = manifest.get("rerank_depth")
-                sharded.enable_exact_rerank(corpus["points"], rerank_depth=depth)
+            try:
+                with np.load(ids_path) as id_arrays:
+                    keys = [f"shard_{s}" for s in range(sharded.num_shards)]
+                    sharded.shard_global_ids = [id_arrays[key] for key in keys]
+            except KeyError as exc:
+                raise PersistenceError(
+                    f"sharded bundle at {path} has an incomplete {_SHARD_IDS_NAME}: {exc}"
+                ) from exc
+            except Exception as exc:
+                if isinstance(exc, PersistenceError):
+                    raise
+                raise PersistenceError(
+                    f"corrupt {_SHARD_IDS_NAME} in sharded bundle at {path}: {exc}"
+                ) from exc
+            if load_shards is None:
+                # covers both the "resident" string (resolved above) and a
+                # caller-supplied resident executor instance
+                load_shards = not getattr(executor, "resident", False)
+            if load_shards:
+                sharded.shards = [
+                    load_index(shard_bundle_path(path, shard_id))
+                    for shard_id in range(sharded.num_shards)
+                ]
+            else:
+                sharded.shards = [
+                    ResidentShardHandle(shard_id, path)
+                    for shard_id in range(sharded.num_shards)
+                ]
+            if manifest.get("exact_rerank"):
+                corpus_path = path / _RERANK_CORPUS_NAME
+                if not corpus_path.is_file():
+                    raise PersistenceError(
+                        f"bundle at {path} declares exact_rerank but has no "
+                        f"{_RERANK_CORPUS_NAME}"
+                    )
+                with np.load(corpus_path) as corpus:
+                    depth = manifest.get("rerank_depth")
+                    sharded.enable_exact_rerank(corpus["points"], rerank_depth=depth)
+        except BaseException:
+            # Never leak the worker processes of a half-constructed router.
+            sharded.close()
+            raise
         return sharded
+
+    def make_resident(
+        self,
+        path: str | Path,
+        num_replicas: int = 1,
+        worker_stage_cache: bool = True,
+        persist: bool = True,
+    ) -> "ShardedJunoIndex":
+        """Switch this router's fan-out to the worker-resident runtime.
+
+        Persists the deployment to ``path`` (unless ``persist=False`` because
+        the bundle is already on disk) and replaces the fan-out executor with
+        a router-owned
+        :class:`~repro.serving.routing.ResidentProcessShardExecutor`: each
+        shard gets ``num_replicas`` dedicated worker processes that load it
+        from the bundle once and afterwards receive query-only payloads.
+
+        Returns ``self`` (builder style).
+        """
+        from repro.serving.routing import ResidentProcessShardExecutor
+
+        if persist:
+            self.save(path)
+        resident = ResidentProcessShardExecutor(
+            path,
+            num_shards=self.num_shards,
+            num_replicas=num_replicas,
+            stage_cache=worker_stage_cache,
+        )
+        if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
+            self.executor_spec.close()
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._executor_key = None
+        self.executor_spec = resident
+        self._owns_spec_executor = True
+        return self

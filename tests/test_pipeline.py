@@ -477,8 +477,17 @@ class TestStageCache:
         self._search(juno_l2, l2_dataset, pipeline=pipeline)
         second = self._search(juno_l2, l2_dataset, pipeline=pipeline)
         latencies = CostModel("rtx4090").stage_latencies(second.extra["stage_work"])
+        # An exact repeat batch hits all three cached stages (the RT-select
+        # LUT memo included), so their modelled slices are free; the score
+        # stage genuinely re-runs and still costs modelled time.
         assert latencies["coarse_filter"] == 0.0
         assert latencies["threshold"] == 0.0
+        assert latencies["rt_select"] == 0.0
+        assert latencies["score"] > 0.0
+        # A different threshold scale changes t_max, so the RT stage misses
+        # and its slice is paid again.
+        third = self._search(juno_l2, l2_dataset, pipeline=pipeline, scale=0.6)
+        latencies = CostModel("rtx4090").stage_latencies(third.extra["stage_work"])
         assert latencies["rt_select"] > 0.0
 
     def test_lru_eviction_and_len(self, juno_l2, l2_dataset):

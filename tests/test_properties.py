@@ -280,6 +280,103 @@ class TestStageCacheProperties:
         assert cache.stats()["coarse_filter"]["hits"] == 1
 
 
+class TestRTSelectCacheProperties:
+    """The RT-select LUT memo: hits only for exact repeats, never across
+    inner-sphere settings or t_max slices; results stay bit-identical."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=4),
+        mode=st.sampled_from(["juno-h", "juno-m", "juno-l"]),
+        scale=st.sampled_from([0.6, 1.0, 1.5]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_exact_repeat_hits_and_restores_identically(self, seed, mode, scale):
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode=mode, threshold_scale=scale)
+        first = index.search(dataset.queries, pipeline=pipeline, **kwargs)
+        second = index.search(dataset.queries, pipeline=pipeline, **kwargs)
+        plain = index.search(dataset.queries, **kwargs)
+        _assert_identical_results(first, plain)
+        _assert_identical_results(second, plain)
+        assert cache.stats()["rt_select"] == {"hits": 1, "misses": 1}
+        # the hit honestly skipped the traversal work
+        assert second.work.rt_rays == 0.0
+        assert first.work.rt_rays > 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_inner_sphere_setting_invalidates(self, seed):
+        """JUNO-M evaluates the inner sphere, JUNO-H does not; at the same
+        scale their threshold stages produce identical origins/t_max, so
+        only the inner-sphere key component keeps JUNO-M from reusing a
+        JUNO-H LUT that carries no inner flags."""
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, threshold_scale=1.0)
+        index.search(dataset.queries, pipeline=pipeline, quality_mode="juno-h", **kwargs)
+        cached = index.search(
+            dataset.queries, pipeline=pipeline, quality_mode="juno-m", **kwargs
+        )
+        plain = index.search(dataset.queries, quality_mode="juno-m", **kwargs)
+        _assert_identical_results(cached, plain)
+        # the threshold slice was shared (mode-independent) ...
+        assert cache.stats()["threshold"] == {"hits": 1, "misses": 1}
+        # ... but the LUT could not be: different inner-sphere setting
+        assert cache.stats()["rt_select"] == {"hits": 0, "misses": 2}
+        # JUNO-L shares JUNO-H's setting (no inner sphere): exact reuse
+        index.search(dataset.queries, pipeline=pipeline, quality_mode="juno-l", **kwargs)
+        assert cache.stats()["rt_select"] == {"hits": 1, "misses": 2}
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        scales=st.lists(st.sampled_from([0.5, 0.8, 1.0, 1.4]), min_size=2, max_size=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_t_max_slice_invalidates(self, seed, scales):
+        """A changed threshold scale changes the t_max travel budgets, so the
+        RT stage recomputes once per distinct scale (like the threshold
+        stage) while the coarse filter still hits."""
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        for scale in scales:
+            cached = index.search(
+                dataset.queries,
+                k=8,
+                nprobs=4,
+                quality_mode="juno-h",
+                threshold_scale=scale,
+                pipeline=pipeline,
+            )
+            plain = index.search(
+                dataset.queries, k=8, nprobs=4, quality_mode="juno-h", threshold_scale=scale
+            )
+            _assert_identical_results(cached, plain)
+        assert cache.stats()["rt_select"] == {
+            "hits": len(scales) - len(set(scales)),
+            "misses": len(set(scales)),
+        }
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2),
+        jitter=st.floats(min_value=0.05, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_query_batch_change_invalidates(self, seed, jitter):
+        index, dataset = _seeded_juno(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode="juno-h", threshold_scale=1.0)
+        index.search(dataset.queries, pipeline=pipeline, **kwargs)
+        cached = index.search(dataset.queries + jitter, pipeline=pipeline, **kwargs)
+        plain = index.search(dataset.queries + jitter, **kwargs)
+        _assert_identical_results(cached, plain)
+        assert cache.stats()["rt_select"] == {"hits": 0, "misses": 2}
+
+
 class TestScalarQuantizerProperties:
     @given(points=point_sets(max_points=30, max_dim=5), bits=st.integers(2, 10))
     @settings(max_examples=40, deadline=None)

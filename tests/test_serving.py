@@ -704,6 +704,26 @@ class TestBatchingScheduler:
         stats = scheduler.stats()
         assert stats.num_batches == 0 and stats.qps == 0.0
 
+    def test_ticket_results_are_read_only_views(self):
+        """Regression: a client mutating its result row must not corrupt the
+        rows other tickets of the same batch share (the rows are views into
+        one batched result); like cache restores, they come back frozen."""
+        scheduler = BatchingScheduler(_EchoIndex(), k=3, max_batch_size=2, clock=FakeClock())
+        first = scheduler.submit([7.0, 0.0])
+        second = scheduler.submit([9.0, 0.0])
+        ids, scores = first.result()
+        with pytest.raises(ValueError, match="read-only"):
+            ids[0] = 42
+        with pytest.raises(ValueError, match="read-only"):
+            scores[:] = -1.0
+        other_ids, other_scores = second.result()
+        assert other_ids[0] == 9
+        assert (other_scores == 0.0).all()
+        # callers needing mutability copy explicitly
+        mutable = ids.copy()
+        mutable[0] = 42
+        assert ids[0] == 7
+
     def test_search_params_forwarded_through_engine(self, juno_l2, l2_dataset):
         engine = ServingEngine(juno_l2)
         scheduler = engine.make_scheduler(k=5, max_batch_size=4, nprobs=6)

@@ -1,0 +1,359 @@
+"""Tests for the worker-resident shard runtime and replicated routing.
+
+Covers the tentpole acceptance criteria of the resident refactor:
+
+* parity -- the resident process executor returns bit-identical
+  ``(ids, scores)`` and aggregated ``SearchWork`` to the sequential
+  reference, including with ``num_replicas > 1`` and an injected worker
+  failure mid-sweep;
+* query-only IPC -- per-batch payload pickle size is independent of the
+  corpus size (shard bytes cross the process boundary only at pool init);
+* worker-private stage caches that survive across batches;
+* typed persistence errors for broken sharded bundles and the per-shard
+  bundle layout round-trip.
+
+These tests run in the tier-1 CI matrix by path (no ``slow`` marker).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_clustered_dataset
+from repro.serving import (
+    PersistenceError,
+    ResidentProcessShardExecutor,
+    ResidentShardHandle,
+    ShardedJunoIndex,
+    WorkerFailoverError,
+    load_index,
+    search_results_equal,
+    shard_bundle_path,
+)
+from repro.serving.persistence import MANIFEST_NAME
+
+
+def _settings():
+    return dict(
+        num_clusters=8,
+        num_entries=8,
+        num_threshold_samples=16,
+        threshold_top_k=20,
+        kmeans_iters=4,
+        density_grid=10,
+        seed=3,
+    )
+
+
+def _make_corpus(num_points=600, seed=5):
+    return make_clustered_dataset(
+        name=f"resident-{num_points}-{seed}",
+        num_points=num_points,
+        num_queries=8,
+        dim=8,
+        num_components=8,
+        query_jitter=0.2,
+        seed=seed,
+    )
+
+
+def _train_sharded(corpus, num_shards=2):
+    sharded = ShardedJunoIndex.from_dim(
+        corpus.dim, num_shards=num_shards, executor="sequential", **_settings()
+    )
+    return sharded.train(corpus.points)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _make_corpus()
+
+
+@pytest.fixture(scope="module")
+def sequential_router(corpus):
+    return _train_sharded(corpus)
+
+
+@pytest.fixture(scope="module")
+def bundle(sequential_router, tmp_path_factory):
+    return sequential_router.save(tmp_path_factory.mktemp("resident") / "deployment")
+
+
+def _assert_work_equal(a, b):
+    for field in dataclasses.fields(a):
+        if field.name == "extra":
+            continue
+        assert getattr(a, field.name) == getattr(b, field.name), field.name
+
+
+class TestResidentParity:
+    def test_replicated_resident_bit_identical_with_failure_mid_sweep(
+        self, corpus, sequential_router, bundle
+    ):
+        """Acceptance: resident == sequential across a sweep, with R=2 and one
+        worker killed between grid points (the batch fails over)."""
+        with ShardedJunoIndex.load(
+            bundle, executor="resident", num_replicas=2, worker_stage_cache=False
+        ) as resident:
+            executor = resident.executor_spec
+            assert executor.kind == "resident"
+            for step, scale in enumerate((1.0, 0.7, 1.4)):
+                if step == 1:
+                    executor.inject_failure(0)
+                expected = sequential_router.search(
+                    corpus.queries, k=5, nprobs=4, threshold_scale=scale
+                )
+                observed = resident.search(
+                    corpus.queries, k=5, nprobs=4, threshold_scale=scale
+                )
+                assert search_results_equal(expected, observed)
+                _assert_work_equal(expected.work, observed.work)
+            assert executor.retried_batches == 1
+            # exactly one of shard 0's replicas died; shard 1 kept both
+            assert len(executor.alive_replicas(0)) == 1
+            assert executor.alive_replicas(1) == [0, 1]
+
+    def test_resident_quality_modes_match_sequential(
+        self, corpus, sequential_router, bundle
+    ):
+        with ShardedJunoIndex.load(
+            bundle, executor="resident", worker_stage_cache=False
+        ) as resident:
+            for mode in ("juno-h", "juno-m", "juno-l"):
+                expected = sequential_router.search(
+                    corpus.queries, k=5, nprobs=4, quality_mode=mode
+                )
+                observed = resident.search(corpus.queries, k=5, nprobs=4, quality_mode=mode)
+                assert search_results_equal(expected, observed)
+                _assert_work_equal(expected.work, observed.work)
+
+    def test_single_replica_failure_exhausts_replicas(self, corpus, bundle):
+        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+            executor = resident.executor_spec
+            executor.inject_failure(1)
+            with pytest.raises(WorkerFailoverError, match="no surviving replica"):
+                resident.search(corpus.queries, k=5, nprobs=4)
+
+
+class TestQueryOnlyIPC:
+    def test_payload_bytes_independent_of_corpus_size(self, corpus, bundle, tmp_path):
+        """Acceptance: the per-batch payload carries queries, never shards."""
+        big_corpus = _make_corpus(num_points=1800, seed=5)
+        big_bundle = _train_sharded(big_corpus).save(tmp_path / "big")
+        with (
+            ShardedJunoIndex.load(bundle, executor="resident") as small,
+            ShardedJunoIndex.load(big_bundle, executor="resident") as big,
+        ):
+            small.search(corpus.queries, k=5, nprobs=4)
+            big.search(corpus.queries, k=5, nprobs=4)
+            small_bytes = small.executor_spec.last_batch_payload_bytes
+            big_bytes = big.executor_spec.last_batch_payload_bytes
+        assert small_bytes == big_bytes
+        assert small_bytes < 64 * 1024
+        # The non-resident process payload ships the whole shard: it grows
+        # with the corpus, which is exactly what the resident runtime fixes.
+        small_router = _train_sharded(corpus)
+        big_router = _train_sharded(big_corpus)
+        params = {"nprobs": 4, "quality_mode": None, "threshold_scale": None}
+        legacy_small = len(
+            pickle.dumps((small_router.shards[0], corpus.queries, 5, params))
+        )
+        legacy_big = len(pickle.dumps((big_router.shards[0], corpus.queries, 5, params)))
+        assert legacy_big > legacy_small > small_bytes / 2
+
+
+class TestWorkerResidentCache:
+    def test_worker_cache_survives_across_batches(self, corpus, sequential_router, bundle):
+        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+            first = resident.search(corpus.queries, k=5, nprobs=4)
+            second = resident.search(corpus.queries, k=5, nprobs=4)
+            counters = second.extra["stage_cache"]
+            # one hit per shard and cached stage on the exact repeat batch
+            assert counters["coarse_filter"] == {"hits": 2, "misses": 0}
+            assert counters["threshold"] == {"hits": 2, "misses": 0}
+            assert counters["rt_select"] == {"hits": 2, "misses": 0}
+            assert first.extra["stage_cache"]["coarse_filter"] == {"hits": 0, "misses": 2}
+            # cached restores stay bit-identical and honestly skip the work
+            expected = sequential_router.search(corpus.queries, k=5, nprobs=4)
+            assert search_results_equal(expected, second)
+            assert second.work.filter_flops == 0.0
+            assert second.work.rt_rays == 0.0
+
+    def test_router_stage_cache_not_shipped_to_resident_workers(self, corpus, bundle):
+        """The router-side cache stays empty: resident workers own caching."""
+        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+            from repro.pipeline import StageCache
+
+            resident._stage_cache = StageCache()
+            resident.search(corpus.queries, k=5, nprobs=4)
+            resident.search(corpus.queries, k=5, nprobs=4)
+            assert resident._stage_cache.size == 0
+            assert resident.stage_cache_stats() == {}
+
+
+class TestBundleBackedCoordinator:
+    """A resident load keeps no second index copy in the coordinator."""
+
+    def test_resident_load_installs_handles_not_indexes(self, corpus, bundle):
+        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+            assert all(isinstance(s, ResidentShardHandle) for s in resident.shards)
+            assert resident.is_trained
+            # searching still works end to end (state lives in the workers)
+            result = resident.search(corpus.queries, k=5, nprobs=4)
+            assert result.ids.shape == (corpus.queries.shape[0], 5)
+            # ... but a handle cannot be searched locally
+            with pytest.raises(RuntimeError, match="resident in worker"):
+                resident.shards[0].search(corpus.queries, 5)
+            # and the bundle-backed router's persistent form is the bundle
+            with pytest.raises(PersistenceError, match="bundle-backed"):
+                resident.save(bundle)
+
+    def test_load_shards_override_keeps_local_copies(self, corpus, sequential_router, bundle):
+        with ShardedJunoIndex.load(
+            bundle, executor="resident", load_shards=True
+        ) as resident:
+            assert not any(isinstance(s, ResidentShardHandle) for s in resident.shards)
+            expected = sequential_router.shards[0].search(corpus.queries, 5, nprobs=4)
+            observed = resident.shards[0].search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, observed)
+
+
+class TestResidentLifecycle:
+    def test_make_resident_switches_executor_and_close_owns_it(self, corpus, tmp_path):
+        router = _train_sharded(corpus)
+        expected = router.search(corpus.queries, k=5, nprobs=4)
+        router.make_resident(tmp_path / "make-resident", num_replicas=1)
+        executor = router.executor_spec
+        assert isinstance(executor, ResidentProcessShardExecutor)
+        observed = router.search(corpus.queries, k=5, nprobs=4)
+        assert search_results_equal(expected, observed)
+        router.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            router.search(corpus.queries, k=5, nprobs=4)
+
+    def test_constructor_rejects_resident_spec_without_bundle(self, corpus):
+        with pytest.raises(ValueError, match="resident"):
+            ShardedJunoIndex.from_dim(
+                corpus.dim, num_shards=2, executor="resident", **_settings()
+            )
+
+    def test_executor_validates_shard_count(self, bundle):
+        executor = ResidentProcessShardExecutor(bundle)  # shard count from manifest
+        try:
+            assert executor.num_shards == 2
+            with pytest.raises(ValueError, match="2"):
+                executor.search_shards([None] * 3, np.zeros((1, 8)), 5, {})
+        finally:
+            executor.close()
+
+    def test_generic_map_is_rejected(self, bundle):
+        executor = ResidentProcessShardExecutor(bundle, warm=False)
+        try:
+            with pytest.raises(NotImplementedError, match="search_shards"):
+                executor.map(lambda x: x, [1])
+        finally:
+            executor.close()
+
+
+class TestRuntimeFunctionsInProcess:
+    """The worker-side task functions, driven in-process.
+
+    The pool tests above exercise them for real across the process boundary;
+    calling them directly additionally pins their contracts (typed errors,
+    pipeline defaulting) where coverage tooling can see them.
+    """
+
+    def test_init_ping_and_search(self, corpus, sequential_router, bundle):
+        from repro.serving import runtime
+
+        runtime.resident_worker_init(str(bundle), (0, 1), True)
+        try:
+            assert runtime.resident_ping_task() == [0, 1]
+            observed = runtime.resident_search_task(
+                0, corpus.queries, 5, {"nprobs": 4}
+            )
+            expected = sequential_router.shards[0].search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, observed)
+            # the worker-private cached pipeline was applied by default
+            assert "stage_cache" in observed.extra
+            with pytest.raises(RuntimeError, match="not resident"):
+                runtime.resident_search_task(7, corpus.queries, 5, {})
+        finally:
+            runtime._RESIDENT_SHARDS.clear()
+
+    def test_init_failure_is_recorded_and_reraised_typed(self, corpus, tmp_path):
+        from repro.serving import runtime
+
+        runtime.resident_worker_init(str(tmp_path / "missing"), (0,), False)
+        try:
+            with pytest.raises(PersistenceError, match="no index bundle"):
+                runtime.resident_ping_task()
+            with pytest.raises(PersistenceError, match="no index bundle"):
+                runtime.resident_search_task(0, corpus.queries, 5, {})
+        finally:
+            runtime._RESIDENT_SHARDS.clear()
+
+
+class TestShardedBundleErrors:
+    """Typed errors (never KeyError/pickle noise) for broken sharded bundles."""
+
+    def _copy_bundle(self, bundle, tmp_path):
+        import shutil
+
+        target = tmp_path / "copy"
+        shutil.copytree(bundle, target)
+        return target
+
+    def test_corrupted_manifest_is_typed(self, bundle, tmp_path):
+        broken = self._copy_bundle(bundle, tmp_path)
+        (broken / MANIFEST_NAME).write_text("{not valid json")
+        with pytest.raises(PersistenceError, match="corrupt manifest"):
+            ShardedJunoIndex.load(broken)
+
+    def test_version_mismatch_is_typed(self, bundle, tmp_path):
+        broken = self._copy_bundle(bundle, tmp_path)
+        manifest = json.loads((broken / MANIFEST_NAME).read_text())
+        manifest["format_version"] = 999
+        (broken / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="format version"):
+            ShardedJunoIndex.load(broken)
+
+    def test_missing_per_shard_bundle_is_typed(self, bundle, tmp_path):
+        import shutil
+
+        broken = self._copy_bundle(bundle, tmp_path)
+        shutil.rmtree(shard_bundle_path(broken, 1))
+        with pytest.raises(PersistenceError, match=r"missing the per-shard bundle\(s\) \[1\]"):
+            ShardedJunoIndex.load(broken)
+
+    def test_missing_shard_ids_is_typed(self, bundle, tmp_path):
+        broken = self._copy_bundle(bundle, tmp_path)
+        (broken / "shard_ids.npz").unlink()
+        with pytest.raises(PersistenceError, match="missing shard_ids.npz"):
+            ShardedJunoIndex.load(broken)
+
+    def test_corrupt_shard_ids_is_typed(self, bundle, tmp_path):
+        broken = self._copy_bundle(bundle, tmp_path)
+        (broken / "shard_ids.npz").write_bytes(b"definitely not an npz")
+        with pytest.raises(PersistenceError, match="corrupt shard_ids.npz"):
+            ShardedJunoIndex.load(broken)
+
+    def test_resident_worker_reports_bundle_error_typed(self, tmp_path):
+        """A worker that cannot load its shard surfaces the typed persistence
+        error instead of an opaque broken pool."""
+        with pytest.raises(PersistenceError, match="no index bundle"):
+            ResidentProcessShardExecutor(tmp_path / "nowhere", num_shards=1)
+
+    def test_per_shard_bundle_round_trip(self, corpus, sequential_router, bundle):
+        """Each per-shard bundle is a complete, independently loadable index
+        (exactly what a resident worker boots from)."""
+        for shard_id, shard in enumerate(sequential_router.shards):
+            reloaded = load_index(shard_bundle_path(bundle, shard_id))
+            expected = shard.search(corpus.queries, k=5, nprobs=4)
+            observed = reloaded.search(corpus.queries, k=5, nprobs=4)
+            assert search_results_equal(expected, observed)
