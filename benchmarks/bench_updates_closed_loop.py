@@ -1,0 +1,133 @@
+"""Mixed read/write closed-loop benchmark for the streaming-update layer.
+
+The serving closed-loop benchmark drives a frozen corpus; this one opens the
+workload class the mutable-index subsystem (:mod:`repro.updates`) exists
+for: concurrent closed-loop readers streaming queries while writer clients
+upsert fresh vectors and delete old ones through the same engine, all
+batched by one async front-end.  Reported per deployment:
+
+* measured read QPS and p50/p99 read latency under write interference;
+* write throughput (ops/s);
+* **freshness** -- the time from an upsert returning to the first search
+  that retrieves the new vector (read-your-write visibility latency);
+* the delete guarantee -- probes after every delete count stale reads,
+  which must be zero.
+
+Results land in ``BENCH_serving.json`` (section ``updates_closed_loop``) so
+the freshness/QPS trajectory is tracked across PRs alongside the frozen
+serving sections.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_mixed_closed_loop
+from repro.bench.report import emit, format_table, update_bench_json
+from repro.core.index import JunoIndex
+from repro.serving import ServingEngine, ShardedJunoIndex
+from repro.updates import MutableJunoIndex, RebuildPolicy
+
+NUM_READERS = 6
+NUM_WRITERS = 2
+READS_PER_CLIENT = 8
+WRITES_PER_WRITER = 6
+K = 10
+MAX_WAIT_S = 0.002
+
+
+def _report_row(report):
+    return {
+        "system": report.label,
+        "read_qps": report.read_qps,
+        "write_ops_s": report.write_ops_per_s,
+        "p50_ms": report.latency_p50_s * 1e3,
+        "p99_ms": report.latency_p99_s * 1e3,
+        "fresh_ms": report.freshness_mean_s * 1e3,
+        "visible": report.visible_fraction,
+        "stale": report.stale_reads,
+    }
+
+
+def test_mixed_read_write_closed_loop(deep_workload, benchmark):
+    dataset = deep_workload.dataset
+    config = deep_workload.juno.config
+    id_start = dataset.num_points + 1_000
+
+    # A dedicated mutable single-index deployment (the shared workload index
+    # stays frozen for the other benchmarks).
+    mutable = MutableJunoIndex(
+        JunoIndex(config).train(dataset.points),
+        vectors=dataset.points,
+        policy=RebuildPolicy(delta_capacity=64),
+    )
+    mutable_engine = ServingEngine(mutable, label="JUNO mutable")
+    mutable_report = benchmark.pedantic(
+        run_mixed_closed_loop,
+        args=(mutable_engine, dataset.queries, id_start),
+        kwargs=dict(
+            k=K,
+            num_readers=NUM_READERS,
+            num_writers=NUM_WRITERS,
+            reads_per_client=READS_PER_CLIENT,
+            writes_per_writer=WRITES_PER_WRITER,
+            max_wait_s=MAX_WAIT_S,
+            nprobs=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The same workload against a 2-shard mutable router: ops route to the
+    # owning shard, merged scores stay on one exact scale.
+    sharded = ShardedJunoIndex.from_dim(
+        dataset.dim,
+        num_shards=2,
+        num_clusters=config.num_clusters,
+        num_entries=config.num_entries,
+        num_threshold_samples=32,
+        kmeans_iters=6,
+        seed=7,
+    )
+    sharded.train(dataset.points)
+    sharded.enable_updates(points=dataset.points, policy=RebuildPolicy(delta_capacity=64))
+    with sharded, ServingEngine(sharded, label="JUNO x2 mutable") as sharded_engine:
+        sharded_report = run_mixed_closed_loop(
+            sharded_engine,
+            dataset.queries,
+            id_start,
+            k=K,
+            num_readers=NUM_READERS,
+            num_writers=NUM_WRITERS,
+            reads_per_client=READS_PER_CLIENT,
+            writes_per_writer=WRITES_PER_WRITER,
+            max_wait_s=MAX_WAIT_S,
+            nprobs=8,
+        )
+
+    reports = [mutable_report, sharded_report]
+    emit()
+    emit(
+        format_table(
+            [_report_row(report) for report in reports],
+            title=f"Mixed read/write closed loop [{dataset.name}]: "
+            f"{NUM_READERS} readers + {NUM_WRITERS} writers",
+        )
+    )
+    update_bench_json(
+        "updates_closed_loop",
+        {
+            "dataset": dataset.name,
+            "num_readers": NUM_READERS,
+            "num_writers": NUM_WRITERS,
+            "reads_per_client": READS_PER_CLIENT,
+            "writes_per_writer": WRITES_PER_WRITER,
+            "systems": [report.to_json_dict() for report in reports],
+        },
+    )
+
+    for report in reports:
+        assert report.num_reads == NUM_READERS * READS_PER_CLIENT
+        assert report.read_qps > 0
+        # read-your-writes: every upsert became visible, no delete leaked
+        assert report.visible_fraction == 1.0
+        assert report.stale_reads == 0
+        assert 0 < report.latency_p50_s <= report.latency_p99_s

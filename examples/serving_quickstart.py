@@ -143,6 +143,27 @@ def main() -> None:
                 f"batches of ~{report.mean_batch_size:.1f}"
             )
 
+    # 6. Streaming updates (docs/updates.md): make the original router
+    #    mutable, then upsert -> query -> delete while it keeps serving.
+    #    Upserts land in an exact-scored delta buffer (visible to the very
+    #    next search), deletes are tombstoned so they never surface, and the
+    #    ops route to the shard that owns each id.
+    sharded.enable_updates(points=dataset.points)
+    fresh_id = dataset.num_points + 1
+    fresh_vector = dataset.queries[0][None, :]
+
+    sharded.upsert([fresh_id], fresh_vector)
+    hit = sharded.search(fresh_vector, k=3, nprobs=8)
+    print()
+    print(f"upserted id {fresh_id}: top-3 for its own vector -> {hit.ids[0].tolist()}")
+
+    sharded.delete([fresh_id])
+    gone = sharded.search(fresh_vector, k=3, nprobs=8)
+    assert fresh_id not in gone.ids
+    print(f"deleted id {fresh_id}: top-3 now {gone.ids[0].tolist()} (tombstone holds)")
+    print(f"live points: {sharded.num_points} (back to the trained corpus)")
+    sharded.close()
+
 
 if __name__ == "__main__":
     main()

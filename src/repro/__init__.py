@@ -47,6 +47,7 @@ from repro.serving import (
     load_index,
     save_index,
 )
+from repro.updates import MutableJunoIndex, RebuildPolicy, WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -84,6 +85,9 @@ __all__ = [
     "EngineResult",
     "ServingEngine",
     "ShardedJunoIndex",
+    "MutableJunoIndex",
+    "RebuildPolicy",
+    "WriteAheadLog",
     "load_index",
     "save_index",
     "__version__",

@@ -412,6 +412,213 @@ def run_closed_loop(
     return asyncio.run(_run())
 
 
+@dataclass
+class MixedLoopReport:
+    """Measured behaviour of one mixed read/write closed-loop run.
+
+    Readers behave exactly like :func:`run_closed_loop` clients; writers
+    interleave upserts and deletes with **read-your-write freshness probes**:
+    after each upsert the writer searches for the vector it just wrote
+    through the same batching front-end the readers use, and the elapsed
+    time until the new id first appears in a result is that write's
+    *freshness* (visibility latency).  After each delete the writer probes
+    once more and counts a *stale read* if the tombstoned id still surfaces
+    -- the mutable layer's delete guarantee means this must stay zero.
+
+    Attributes:
+        label: engine label the run measured.
+        num_readers / num_writers: concurrent closed-loop clients per role.
+        num_reads: reader requests completed (excludes freshness probes).
+        num_upserts / num_deletes: write ops applied.
+        wall_s: elapsed wall-clock of the whole run.
+        read_qps: reader requests per wall-clock second.
+        write_ops_per_s: write ops per wall-clock second.
+        latency_p50_s / latency_p99_s / latency_mean_s: reader latencies.
+        freshness_mean_s / freshness_max_s: upsert-to-visibility latency.
+        visible_fraction: upserts whose id became visible within the probe
+            budget (1.0 = perfect read-your-writes).
+        stale_reads: probes that returned a deleted id (must be 0).
+        num_batches / mean_batch_size: batching-front-end statistics.
+    """
+
+    label: str
+    num_readers: int
+    num_writers: int
+    num_reads: int
+    num_upserts: int
+    num_deletes: int
+    wall_s: float
+    read_qps: float
+    write_ops_per_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    freshness_mean_s: float
+    freshness_max_s: float
+    visible_fraction: float
+    stale_reads: int
+    num_batches: int
+    mean_batch_size: float
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable summary for ``BENCH_serving.json``."""
+        return {
+            "label": self.label,
+            "num_readers": self.num_readers,
+            "num_writers": self.num_writers,
+            "num_reads": self.num_reads,
+            "num_upserts": self.num_upserts,
+            "num_deletes": self.num_deletes,
+            "wall_s": self.wall_s,
+            "read_qps": self.read_qps,
+            "write_ops_per_s": self.write_ops_per_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "latency_mean_s": self.latency_mean_s,
+            "freshness_mean_s": self.freshness_mean_s,
+            "freshness_max_s": self.freshness_max_s,
+            "visible_fraction": self.visible_fraction,
+            "stale_reads": self.stale_reads,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+def run_mixed_closed_loop(
+    engine,
+    queries: np.ndarray,
+    id_start: int,
+    k: int = 10,
+    num_readers: int = 6,
+    num_writers: int = 2,
+    reads_per_client: int = 16,
+    writes_per_writer: int = 8,
+    max_batch_size: int | None = None,
+    max_wait_s: float = 0.002,
+    visibility_probes: int = 8,
+    label: str | None = None,
+    clock=time.perf_counter,
+    seed: int = 0,
+    **search_params,
+) -> MixedLoopReport:
+    """Drive a mutable engine with concurrent readers and writers.
+
+    The freshness benchmark of the streaming-update subsystem
+    (:mod:`repro.updates`): ``num_readers`` closed-loop clients stream
+    queries exactly like :func:`run_closed_loop` while ``num_writers``
+    clients mutate the index through ``engine.upsert`` / ``engine.delete``
+    -- every writer cycle upserts one fresh vector (a jittered clone of a
+    query, so L2 self-search must retrieve it), probes until the new id is
+    visible (the measured *freshness*), and then deletes its previous
+    insert, probing once to assert the tombstone held.  All clients share
+    one event loop and one batching scheduler, so reads and writes
+    genuinely interleave: a search batch can be scheduled between a
+    writer's upsert and its probe, exercising the state-token invalidation
+    path under load.
+
+    Args:
+        engine: anything with ``search`` plus ``upsert`` / ``delete`` --
+            a mutable :class:`~repro.serving.engine.ServingEngine`, a
+            :class:`~repro.updates.mutable.MutableJunoIndex` or a mutable
+            sharded router.
+        queries: reader query pool, also the template pool for writes.
+        id_start: first global id the writers may allocate; must be outside
+            the live id range.
+    """
+    if num_readers <= 0 or num_writers <= 0:
+        raise ValueError("num_readers and num_writers must be positive")
+    if writes_per_writer <= 0 or reads_per_client <= 0:
+        raise ValueError("reads_per_client and writes_per_writer must be positive")
+    if not callable(getattr(engine, "upsert", None)) or not callable(
+        getattr(engine, "delete", None)
+    ):
+        raise TypeError("run_mixed_closed_loop needs an engine with upsert/delete")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if max_batch_size is None:
+        max_batch_size = num_readers + num_writers
+    rng = np.random.default_rng(seed)
+    jitter = 1e-3 * rng.standard_normal((num_writers * writes_per_writer, queries.shape[1]))
+    read_latencies: list[float] = []
+    freshness: list[float] = []
+    visible = [0]
+    stale_reads = [0]
+    upserts = [0]
+    deletes = [0]
+
+    async def _reader(client_id: int, scheduler: AsyncBatchingScheduler) -> None:
+        for request in range(reads_per_client):
+            query = queries[(client_id + request * num_readers) % queries.shape[0]]
+            started = clock()
+            await scheduler.submit(query)
+            read_latencies.append(clock() - started)
+
+    async def _writer(writer_id: int, scheduler: AsyncBatchingScheduler) -> None:
+        previous: tuple[int, np.ndarray] | None = None
+        for cycle in range(writes_per_writer):
+            slot = writer_id * writes_per_writer + cycle
+            new_id = int(id_start + slot)
+            vector = queries[slot % queries.shape[0]] + jitter[slot]
+            written_at = clock()
+            engine.upsert([new_id], vector[None, :])
+            upserts[0] += 1
+            for _ in range(visibility_probes):
+                ids, _scores = await scheduler.submit(vector)
+                if new_id in ids:
+                    freshness.append(clock() - written_at)
+                    visible[0] += 1
+                    break
+            if previous is not None:
+                old_id, old_vector = previous
+                engine.delete([old_id])
+                deletes[0] += 1
+                ids, _scores = await scheduler.submit(old_vector)
+                if old_id in ids:
+                    stale_reads[0] += 1
+            previous = (new_id, vector)
+
+    async def _run() -> MixedLoopReport:
+        async with AsyncBatchingScheduler(
+            engine,
+            k=k,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            clock=clock,
+            **search_params,
+        ) as scheduler:
+            started = clock()
+            await asyncio.gather(
+                *(_reader(client_id, scheduler) for client_id in range(num_readers)),
+                *(_writer(writer_id, scheduler) for writer_id in range(num_writers)),
+            )
+            wall = max(clock() - started, 1e-12)
+            stats = scheduler.stats()
+            lat = np.asarray(read_latencies, dtype=np.float64)
+            fresh = np.asarray(freshness, dtype=np.float64)
+            writes = upserts[0] + deletes[0]
+            return MixedLoopReport(
+                label=label if label is not None else getattr(engine, "label", "engine"),
+                num_readers=num_readers,
+                num_writers=num_writers,
+                num_reads=int(lat.size),
+                num_upserts=upserts[0],
+                num_deletes=deletes[0],
+                wall_s=float(wall),
+                read_qps=float(lat.size / wall),
+                write_ops_per_s=float(writes / wall),
+                latency_p50_s=float(np.percentile(lat, 50)),
+                latency_p99_s=float(np.percentile(lat, 99)),
+                latency_mean_s=float(lat.mean()),
+                freshness_mean_s=float(fresh.mean()) if fresh.size else float("nan"),
+                freshness_max_s=float(fresh.max()) if fresh.size else float("nan"),
+                visible_fraction=float(visible[0] / max(upserts[0], 1)),
+                stale_reads=stale_reads[0],
+                num_batches=stats.num_batches,
+                mean_batch_size=stats.mean_batch_size,
+            )
+
+    return asyncio.run(_run())
+
+
 def speedup_summary(
     juno: QPSRecallSweep,
     baseline: QPSRecallSweep,

@@ -278,7 +278,20 @@ class JunoIndex:
             self.scene.add_layer(s, entries, radii=radii, z=2.0 * s + 1.0)
         self.origin_offsets = offsets
         self.tracer = RayTracer(self.scene)
+        self.bump_cache_token()
+
+    def bump_cache_token(self) -> int:
+        """Stamp a fresh process-unique cache token onto this index.
+
+        :class:`~repro.pipeline.cache.StageCache` keys include the token, so
+        bumping it invalidates every cached stage output (coarse filter,
+        thresholds, RT-select LUTs) derived from the previous state.  Called
+        on every scene (re)build and by the streaming-update layer
+        (:mod:`repro.updates`) after each upsert/delete, so a mutated index
+        can never serve a stale cached slice.
+        """
         self.cache_token = next(_CACHE_TOKENS)
+        return self.cache_token
 
     # ----------------------------------------------------------------- search
     def default_pipeline(self) -> "QueryPipeline":

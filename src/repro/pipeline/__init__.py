@@ -26,6 +26,10 @@ with each edge carried by fields of a shared
 sixth stage that rescores final candidates against the raw corpus; the
 sharded router appends it after its k-way merge so scores from independently
 trained shards become comparable.
+:class:`~repro.pipeline.stages.DeltaMergeStage` is the tail stage of a
+*mutable* index search (:mod:`repro.updates`): it remaps base-local ids to
+global ids, filters tombstoned (deleted) ids and k-way merges the
+exact-scored delta buffer of freshly upserted vectors into the final top-k.
 
 Batched scoring
 ---------------
@@ -105,6 +109,7 @@ from repro.pipeline.pipeline import (
 )
 from repro.pipeline.stages import (
     CoarseFilterStage,
+    DeltaMergeStage,
     ExactRerankStage,
     LoopedScoreStage,
     QueryStage,
@@ -116,6 +121,7 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "CoarseFilterStage",
+    "DeltaMergeStage",
     "ExactRerankStage",
     "LoopedScoreStage",
     "QueryContext",

@@ -561,3 +561,122 @@ class ExactRerankStage:
         )
         ctx.extra["reranked"] = True
         ctx.extra["rerank_candidates"] = float((ids >= 0).sum())
+
+
+class DeltaMergeStage:
+    """Merge the exact-scored delta buffer into the base top-k, minus tombstones.
+
+    The final stage of a mutable-index search
+    (:class:`~repro.updates.mutable.MutableJunoIndex`): the trained base
+    index produced an over-fetched top-k in its *local* id space; this stage
+
+    1. remaps base-local ids to global ids,
+    2. masks tombstoned ids (a deleted -- or upsert-superseded -- point can
+       never surface, no matter how well the stale trained copy scored),
+    3. when the delta buffer holds fresh vectors (or ``always_exact`` is
+       set), rescoring the surviving base candidates *and* the buffered
+       vectors exactly under the metric and re-selecting the top ``k`` --
+       exact scores are the only scale the trained index's quality modes
+       (hit counts, PQ-frame distances) and the buffer can be merged on,
+       the same convention as :class:`ExactRerankStage` (and the stage sets
+       ``extra["reranked"]`` accordingly, so the shard merge ranks in the
+       metric direction),
+    4. cuts the over-fetched list back to the caller's ``k``.
+
+    With no tombstones, an empty buffer and an identity id map the stage is
+    an exact pass-through: an unmutated mutable index reproduces its base
+    index's results bit for bit.
+
+    Args:
+        k: final neighbours per query (``ctx.k`` is the over-fetched width).
+        base_global_ids: ``(N_base,)`` map from base-local row to global id.
+        base_vectors: ``(N_base, D)`` raw vectors aligned with the base rows
+            (exact rescoring of surviving base candidates).
+        delta_ids: ``(N_delta,)`` buffered global ids.
+        delta_vectors: ``(N_delta, D)`` buffered vectors.
+        tombstone_ids: sorted array of tombstoned global ids.
+        always_exact: exact-rescore even when the buffer is empty.  The
+            sharded router enables this on every mutable shard so per-shard
+            scores stay on one (exact) scale regardless of which shards
+            happen to hold buffered vectors.
+    """
+
+    name = "delta_merge"
+
+    def __init__(
+        self,
+        k: int,
+        base_global_ids: np.ndarray,
+        base_vectors: np.ndarray,
+        delta_ids: np.ndarray,
+        delta_vectors: np.ndarray,
+        tombstone_ids: np.ndarray,
+        always_exact: bool = False,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self.base_global_ids = np.asarray(base_global_ids, dtype=np.int64)
+        self.base_vectors = np.atleast_2d(np.asarray(base_vectors, dtype=np.float64))
+        self.delta_ids = np.asarray(delta_ids, dtype=np.int64).ravel()
+        self.delta_vectors = np.atleast_2d(np.asarray(delta_vectors, dtype=np.float64))
+        self.tombstone_ids = np.asarray(tombstone_ids, dtype=np.int64).ravel()
+        self.always_exact = bool(always_exact)
+
+    def run(self, ctx: QueryContext) -> None:
+        ids = ctx.require("ids", self.name)
+        scores = ctx.require("scores", self.name)
+        valid = ids >= 0
+        local = np.where(valid, ids, 0)
+        global_ids = np.where(valid, self.base_global_ids[local], -1)
+        if self.tombstone_ids.size:
+            tombstoned = np.isin(global_ids, self.tombstone_ids)
+            global_ids = np.where(tombstoned, -1, global_ids)
+        base_valid = global_ids >= 0
+        ctx.extra["delta_merged"] = True
+        ctx.extra["tombstones_filtered"] = float((valid & ~base_valid).sum())
+
+        if self.delta_ids.size == 0 and not self.always_exact:
+            # No fresh vectors to merge: keep the mode's native scores, just
+            # drop tombstoned slots and cut the over-fetch back to k.
+            worst = -np.inf if ctx.higher_is_better else np.inf
+            masked = np.where(base_valid, scores, worst)
+            ctx.ids, ctx.scores = padded_top_k(
+                global_ids, masked, self.k, ctx.higher_is_better, worst
+            )
+            return
+
+        from repro.baselines.exact import exact_candidate_scores
+
+        metric = ctx.metric
+        dim = self.base_vectors.shape[1]
+        worst = metric.worst_value()
+        base_scores = exact_candidate_scores(
+            self.base_vectors, ctx.queries, np.where(base_valid, local, -1), metric
+        )
+        num_queries = ctx.queries.shape[0]
+        if self.delta_ids.size:
+            delta_rows = np.broadcast_to(
+                np.arange(self.delta_ids.size), (num_queries, self.delta_ids.size)
+            )
+            delta_scores = exact_candidate_scores(
+                self.delta_vectors, ctx.queries, delta_rows, metric
+            )
+            cat_ids = np.concatenate(
+                [global_ids, np.broadcast_to(self.delta_ids, (num_queries, self.delta_ids.size))],
+                axis=1,
+            )
+            cat_scores = np.concatenate([base_scores, delta_scores], axis=1)
+        else:
+            cat_ids, cat_scores = global_ids, base_scores
+        scored = float(base_valid.sum() + num_queries * self.delta_ids.size)
+        ctx.work.rerank_flops += 2.0 * scored * dim
+        ctx.ids, ctx.scores = padded_top_k(
+            cat_ids,
+            cat_scores,
+            self.k,
+            higher_is_better=not metric.lower_is_better,
+            worst=worst,
+        )
+        ctx.extra["reranked"] = True
+        ctx.extra["delta_candidates"] = float(num_queries * self.delta_ids.size)

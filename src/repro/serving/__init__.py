@@ -33,7 +33,9 @@ from repro.serving.persistence import (
     FORMAT_VERSION,
     PersistenceError,
     load_index,
+    load_mutable_index,
     save_index,
+    save_mutable_index,
     search_results_equal,
     shard_bundle_path,
 )
@@ -74,9 +76,11 @@ __all__ = [
     "ThreadShardExecutor",
     "WorkerFailoverError",
     "load_index",
+    "load_mutable_index",
     "make_shard_executor",
     "merge_shard_results",
     "save_index",
+    "save_mutable_index",
     "search_results_equal",
     "shard_bundle_path",
 ]

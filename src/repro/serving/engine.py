@@ -41,6 +41,7 @@ from repro.gpu.cost_model import CostModel
 from repro.gpu.work import SearchWork
 from repro.serving.scheduler import BatchingScheduler
 from repro.serving.shard import ShardedJunoIndex
+from repro.updates.mutable import MutableJunoIndex
 
 
 @dataclass
@@ -115,11 +116,15 @@ def _search_hnsw(index: HNSWIndex, queries: np.ndarray, k: int, params: dict) ->
 
 _ADAPTERS = (
     (ShardedJunoIndex, "sharded-juno", _search_juno, _JUNO_PARAMS),
+    (MutableJunoIndex, "mutable-juno", _search_juno, _JUNO_PARAMS),
     (JunoIndex, "juno", _search_juno, _JUNO_PARAMS),
     (IVFPQIndex, "ivfpq", _search_ivfpq, _IVFPQ_PARAMS),
     (ExactSearch, "exact", _search_exact, _EXACT_PARAMS),
     (HNSWIndex, "hnsw", _search_hnsw, _HNSW_PARAMS),
 )
+
+#: JUNO-family backends whose latencies default to the pipelined cost model.
+_JUNO_BACKENDS = ("juno", "sharded-juno", "mutable-juno")
 
 
 class ServingEngine:
@@ -150,6 +155,37 @@ class ServingEngine:
     def accepts(self, param: str) -> bool:
         """Whether this backend understands the given search parameter."""
         return param in self._accepted
+
+    # ------------------------------------------------------------- mutations
+    @property
+    def supports_updates(self) -> bool:
+        """Whether the backend accepts :meth:`upsert` / :meth:`delete`.
+
+        True for the mutable-index backends (:mod:`repro.updates`): a
+        :class:`~repro.updates.mutable.MutableJunoIndex` or a
+        :class:`~repro.serving.shard.ShardedJunoIndex` with updates enabled.
+        """
+        return (
+            callable(getattr(self.index, "upsert", None))
+            and callable(getattr(self.index, "delete", None))
+            and getattr(self.index, "mutable", True)
+        )
+
+    def upsert(self, ids, vectors):
+        """Insert or replace vectors by global id (mutable backends only).
+
+        Visible to the next search: the mutation bumps the backend's state
+        token, so no cached stage output from before it can be served.
+        """
+        if not self.supports_updates:
+            raise TypeError(f"backend {self.backend!r} does not support streaming updates")
+        return self.index.upsert(ids, vectors)
+
+    def delete(self, ids):
+        """Delete live points by global id (mutable backends only)."""
+        if not self.supports_updates:
+            raise TypeError(f"backend {self.backend!r} does not support streaming updates")
+        return self.index.delete(ids)
 
     def search(self, queries: np.ndarray, k: int, **params) -> EngineResult:
         """Batched search through the backend adapter.
@@ -226,7 +262,7 @@ class ServingEngine:
         if self.cost_model is None:
             raise RuntimeError("ServingEngine was constructed without a cost model")
         if pipelined is None:
-            pipelined = self.backend in ("juno", "sharded-juno")
+            pipelined = self.backend in _JUNO_BACKENDS
         return self.cost_model.qps(result.work, pipelined=pipelined)
 
     def stage_seconds(self, result: EngineResult) -> dict[str, float]:

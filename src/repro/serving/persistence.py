@@ -18,6 +18,14 @@ persisted arrays and is rebuilt on load, which keeps the bundle small and
 guarantees that a reloaded index reproduces bit-identical search results.
 
 The same layout is reused per shard by :mod:`repro.serving.shard`.
+
+The streaming-update layer adds a second bundle kind:
+:func:`save_mutable_index` / :func:`load_mutable_index` persist a
+:class:`~repro.updates.mutable.MutableJunoIndex` as an **epoch-stamped
+snapshot** (the base bundle, the raw vectors, the delta buffer and the
+tombstones, stamped with the last applied write-ahead-log sequence number);
+loading replays any newer records from the WAL through the same op code
+paths, reproducing the mutated index bit-identically.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
 _INDEX_KIND = "juno-index"
+MUTABLE_KIND = "mutable-juno-index"
+_BASE_BUNDLE_NAME = "base"
+_UPDATES_NAME = "updates.npz"
 
 
 class PersistenceError(RuntimeError):
@@ -239,6 +250,116 @@ def load_index(path: str | Path) -> JunoIndex:
     # The RT scene is deterministic given codebooks + radius; rebuild it.
     index.sphere_radius = float(manifest["sphere_radius"])
     index.rebuild_scene()
+    return index
+
+
+def save_mutable_index(index, path: str | Path) -> Path:
+    """Persist a :class:`~repro.updates.mutable.MutableJunoIndex` snapshot.
+
+    The snapshot is **epoch-stamped**: its manifest records ``last_seq``,
+    the sequence number of the last write-ahead-log record applied to the
+    saved state.  :func:`load_mutable_index` restores the snapshot and then
+    replays only WAL records *newer* than that epoch, so a snapshot plus the
+    surviving log always reconstructs the mutated index bit-identically --
+    no matter how many mutations, compactions or retrains happened between
+    snapshot and crash.
+
+    Layout: ``manifest.json`` (kind, epoch, drift counters, policy),
+    ``base/`` (the trained base index as a normal :func:`save_index` bundle
+    of its *current* -- possibly compacted -- state), and ``updates.npz``
+    (global-id map, raw base vectors, the delta buffer in insertion order
+    and the sorted tombstone ids).
+    """
+    if not index.is_trained:
+        raise PersistenceError("cannot save an untrained MutableJunoIndex")
+    path = Path(path)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError) as exc:
+        raise PersistenceError(f"bundle path {path} is not a directory: {exc}") from exc
+    save_index(index.base, path / _BASE_BUNDLE_NAME)
+    delta_ids, delta_vectors = index.delta.snapshot()
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": MUTABLE_KIND,
+        "last_seq": int(index.wal.last_seq) if index.wal is not None else int(index.ops_applied),
+        "ops_applied": int(index.ops_applied),
+        "trained_points": int(index._trained_points),
+        "mutated_since_train": int(index._mutated_since_train),
+        "exact_scores": bool(index.exact_scores),
+        "policy": {
+            "delta_capacity": index.policy.delta_capacity,
+            "max_drift": index.policy.max_drift,
+            "auto_compact": index.policy.auto_compact,
+        },
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    np.savez_compressed(
+        path / _UPDATES_NAME,
+        global_ids=index._global_ids,
+        vectors=index._vectors,
+        delta_ids=delta_ids,
+        delta_vectors=delta_vectors,
+        tombstone_ids=index.tombstones.to_array(),
+    )
+    return path
+
+
+def load_mutable_index(path: str | Path, wal=None, policy=None):
+    """Restore a mutable index from a snapshot, replaying the WAL tail.
+
+    Args:
+        path: bundle written by :func:`save_mutable_index`.
+        wal: optional :class:`~repro.updates.wal.WriteAheadLog` (or path).
+            Records with ``seq`` greater than the snapshot's epoch are
+            replayed through the same op-application code paths the live
+            index used, reproducing its state bit-identically; the log is
+            then attached so subsequent mutations keep appending to it.
+        policy: optional :class:`~repro.updates.mutable.RebuildPolicy`
+            override; defaults to the policy recorded in the manifest.
+    """
+    from repro.updates.mutable import MutableJunoIndex, RebuildPolicy
+    from repro.updates.wal import WalError, WriteAheadLog
+
+    path = Path(path)
+    manifest = read_manifest(path, MUTABLE_KIND)
+    base = load_index(path / _BASE_BUNDLE_NAME)
+    updates_path = path / _UPDATES_NAME
+    if not updates_path.is_file():
+        raise PersistenceError(f"mutable bundle at {path} is missing {_UPDATES_NAME}")
+    try:
+        with np.load(updates_path) as arrays:
+            global_ids = arrays["global_ids"]
+            vectors = arrays["vectors"]
+            delta_ids = arrays["delta_ids"]
+            delta_vectors = arrays["delta_vectors"]
+            tombstone_ids = arrays["tombstone_ids"]
+    except Exception as exc:
+        raise PersistenceError(f"corrupt {_UPDATES_NAME} in {path}: {exc}") from exc
+    if policy is None:
+        policy = RebuildPolicy(**manifest["policy"])
+    index = MutableJunoIndex(
+        base,
+        vectors=vectors,
+        global_ids=global_ids,
+        policy=policy,
+        exact_scores=bool(manifest.get("exact_scores", False)),
+    )
+    if delta_ids.size:
+        index.delta.upsert(delta_ids, delta_vectors)
+    if tombstone_ids.size:
+        index.tombstones.add(tombstone_ids)
+    index._trained_points = int(manifest["trained_points"])
+    index._mutated_since_train = int(manifest["mutated_since_train"])
+    index.ops_applied = int(manifest["ops_applied"])
+    if wal is not None:
+        wal = WriteAheadLog(wal) if isinstance(wal, (str, Path)) else wal
+        try:
+            for record in wal.replay(after_seq=int(manifest["last_seq"])):
+                index.apply_record(record)
+        except WalError as exc:
+            raise PersistenceError(f"WAL replay failed for {path}: {exc}") from exc
+        index.wal = wal
     return index
 
 

@@ -11,19 +11,27 @@ the process.
 :class:`ResidentProcessShardExecutor` implements the
 :class:`~repro.serving.executors.ShardExecutor` fan-out interface on top of
 a replica table: every shard is hosted by ``num_replicas`` independent
-worker processes, batches are load-balanced round-robin across the live
-replicas of each shard, and when a worker dies mid-batch (detected as a
-broken pool) the batch is transparently retried on a surviving replica.
-Per-batch IPC is query-only -- a payload is ``(shard_id, queries, k,
-params)`` -- so its pickled size is independent of the corpus; shard bytes
-reach the workers through the per-shard bundles on disk, at pool init.
+worker processes, batches are routed by **cache affinity** (a fingerprint of
+the batch maps it to a preferred replica, so hot repeat batches hit the
+worker whose resident stage cache already holds them; round-robin otherwise
+and as the fallback when replicas die), and when a worker dies mid-batch
+(detected as a broken pool) the batch is transparently retried on a
+surviving replica.  Per-batch IPC is query-only -- a payload is
+``(shard_id, queries, k, params)`` -- so its pickled size is independent of
+the corpus; shard bytes reach the workers through the per-shard bundles on
+disk, at pool init.  Mutable deployments additionally broadcast op payloads
+to every live replica of the owning shard (:meth:`apply_ops` -- the
+replicated op log), keeping replicas bit-identical under streaming updates.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from concurrent.futures import BrokenExecutor, Future
 from pathlib import Path
+
+import numpy as np
 
 from repro.serving.executors import ShardExecutor
 from repro.serving.runtime import ResidentWorker
@@ -44,8 +52,19 @@ class _ReplicaSet:
     def alive(self) -> list[ResidentWorker]:
         return [worker for worker in self.workers if worker.alive]
 
-    def pick(self, exclude: set[int] | None = None) -> ResidentWorker:
-        """Next live replica in round-robin order, skipping ``exclude``."""
+    def pick(
+        self, exclude: set[int] | None = None, preferred: int | None = None
+    ) -> ResidentWorker:
+        """Next live replica, skipping ``exclude``.
+
+        With ``preferred`` (a batch-fingerprint hash), the same batch maps
+        to the same live replica every time -- cache-affinity routing, so a
+        hot repeat batch lands on the worker whose resident
+        :class:`~repro.pipeline.cache.StageCache` already holds its slices.
+        The mapping is over the *surviving* candidates, so a dead (or
+        excluded-for-this-batch) preferred replica transparently falls over
+        to a sibling.  Without a preference the round-robin cursor decides.
+        """
         exclude = exclude or set()
         candidates = [w for w in self.alive() if w.replica_id not in exclude]
         if not candidates:
@@ -54,6 +73,8 @@ class _ReplicaSet:
                 f"({len(self.workers)} configured, {len(self.alive())} alive, "
                 f"{sorted(exclude)} excluded for this batch)"
             )
+        if preferred is not None:
+            return candidates[preferred % len(candidates)]
         worker = candidates[self._cursor % len(candidates)]
         self._cursor += 1
         return worker
@@ -78,6 +99,13 @@ class ResidentProcessShardExecutor(ShardExecutor):
         warm: ping every worker at construction so a bad bundle raises its
             typed error immediately (and shard loading provably happens at
             pool init, not on the first live batch).
+        mutable: boot the workers from mutable per-shard bundles
+            (:mod:`repro.updates`); :meth:`apply_ops` then broadcasts
+            mutation payloads to every live replica of the owning shard.
+        affinity: route each batch to a replica chosen by a fingerprint of
+            its ``(queries, k, params)`` instead of pure round-robin, so hot
+            repeat batches hit the worker whose resident stage cache already
+            holds them; falls back over surviving replicas on death.
 
     Attributes:
         last_batch_payload_bytes: summed pickled size of the last fan-out's
@@ -85,6 +113,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
             the corpus grows because payloads carry queries, never shards.
         retried_batches: shard batches that were re-routed to a surviving
             replica after a worker death.
+        ops_broadcast: mutation payloads broadcast via :meth:`apply_ops`.
     """
 
     kind = "resident"
@@ -97,6 +126,8 @@ class ResidentProcessShardExecutor(ShardExecutor):
         num_replicas: int = 1,
         stage_cache: bool = True,
         warm: bool = True,
+        mutable: bool = False,
+        affinity: bool = True,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
@@ -108,8 +139,12 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.num_shards = int(num_shards)
         self.num_replicas = int(num_replicas)
         self.stage_cache = bool(stage_cache)
+        self.mutable = bool(mutable)
+        self.affinity = bool(affinity)
         self.last_batch_payload_bytes = 0
         self.retried_batches = 0
+        self.ops_broadcast = 0
+        self._op_logs: dict[int, list[dict]] = {}
         self._injected_failures: set[tuple[int, int]] = set()
         self._closed = False
         self._replica_sets: list[_ReplicaSet] = []
@@ -123,6 +158,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
                             (shard_id,),
                             replica_id=replica,
                             stage_cache=self.stage_cache,
+                            mutable=self.mutable,
                         )
                         for replica in range(self.num_replicas)
                     ],
@@ -205,6 +241,31 @@ class ResidentProcessShardExecutor(ShardExecutor):
             "does) instead of the generic map() interface"
         )
 
+    @staticmethod
+    def _batch_preference(queries, k: int, params: dict) -> int:
+        """A stable fingerprint of one batch, used for cache-affinity routing.
+
+        Hashes the query bytes plus the primitive search knobs -- the same
+        ingredients the worker-resident stage caches key on -- so an exact
+        repeat batch maps to the same preferred replica and hits the cache
+        it warmed.  Non-primitive params (a custom pipeline object) hash by
+        type only: they cannot be fingerprinted stably, and a coarser hash
+        merely costs affinity, never correctness.
+        """
+        digest = hashlib.blake2b(digest_size=8)
+        array = np.ascontiguousarray(np.asarray(queries))
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+        digest.update(str(int(k)).encode())
+        for key in sorted(params):
+            value = params[key]
+            if isinstance(value, (str, int, float, bool, type(None))):
+                digest.update(f"{key}={value};".encode())
+            else:
+                digest.update(f"{key}=<{type(value).__name__}>;".encode())
+        return int.from_bytes(digest.digest(), "big")
+
     def search_shards(self, shards, queries, k: int, params: dict) -> list:
         """Fan one query batch out to every shard's resident workers.
 
@@ -226,20 +287,31 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.last_batch_payload_bytes = self.num_shards * len(
             pickle.dumps((0, queries, k, params))
         )
+        preferred = (
+            self._batch_preference(queries, k, params)
+            if self.affinity and self.num_replicas > 1
+            else None
+        )
         inflight: list[tuple[ResidentWorker, Future, set[int]]] = []
         for shard_id in range(self.num_shards):
-            inflight.append(self._dispatch(shard_id, queries, k, params))
+            inflight.append(self._dispatch(shard_id, queries, k, params, preferred=preferred))
         results = []
         for shard_id, (worker, future, exclude) in enumerate(inflight):
             results.append(
-                self._collect(shard_id, worker, future, exclude, queries, k, params)
+                self._collect(shard_id, worker, future, exclude, queries, k, params, preferred)
             )
         return results
 
     def _dispatch(
-        self, shard_id: int, queries, k: int, params: dict, exclude: set[int] | None = None
+        self,
+        shard_id: int,
+        queries,
+        k: int,
+        params: dict,
+        exclude: set[int] | None = None,
+        preferred: int | None = None,
     ) -> tuple[ResidentWorker, Future, set[int]]:
-        """Submit one shard's batch to the next live replica.
+        """Submit one shard's batch to the chosen live replica.
 
         Submission itself can observe a broken pool (the worker died between
         batches, or an injected crash was detected before the submit went
@@ -248,7 +320,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
         """
         exclude = set(exclude or ())
         while True:
-            worker = self._replica_sets[shard_id].pick(exclude)
+            worker = self._replica_sets[shard_id].pick(exclude, preferred=preferred)
             if self._pop_injected_failure(shard_id, worker.replica_id):
                 # Crash the worker under a live batch; depending on how fast
                 # the pool notices, the search fails either at submit time or
@@ -277,6 +349,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
         queries,
         k,
         params,
+        preferred: int | None = None,
     ):
         """Await one shard's result, failing over across replicas on death."""
         while True:
@@ -285,5 +358,59 @@ class ResidentProcessShardExecutor(ShardExecutor):
             except BrokenExecutor:
                 self._retire(worker, exclude)
                 worker, future, exclude = self._dispatch(
-                    shard_id, queries, k, params, exclude=exclude
+                    shard_id, queries, k, params, exclude=exclude, preferred=preferred
                 )
+
+    # ---------------------------------------------------------------- mutation
+    def apply_ops(self, shard_id: int, ops: list) -> dict:
+        """Broadcast mutation payloads to every live replica of one shard.
+
+        The replicated op log: each op reaches *all* surviving replicas (the
+        ops are deterministic, so replicas that applied the same stream hold
+        bit-identical state), is retained in :meth:`op_log` for diagnostics
+        and future replica respawn, and follows the same failover semantics
+        as queries -- a replica whose pool breaks mid-apply is retired, and
+        the op succeeds as long as at least one replica applied it.
+
+        Returns the last surviving replica's report (``live`` point count,
+        ``ops_applied``, ``state_token``).
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        if not self.mutable:
+            raise RuntimeError(
+                "this resident deployment was booted from an immutable bundle; "
+                "save a mutable bundle to serve streaming updates"
+            )
+        ops = list(ops)
+        replica_set = self._replica_sets[shard_id]
+        submitted: list[tuple[ResidentWorker, Future]] = []
+        for worker in replica_set.alive():
+            if self._pop_injected_failure(shard_id, worker.replica_id):
+                try:
+                    worker.submit_die()
+                except BrokenExecutor:  # pragma: no cover - already gone
+                    pass
+            try:
+                submitted.append((worker, worker.submit_apply(shard_id, ops)))
+            except BrokenExecutor:
+                worker.mark_dead()
+                worker.close()
+        report = None
+        for worker, future in submitted:
+            try:
+                report = future.result()
+            except BrokenExecutor:
+                worker.mark_dead()
+                worker.close()
+        if report is None:
+            raise WorkerFailoverError(f"no surviving replica could apply ops to shard {shard_id}")
+        self._op_logs.setdefault(shard_id, []).extend(ops)
+        self.ops_broadcast += len(ops)
+        return report
+
+    def op_log(self, shard_id: int) -> list:
+        """The ops broadcast to one shard so far (replicated op log)."""
+        return list(self._op_logs.get(int(shard_id), ()))

@@ -33,7 +33,7 @@ _RESIDENT_SHARDS: dict = {}
 
 
 def resident_worker_init(
-    bundle_path: str, shard_ids: Sequence[int], stage_cache: bool
+    bundle_path: str, shard_ids: Sequence[int], stage_cache: bool, mutable: bool = False
 ) -> None:
     """Pool initializer: load the assigned shards from disk, once.
 
@@ -43,7 +43,10 @@ def resident_worker_init(
     worker-private cached pipeline when ``stage_cache`` is set -- the cache
     lives for the worker's whole life, so repeated batches hit it across
     flushes (unlike the router-side cache, which pickles empty into process
-    pools).
+    pools).  ``mutable`` boots the shard as a
+    :class:`~repro.updates.mutable.MutableJunoIndex` (from a mutable bundle),
+    so the worker can apply replicated op payloads
+    (:func:`resident_apply_task`) in addition to serving queries.
 
     A failing load is *recorded* rather than raised: an initializer exception
     would break the whole pool with an untyped
@@ -52,13 +55,16 @@ def resident_worker_init(
     """
     from repro.pipeline.cache import StageCache
     from repro.pipeline.pipeline import default_search_pipeline
-    from repro.serving.persistence import load_index, shard_bundle_path
+    from repro.serving.persistence import load_index, load_mutable_index, shard_bundle_path
 
     _RESIDENT_SHARDS.clear()
     try:
         root = Path(bundle_path)
         for shard_id in shard_ids:
-            index = load_index(shard_bundle_path(root, shard_id))
+            if mutable:
+                index = load_mutable_index(shard_bundle_path(root, shard_id))
+            else:
+                index = load_index(shard_bundle_path(root, shard_id))
             pipeline = (
                 default_search_pipeline(stage_cache=StageCache()) if stage_cache else None
             )
@@ -107,6 +113,51 @@ def resident_search_task(shard_id: int, queries, k: int, params: dict):
     return index.search(queries, k, **params)
 
 
+def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
+    """Apply replicated mutation payloads to a worker-resident mutable shard.
+
+    ``ops`` is a list of op records shaped like WAL records --
+    ``{"op": "upsert", "ids": ..., "vectors": ...}``, ``{"op": "delete",
+    "ids": ...}``, ``{"op": "compact"}``, ``{"op": "retrain"}`` -- applied in
+    order through the shard's own mutation methods, so every replica of a
+    shard that applies the same op stream reaches bit-identical state (the
+    ops are deterministic; this is what keeps replicas consistent).  Returns
+    a small report the routing layer uses for bookkeeping.
+    """
+    _check_worker_ready()
+    try:
+        index, _ = _RESIDENT_SHARDS[int(shard_id)]
+    except KeyError:
+        raise RuntimeError(
+            f"shard {shard_id} is not resident in this worker "
+            f"(resident: {sorted(s for s in _RESIDENT_SHARDS if isinstance(s, int))})"
+        ) from None
+    if not callable(getattr(index, "upsert", None)):
+        raise RuntimeError(
+            f"shard {shard_id} is resident but immutable; save a mutable "
+            "bundle (ShardedJunoIndex.enable_updates() then save()) to "
+            "serve streaming updates"
+        )
+    for op in ops:
+        kind = op["op"]
+        if kind == "upsert":
+            index.upsert(op["ids"], op["vectors"])
+        elif kind == "delete":
+            index.delete(op["ids"])
+        elif kind == "compact":
+            index.compact()
+        elif kind == "retrain":
+            index.retrain()
+        else:
+            raise ValueError(f"unknown mutable-index op {kind!r}")
+    return {
+        "shard_id": int(shard_id),
+        "ops_applied": int(index.ops_applied),
+        "live": int(index.num_points),
+        "state_token": index.state_token,
+    }
+
+
 def resident_die_task() -> None:
     """Kill the worker process without cleanup (failure injection).
 
@@ -132,6 +183,8 @@ class ResidentWorker:
         replica_id: which replica of those shards this worker is.
         stage_cache: give the worker a private, batch-surviving
             :class:`~repro.pipeline.cache.StageCache`.
+        mutable: boot the shards as mutable indexes (from mutable bundles)
+            so the worker accepts replicated op payloads.
     """
 
     def __init__(
@@ -140,16 +193,18 @@ class ResidentWorker:
         shard_ids: Sequence[int],
         replica_id: int = 0,
         stage_cache: bool = True,
+        mutable: bool = False,
     ) -> None:
         self.bundle_path = str(bundle_path)
         self.shard_ids = tuple(int(s) for s in shard_ids)
         self.replica_id = int(replica_id)
         self.stage_cache = bool(stage_cache)
+        self.mutable = bool(mutable)
         self.alive = True
         self._pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=resident_worker_init,
-            initargs=(self.bundle_path, self.shard_ids, self.stage_cache),
+            initargs=(self.bundle_path, self.shard_ids, self.stage_cache, self.mutable),
         )
 
     def submit_ping(self) -> Future:
@@ -163,6 +218,10 @@ class ResidentWorker:
     def submit_search(self, shard_id: int, queries, k: int, params: dict) -> Future:
         """Queue one shard search on this worker (query-only payload)."""
         return self._pool.submit(resident_search_task, shard_id, queries, k, params)
+
+    def submit_apply(self, shard_id: int, ops: Sequence[dict]) -> Future:
+        """Queue a mutation-op payload on this worker (replication path)."""
+        return self._pool.submit(resident_apply_task, shard_id, ops)
 
     def submit_die(self) -> Future:
         """Queue a hard crash (failure injection); breaks the pool."""

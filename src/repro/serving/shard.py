@@ -51,8 +51,10 @@ from repro.serving.persistence import (
     MANIFEST_NAME,
     PersistenceError,
     load_index,
+    load_mutable_index,
     read_manifest,
     save_index,
+    save_mutable_index,
     shard_bundle_path,
 )
 
@@ -103,7 +105,9 @@ def merge_shard_results(
             padded with ``-1`` ids (shards whose probed clusters yielded
             fewer than ``k`` candidates).
         global_ids: per shard, the ``(n_shard,)`` array mapping shard-local
-            point ids to global corpus ids.
+            point ids to global corpus ids -- or ``None`` for a shard whose
+            results already carry global ids (mutable shards speak global
+            ids natively; see :mod:`repro.updates`).
         k: neighbours to keep per query after the merge.
         metric: metric the results were ranked under (decides direction).
 
@@ -144,10 +148,13 @@ def merge_shard_results(
     remapped: list[np.ndarray] = []
     masked_scores: list[np.ndarray] = []
     for result, mapping in zip(results, global_ids):
-        mapping = np.asarray(mapping, dtype=np.int64)
         padded = result.ids < 0
-        ids = mapping[np.where(padded, 0, result.ids)]
-        ids[padded] = -1
+        if mapping is None:
+            ids = np.where(padded, -1, result.ids).astype(np.int64)
+        else:
+            mapping = np.asarray(mapping, dtype=np.int64)
+            ids = mapping[np.where(padded, 0, result.ids)]
+            ids[padded] = -1
         remapped.append(ids)
         masked_scores.append(np.where(padded, worst, result.scores))
 
@@ -297,6 +304,12 @@ class ShardedJunoIndex:
         self.shard_global_ids: list[np.ndarray] = []
         self.dim: int | None = None
         self.num_points: int = 0
+        # Streaming updates (repro.updates): when enabled, shards are
+        # MutableJunoIndex wrappers (or resident workers hosting them) that
+        # return global ids natively, and upsert/delete route ops by owner.
+        self._mutable = False
+        self._owner_map: dict[int, int] | None = None
+        self._resident_live: dict[int, int] = {}
         self._rerank_points: np.ndarray | None = None
         self._executor: ShardExecutor | None = None
         self._executor_key: tuple | None = None
@@ -413,6 +426,188 @@ class ShardedJunoIndex:
         self._rerank_points = None
         return self
 
+    # ------------------------------------------------------- streaming updates
+    @property
+    def mutable(self) -> bool:
+        """Whether this router accepts :meth:`upsert` / :meth:`delete`."""
+        return self._mutable
+
+    def enable_updates(
+        self, points: np.ndarray | None = None, wal_dir: "str | Path | None" = None, policy=None
+    ) -> "ShardedJunoIndex":
+        """Wrap every local shard in a mutable-index layer (:mod:`repro.updates`).
+
+        Each shard becomes a
+        :class:`~repro.updates.mutable.MutableJunoIndex` carrying its
+        partition of the raw corpus and its global-id mapping, so it speaks
+        global ids natively; :meth:`upsert` / :meth:`delete` then route ops
+        to the owning shard.  Every mutable shard returns *exact* metric
+        scores (``exact_scores=True``) so the k-way merge always ranks on
+        one comparable scale, no matter which shards hold buffered vectors.
+
+        Args:
+            points: the full ``(num_points, dim)`` corpus in global id order;
+                defaults to the retained rerank corpus.  Required because the
+                mutable layer rescoring/compaction needs raw vectors.
+            wal_dir: when given, each shard appends its ops to
+                ``wal_dir/shard_XXX.wal`` (write-ahead durability).
+            policy: per-shard :class:`~repro.updates.mutable.RebuildPolicy`.
+        """
+        from repro.updates.mutable import MutableJunoIndex
+        from repro.updates.wal import WriteAheadLog
+
+        if not self.is_trained:
+            raise RuntimeError("enable_updates requires a trained router")
+        if any(isinstance(shard, (ResidentShardHandle, MutableJunoIndex)) for shard in self.shards):
+            raise RuntimeError(
+                "enable_updates needs coordinator-local immutable shards; a "
+                "resident deployment becomes mutable by saving a mutable "
+                "bundle and loading it with executor='resident'"
+            )
+        if self.exact_rerank:
+            raise ValueError(
+                "mutable shards already return exact metric scores; disable "
+                "exact_rerank before enabling updates"
+            )
+        if points is None:
+            points = self._rerank_points
+        if points is None:
+            raise ValueError("enable_updates needs the raw corpus (points=...)")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] != self.num_points:
+            raise ValueError(
+                f"corpus has {points.shape[0]} points but the router was "
+                f"trained on {self.num_points}"
+            )
+        wrapped = []
+        for shard_id, (shard, global_ids) in enumerate(zip(self.shards, self.shard_global_ids)):
+            wal = (
+                WriteAheadLog(Path(wal_dir) / f"shard_{shard_id:03d}.wal")
+                if wal_dir is not None
+                else None
+            )
+            wrapped.append(
+                MutableJunoIndex(
+                    shard,
+                    vectors=points[global_ids],
+                    global_ids=global_ids,
+                    wal=wal,
+                    policy=policy,
+                    exact_scores=True,
+                )
+            )
+        self.shards = wrapped
+        self._mutable = True
+        self._owner_map = None
+        return self
+
+    def _require_mutable(self) -> None:
+        if not self._mutable:
+            raise RuntimeError(
+                "this router is immutable; call enable_updates() (or load a "
+                "mutable bundle) before upsert/delete"
+            )
+
+    def _ensure_owner_map(self) -> dict[int, int]:
+        if self._owner_map is None:
+            self._owner_map = {
+                int(gid): shard_id
+                for shard_id, ids in enumerate(self.shard_global_ids)
+                for gid in ids
+            }
+        return self._owner_map
+
+    def _group_by_owner(self, ids: np.ndarray, assign_new: bool) -> dict[int, np.ndarray]:
+        """Positions of ``ids`` grouped by owning shard.
+
+        Known ids go to the shard that holds (or held) them; unknown ids are
+        either assigned round-robin by id (``assign_new``, the upsert path --
+        the same ``global_id % num_shards`` deal the trainer used) or
+        rejected (the delete path).
+        """
+        owners = self._ensure_owner_map()
+        out: dict[int, list[int]] = {}
+        unknown: list[int] = []
+        for position, gid in enumerate(ids):
+            gid = int(gid)
+            owner = owners.get(gid)
+            if owner is None:
+                if not assign_new:
+                    unknown.append(gid)
+                    continue
+                owner = gid % self.num_shards
+                owners[gid] = owner
+            out.setdefault(owner, []).append(position)
+        if unknown:
+            raise KeyError(f"cannot delete ids that are not live: {unknown}")
+        return {shard_id: np.asarray(rows, dtype=np.intp) for shard_id, rows in out.items()}
+
+    def _apply_shard_op(self, shard_id: int, op: dict) -> None:
+        """Apply one op to its owning shard (locally or via resident workers)."""
+        executor = self._fanout_executor()
+        if getattr(executor, "resident", False):
+            report = executor.apply_ops(shard_id, [op])
+            self._resident_live[shard_id] = int(report["live"])
+            return
+        shard = self.shards[shard_id]
+        if op["op"] == "upsert":
+            shard.upsert(op["ids"], op["vectors"])
+        else:
+            shard.delete(op["ids"])
+
+    def _refresh_live_count(self) -> None:
+        if self._resident_live:
+            known = [
+                self._resident_live.get(s, len(self.shard_global_ids[s]))
+                for s in range(self.num_shards)
+            ]
+            self.num_points = int(sum(known))
+        else:
+            self.num_points = int(sum(shard.num_points for shard in self.shards))
+
+    def upsert(self, ids: np.ndarray, vectors: np.ndarray) -> "ShardedJunoIndex":
+        """Insert or replace vectors by global id, routed to the owning shard.
+
+        New ids are assigned ``global_id % num_shards`` (the round-robin deal
+        the trainer used); existing ids go back to the shard that holds
+        them.  With a resident executor the op payload is broadcast to every
+        live replica of the owning shard (the replicated op log), with the
+        same failover semantics as queries.
+        """
+        self._require_mutable()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[0] != ids.shape[0]:
+            raise ValueError("need exactly one vector per id")
+        for shard_id, rows in self._group_by_owner(ids, assign_new=True).items():
+            self._apply_shard_op(
+                shard_id, {"op": "upsert", "ids": ids[rows], "vectors": vectors[rows]}
+            )
+        self._refresh_live_count()
+        return self
+
+    def delete(self, ids: np.ndarray) -> "ShardedJunoIndex":
+        """Delete live points by global id; tombstoned ids never surface."""
+        self._require_mutable()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        for shard_id, rows in self._group_by_owner(ids, assign_new=False).items():
+            self._apply_shard_op(shard_id, {"op": "delete", "ids": ids[rows]})
+        self._refresh_live_count()
+        return self
+
+    def compact(self) -> "ShardedJunoIndex":
+        """Compact every shard's delta buffer into its trained index."""
+        self._require_mutable()
+        executor = self._fanout_executor()
+        for shard_id in range(self.num_shards):
+            if getattr(executor, "resident", False):
+                report = executor.apply_ops(shard_id, [{"op": "compact"}])
+                self._resident_live[shard_id] = int(report["live"])
+            else:
+                self.shards[shard_id].compact()
+        self._refresh_live_count()
+        return self
+
     # ----------------------------------------------------------------- search
     def search(
         self,
@@ -456,12 +651,15 @@ class ShardedJunoIndex:
             params["pipeline"] = self._cached_pipeline
         results = executor.search_shards(self.shards, queries, k, params)
 
+        # Mutable shards return global ids natively (their DeltaMergeStage
+        # already remapped); None tells the merge to skip the id remap.
+        mappings = [None] * self.num_shards if self._mutable else self.shard_global_ids
         if self.exact_rerank and self._rerank_points is not None:
             depth = self.rerank_depth if self.rerank_depth is not None else self.num_shards * k
             merge_k = max(k, min(depth, self.num_shards * k))
-            merged = merge_shard_results(results, self.shard_global_ids, merge_k, self.metric)
+            merged = merge_shard_results(results, mappings, merge_k, self.metric)
             return self._run_exact_rerank(queries, k, nprobs, merged)
-        return merge_shard_results(results, self.shard_global_ids, k, self.metric)
+        return merge_shard_results(results, mappings, k, self.metric)
 
     def _run_exact_rerank(
         self, queries: np.ndarray, k: int, nprobs: int, merged: JunoSearchResult
@@ -540,6 +738,13 @@ class ShardedJunoIndex:
         # its entries and counters, mirroring the executor ownership rule.
         if self._stage_cache is not None and self._owns_stage_cache:
             self._stage_cache.clear()
+        # Mutable shards may hold an open WAL append handle; close it (the
+        # log itself stays on disk, and a later append re-opens lazily).
+        if self._mutable:
+            for shard in self.shards:
+                wal = getattr(shard, "wal", None)
+                if wal is not None:
+                    wal.close()
 
     # ------------------------------------------------------------ stage cache
     @property
@@ -583,14 +788,23 @@ class ShardedJunoIndex:
             "num_points": int(self.num_points),
             "exact_rerank": bool(self.exact_rerank and self._rerank_points is not None),
             "rerank_depth": self.rerank_depth,
+            "mutable": bool(self._mutable),
         }
         (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
+        if self._mutable:
+            # Live (base + buffered) ids per shard; feeds the owner map and
+            # the merge diagnostics of a reloaded mutable deployment.
+            id_arrays = {f"shard_{s}": shard.live_ids() for s, shard in enumerate(self.shards)}
+        else:
+            id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
         np.savez_compressed(path / _SHARD_IDS_NAME, **id_arrays)
         if manifest["exact_rerank"]:
             np.savez_compressed(path / _RERANK_CORPUS_NAME, points=self._rerank_points)
         for shard_id, shard in enumerate(self.shards):
-            save_index(shard, shard_bundle_path(path, shard_id))
+            if self._mutable:
+                save_mutable_index(shard, shard_bundle_path(path, shard_id))
+            else:
+                save_index(shard, shard_bundle_path(path, shard_id))
         return path
 
     @classmethod
@@ -637,6 +851,7 @@ class ShardedJunoIndex:
                 f"sharded bundle at {path} declares {num_shards} shards but "
                 f"is missing the per-shard bundle(s) {missing}"
             )
+        mutable = bool(manifest.get("mutable"))
         owns_executor = False
         if executor == "resident":
             from repro.serving.routing import ResidentProcessShardExecutor
@@ -646,6 +861,7 @@ class ShardedJunoIndex:
                 num_shards=num_shards,
                 num_replicas=num_replicas,
                 stage_cache=worker_stage_cache,
+                mutable=mutable,
             )
             owns_executor = True
         try:
@@ -690,8 +906,9 @@ class ShardedJunoIndex:
                 # caller-supplied resident executor instance
                 load_shards = not getattr(executor, "resident", False)
             if load_shards:
+                loader = load_mutable_index if mutable else load_index
                 sharded.shards = [
-                    load_index(shard_bundle_path(path, shard_id))
+                    loader(shard_bundle_path(path, shard_id))
                     for shard_id in range(sharded.num_shards)
                 ]
             else:
@@ -699,6 +916,7 @@ class ShardedJunoIndex:
                     ResidentShardHandle(shard_id, path)
                     for shard_id in range(sharded.num_shards)
                 ]
+            sharded._mutable = mutable
             if manifest.get("exact_rerank"):
                 corpus_path = path / _RERANK_CORPUS_NAME
                 if not corpus_path.is_file():
@@ -742,6 +960,7 @@ class ShardedJunoIndex:
             num_shards=self.num_shards,
             num_replicas=num_replicas,
             stage_cache=worker_stage_cache,
+            mutable=self._mutable,
         )
         if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
             self.executor_spec.close()

@@ -1,0 +1,42 @@
+"""Streaming updates: the mutable-index subsystem.
+
+The paper's system -- and every layer of this reproduction below this
+package -- serves a frozen corpus: training (Alg. 1) is offline and nothing
+online may change the indexed set.  Production ANN serving is not frozen:
+upserts and deletes arrive while queries are in flight.  This package adds
+that workload class without re-running training per mutation:
+
+* :class:`~repro.updates.delta.DeltaIndex` -- exact-scored in-memory buffer
+  for freshly upserted vectors (read-your-writes recall);
+* :class:`~repro.updates.tombstones.TombstoneSet` -- logical deletes,
+  filtered out of every result before they can surface;
+* :class:`~repro.updates.wal.WriteAheadLog` -- append-only op records; a
+  snapshot plus a log replay reproduces the mutated index bit-identically;
+* :class:`~repro.updates.mutable.MutableJunoIndex` -- the serving wrapper
+  tying them together, with an online compactor that drains the buffer into
+  the trained structures retrain-free and a
+  :class:`~repro.updates.mutable.RebuildPolicy` flagging when drift warrants
+  a full retrain.
+
+The merge into one top-k happens in the staged query pipeline
+(:class:`~repro.pipeline.stages.DeltaMergeStage`); the serving layers --
+:meth:`repro.serving.shard.ShardedJunoIndex.upsert`, the resident worker
+runtime's replicated op application, and the
+:class:`~repro.serving.engine.ServingEngine` mutation API -- route ops here.
+See ``docs/updates.md`` for the architecture and the freshness/recall
+trade-off.
+"""
+
+from repro.updates.delta import DeltaIndex
+from repro.updates.mutable import MutableJunoIndex, RebuildPolicy
+from repro.updates.tombstones import TombstoneSet
+from repro.updates.wal import WalError, WriteAheadLog
+
+__all__ = [
+    "DeltaIndex",
+    "MutableJunoIndex",
+    "RebuildPolicy",
+    "TombstoneSet",
+    "WalError",
+    "WriteAheadLog",
+]

@@ -1,0 +1,136 @@
+"""The delta buffer: an exact-scored in-memory index for fresh vectors.
+
+Freshly upserted vectors cannot be inserted into the trained JUNO structures
+directly -- posting lists, PQ codes and the RT scene are products of the
+offline phase -- so they land in a :class:`DeltaIndex` first: a small,
+append-friendly buffer that is searched *exactly* (brute force against the
+buffered vectors) alongside the trained index and k-way merged into one
+top-k by :class:`~repro.pipeline.stages.DeltaMergeStage`.  Exact scoring
+keeps freshly written points at full recall the moment the upsert returns
+(read-your-writes); the buffer stays small because the online compactor
+(:meth:`~repro.updates.mutable.MutableJunoIndex.compact`) periodically
+drains it into the trained index.
+
+Vectors are kept in insertion order: compaction appends them to the trained
+corpus in exactly this order, which is what makes WAL replay reproduce a
+mutated index bit-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.distances import Metric, pairwise_distance, top_k
+
+
+class DeltaIndex:
+    """In-memory buffer of live ``(global id, vector)`` pairs.
+
+    Args:
+        dim: vector dimensionality (must match the base index).
+        metric: ranking metric; delta scores are exact under this metric.
+    """
+
+    def __init__(self, dim: int, metric: Metric = Metric.L2) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self.metric = Metric(metric)
+        self._ids = np.zeros(0, dtype=np.int64)
+        self._vectors = np.zeros((0, self.dim), dtype=np.float64)
+
+    def __len__(self) -> int:
+        return int(self._ids.shape[0])
+
+    def __contains__(self, global_id: int) -> bool:
+        return bool(np.any(self._ids == int(global_id)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaIndex({len(self)} buffered, dim={self.dim})"
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Buffered global ids in insertion order (read-only view)."""
+        return self._ids
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Buffered vectors aligned with :attr:`ids` (read-only view)."""
+        return self._vectors
+
+    # ------------------------------------------------------------- mutation
+    def upsert(self, ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Buffer (or replace in place) the given vectors.
+
+        An id already buffered keeps its insertion-order slot and only its
+        vector is replaced; new ids append.  Duplicate ids *within* one call
+        resolve last-wins, matching one-at-a-time application -- required for
+        WAL replay to reproduce the same buffer.
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape != (ids.shape[0], self.dim):
+            raise ValueError(
+                f"expected vectors of shape {(ids.shape[0], self.dim)}, got {vectors.shape}"
+            )
+        row_of = {int(g): row for row, g in enumerate(self._ids)}
+        append_ids: list[int] = []
+        append_vectors: list[np.ndarray] = []
+        for i, gid in enumerate(ids):
+            gid = int(gid)
+            row = row_of.get(gid)
+            if row is not None:
+                self._vectors[row] = vectors[i]
+            elif gid in append_ids:
+                append_vectors[append_ids.index(gid)] = vectors[i]
+            else:
+                append_ids.append(gid)
+                append_vectors.append(vectors[i])
+        if append_ids:
+            self._ids = np.concatenate([self._ids, np.asarray(append_ids, dtype=np.int64)])
+            self._vectors = np.concatenate([self._vectors, np.stack(append_vectors)])
+
+    def discard(self, ids: np.ndarray) -> np.ndarray:
+        """Drop any buffered rows with the given ids.
+
+        Returns the subset of ``ids`` that was actually buffered (the caller
+        uses it to tell a delta-resident delete from a trained-copy delete).
+        """
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        hit = np.isin(ids, self._ids)
+        if hit.any():
+            keep = ~np.isin(self._ids, ids)
+            self._ids = self._ids[keep]
+            self._vectors = self._vectors[keep]
+        return ids[hit]
+
+    def clear(self) -> None:
+        """Empty the buffer (compaction drained it)."""
+        self._ids = np.zeros(0, dtype=np.int64)
+        self._vectors = np.zeros((0, self.dim), dtype=np.float64)
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(ids, vectors)`` in insertion order.
+
+        Copies, not views: the compactor and the persistence snapshot hold
+        onto these across subsequent mutations.
+        """
+        return self._ids.copy(), self._vectors.copy()
+
+    # --------------------------------------------------------------- search
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` over the buffered vectors.
+
+        Returns ``(Q, k')`` global ids and exact metric scores with
+        ``k' = min(k, len(self))`` (callers pad against the trained index's
+        candidates anyway).  An empty buffer yields zero-width arrays.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(self) == 0:
+            return (
+                np.zeros((queries.shape[0], 0), dtype=np.int64),
+                np.zeros((queries.shape[0], 0), dtype=np.float64),
+            )
+        scores = pairwise_distance(queries, self._vectors, self.metric)
+        rows, row_scores = top_k(scores, k, self.metric)
+        return self._ids[rows], row_scores

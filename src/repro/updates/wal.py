@@ -1,0 +1,125 @@
+"""Append-only write-ahead log of mutable-index operations.
+
+Durability for the streaming-update layer: every mutation of a
+:class:`~repro.updates.mutable.MutableJunoIndex` is appended here *before*
+it is applied, as one JSON record per line::
+
+    {"seq": 17, "op": "upsert", "ids": [903], "vectors": [[...]]}
+    {"seq": 18, "op": "delete", "ids": [12, 77]}
+    {"seq": 19, "op": "compact"}
+
+Records carry a monotonically increasing sequence number.  Maintenance
+operations (``compact`` / ``retrain``) are logged too: they mutate the
+trained arrays deterministically, so replaying the full op stream through
+the same apply code paths reproduces the mutated index **bit-identically**
+-- which is exactly how :func:`repro.serving.persistence.load_mutable_index`
+recovers the tail of mutations newer than the last epoch-stamped bundle
+snapshot.
+
+Floats survive the JSON round trip exactly (Python serialises ``float64``
+with shortest-repr semantics), so replayed vectors are the same bits the
+caller upserted.  A torn final line -- the classic crash-mid-append shape --
+is tolerated and replay stops before it; corruption anywhere earlier raises
+a typed :class:`WalError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+
+class WalError(RuntimeError):
+    """Raised when a write-ahead log is corrupt or misused."""
+
+
+class WriteAheadLog:
+    """An append-only JSON-lines operation log.
+
+    Args:
+        path: log file; created (including parents) on first append.
+
+    The instance tracks :attr:`last_seq`, the highest sequence number it has
+    appended or observed on disk at open time, so appends after a reload
+    continue the sequence instead of restarting it.  Pickling keeps only the
+    path (a process-pool copy re-opens lazily and never shares the handle).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.last_seq = 0
+        if self.path.is_file():
+            for record in self.replay():
+                self.last_seq = max(self.last_seq, int(record["seq"]))
+
+    # -------------------------------------------------------------- append
+    def append(self, op: str, **fields) -> int:
+        """Append one op record and flush it; returns its sequence number."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self.last_seq += 1
+        record = {"seq": self.last_seq, "op": str(op), **fields}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        return self.last_seq
+
+    # -------------------------------------------------------------- replay
+    def replay(self, after_seq: int = 0) -> Iterator[dict]:
+        """Yield records with ``seq > after_seq`` in log order.
+
+        A truncated *final* line (torn write) ends the iteration silently;
+        a malformed record anywhere else, or a sequence number that is not
+        strictly increasing, raises :class:`WalError`.
+        """
+        if not self.path.is_file():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        previous_seq = 0
+        for line_no, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                seq = int(record["seq"])
+                record["op"]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if line_no == len(lines) - 1:
+                    return  # torn final record: everything before it is durable
+                raise WalError(
+                    f"corrupt WAL record at {self.path}:{line_no + 1}: {exc}"
+                ) from exc
+            if seq <= previous_seq:
+                raise WalError(
+                    f"non-monotonic WAL sequence at {self.path}:{line_no + 1} "
+                    f"({seq} after {previous_seq})"
+                )
+            previous_seq = seq
+            if seq > after_seq:
+                yield record
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the append handle (idempotent); replay still works."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Pickle as (path, last_seq): file handles never cross processes."""
+        return {"path": str(self.path), "last_seq": self.last_seq}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = Path(state["path"])
+        self._handle = None
+        self.last_seq = int(state["last_seq"])

@@ -377,6 +377,85 @@ class TestRTSelectCacheProperties:
         assert cache.stats()["rt_select"] == {"hits": 0, "misses": 2}
 
 
+class TestMutationInvalidationProperties:
+    """Streaming updates vs. the stage caches: any upsert/delete bumps the
+    index state token, so no cached coarse-filter/threshold output and no
+    RT-select LUT from before the mutation can ever be served -- while an
+    unmutated mutable index still hits and restores bit-identically."""
+
+    @staticmethod
+    def _fresh_mutable(seed):
+        import copy
+
+        from repro.updates import MutableJunoIndex
+
+        index, dataset = _seeded_juno(seed)
+        # deep-copy the memoised trained base: mutations must never leak
+        # into the corpora shared with the other property suites
+        return MutableJunoIndex(copy.deepcopy(index), dataset.points), dataset
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        op=st.sampled_from(["insert", "update", "delete"]),
+        mode=st.sampled_from(["juno-h", "juno-m"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_mutation_invalidates_every_cached_stage(self, seed, op, mode):
+        mutable, dataset = self._fresh_mutable(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode=mode, threshold_scale=1.0)
+        mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        token = mutable.state_token
+        if op == "insert":
+            mutable.upsert([10_000], dataset.queries[:1])
+        elif op == "update":
+            mutable.upsert([0], dataset.points[0][None, :] * 1.05)
+        else:
+            mutable.delete([0])
+        assert mutable.state_token != token
+        cached = mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        plain = mutable.search(dataset.queries, **kwargs)
+        _assert_identical_results(cached, plain)
+        # the same batch, but a new state token: every stage re-misses, so a
+        # pre-mutation LUT or filter slice can never shadow the mutation
+        for stage in ("coarse_filter", "threshold", "rt_select"):
+            assert cache.stats()[stage] == {"hits": 0, "misses": 2}, stage
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        mode=st.sampled_from(["juno-h", "juno-l"]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_unmutated_mutable_index_still_hits(self, seed, mode):
+        mutable, dataset = self._fresh_mutable(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode=mode, threshold_scale=1.0)
+        first = mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        second = mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        _assert_identical_results(first, second)
+        for stage in ("coarse_filter", "threshold", "rt_select"):
+            assert cache.stats()[stage] == {"hits": 1, "misses": 1}, stage
+        # the exact-repeat hit honestly skipped the traversal work
+        assert second.work.rt_rays == 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=2))
+    @settings(max_examples=6, deadline=None)
+    def test_compaction_also_invalidates(self, seed):
+        mutable, dataset = self._fresh_mutable(seed)
+        cache = StageCache()
+        pipeline = default_search_pipeline(stage_cache=cache)
+        kwargs = dict(k=8, nprobs=4, quality_mode="juno-h", threshold_scale=1.0)
+        mutable.upsert([10_000], dataset.queries[:1])
+        mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        mutable.compact()
+        cached = mutable.search(dataset.queries, pipeline=pipeline, **kwargs)
+        plain = mutable.search(dataset.queries, **kwargs)
+        _assert_identical_results(cached, plain)
+        assert cache.stats()["rt_select"] == {"hits": 0, "misses": 2}
+
+
 class TestScalarQuantizerProperties:
     @given(points=point_sets(max_points=30, max_dim=5), bits=st.integers(2, 10))
     @settings(max_examples=40, deadline=None)

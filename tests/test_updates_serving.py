@@ -1,0 +1,417 @@
+"""Tests for streaming updates through the serving stack.
+
+Covers the serving half of the mutable-index tentpole plus the
+cache-affinity routing satellite:
+
+* sharded routing -- ``ShardedJunoIndex.upsert/delete`` route ops to the
+  owning shard, searches return global ids and merged scores stay on one
+  exact scale;
+* mutable bundles -- a mutable deployment saves/loads (locally and into
+  resident workers) and keeps serving the mutated corpus;
+* replica consistency -- resident op payloads broadcast to every live
+  replica (the replicated op log) and survive a worker death with the same
+  failover semantics as queries;
+* cache-affinity routing -- exact repeat batches land on the replica whose
+  resident stage cache already holds them, and fall back to survivors on
+  replica death;
+* the engine mutation API.
+
+These tests run in the tier-1 CI matrix by path (no ``slow`` marker).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_clustered_dataset
+from repro.serving import (
+    ResidentProcessShardExecutor,
+    ServingEngine,
+    ShardedJunoIndex,
+    WorkerFailoverError,
+    merge_shard_results,
+    search_results_equal,
+)
+from repro.updates import MutableJunoIndex, RebuildPolicy
+
+
+def _settings():
+    return dict(
+        num_clusters=8,
+        num_entries=8,
+        num_threshold_samples=16,
+        threshold_top_k=20,
+        kmeans_iters=4,
+        density_grid=10,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_clustered_dataset(
+        name="updates-serving",
+        num_points=600,
+        num_queries=8,
+        dim=8,
+        num_components=8,
+        query_jitter=0.2,
+        seed=5,
+    )
+
+
+def _train_mutable_router(corpus, num_shards=2, executor="sequential", **update_kwargs):
+    router = ShardedJunoIndex.from_dim(
+        corpus.dim, num_shards=num_shards, executor=executor, **_settings()
+    )
+    router.train(corpus.points)
+    router.enable_updates(points=corpus.points, **update_kwargs)
+    return router
+
+
+class TestShardedUpdates:
+    def test_upsert_and_delete_route_to_owning_shard(self, corpus):
+        router = _train_mutable_router(corpus)
+        assert router.mutable
+        new_ids = np.array([5000, 5001])  # round-robin: shard 0 and shard 1
+        router.upsert(new_ids, corpus.queries[:2])
+        for shard_id, gid in ((0, 5000), (1, 5001)):
+            assert gid in router.shards[shard_id].delta
+        result = router.search(corpus.queries[:2], 5, nprobs=4)
+        assert result.ids[0, 0] == 5000 and result.ids[1, 0] == 5001
+        assert router.num_points == corpus.num_points + 2
+
+        victim = int(result.ids[0, 1])  # a trained global id
+        router.delete([victim, 5000, 5001])
+        after = router.search(corpus.queries, 5, nprobs=4)
+        assert not np.isin(after.ids, [victim, 5000, 5001]).any()
+        assert router.num_points == corpus.num_points - 1
+        router.close()
+
+    def test_merged_scores_share_one_exact_scale(self, corpus):
+        router = _train_mutable_router(corpus)
+        # only shard 0 holds buffered vectors; shard 1 must still rescore
+        router.upsert([5000], corpus.queries[:1])
+        result = router.search(corpus.queries[:1], 10, nprobs=4)
+        assert result.extra["reranked"] is True
+        # L2 exact scores are ascending and start at the self-match
+        assert result.scores[0, 0] == 0.0
+        assert (np.diff(result.scores[0]) >= 0).all()
+        router.close()
+
+    def test_delete_unknown_id_raises(self, corpus):
+        router = _train_mutable_router(corpus)
+        with pytest.raises(KeyError, match="not live"):
+            router.delete([999_999])
+        router.close()
+
+    def test_immutable_router_rejects_mutations(self, corpus):
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=2, executor="sequential", **_settings()
+        ).train(corpus.points)
+        with pytest.raises(RuntimeError, match="enable_updates"):
+            router.upsert([1], corpus.queries[:1])
+        router.close()
+
+    def test_enable_updates_requires_corpus_and_rejects_rerank(self, corpus):
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=2, executor="sequential", **_settings()
+        ).train(corpus.points)
+        with pytest.raises(ValueError, match="raw corpus"):
+            router.enable_updates()
+        router.enable_exact_rerank(corpus.points)
+        with pytest.raises(ValueError, match="exact_rerank"):
+            router.enable_updates(points=corpus.points)
+        router.close()
+
+    def test_merge_with_none_mapping_keeps_global_ids(self, corpus):
+        router = _train_mutable_router(corpus)
+        results = [shard.search(corpus.queries, 5, nprobs=4) for shard in router.shards]
+        merged = merge_shard_results(results, [None, None], 5, router.metric)
+        assert merged.ids.shape == (corpus.queries.shape[0], 5)
+        assert merged.ids.max() < corpus.num_points  # already-global ids
+        router.close()
+
+    def test_sharded_vs_single_mutable_parity(self, corpus):
+        """Same mutations through the router and a single mutable index
+        retrieve the same live set (exact scores, global ids)."""
+        router = _train_mutable_router(corpus)
+        from repro.core.config import JunoConfig
+        from repro.core.index import JunoIndex
+
+        single = MutableJunoIndex(
+            JunoIndex(JunoConfig(num_subspaces=corpus.dim // 2, **_settings())).train(
+                corpus.points
+            ),
+            corpus.points,
+            exact_scores=True,
+        )
+        rng = np.random.default_rng(31)
+        fresh = corpus.points[:8] + 0.02 * rng.standard_normal((8, corpus.dim))
+        fresh_ids = np.arange(7000, 7008)
+        removed = np.array([10, 11, 12, 13])
+        for target in (router, single):
+            target.upsert(fresh_ids, fresh)
+            target.delete(removed)
+
+        from repro.datasets.ground_truth import compute_ground_truth
+        from repro.metrics.recall import recall_k_at_n
+
+        keep = np.ones(corpus.num_points, dtype=bool)
+        keep[removed] = False
+        live_points = np.concatenate([corpus.points[keep], fresh])
+        live_ids = np.concatenate([np.flatnonzero(keep), fresh_ids])
+        truth = live_ids[compute_ground_truth(live_points, corpus.queries, k=10)]
+
+        ours = router.search(corpus.queries, 10, nprobs=8)
+        theirs = single.search(corpus.queries, 10, nprobs=8)
+        assert not np.isin(ours.ids, removed).any()
+        assert not np.isin(theirs.ids, removed).any()
+        our_recall = recall_k_at_n(ours.ids, truth, 10, 10)
+        their_recall = recall_k_at_n(theirs.ids, truth, 10, 10)
+        # both deployments keep serving the mutated corpus; the sharded
+        # router (finer per-shard clustering + exact merge rescoring) must
+        # not fall below the single index's level
+        assert their_recall >= 0.4
+        assert our_recall >= their_recall - 0.05
+        router.close()
+
+
+class TestResidentMutableServing:
+    @pytest.fixture(scope="class")
+    def mutated_bundle(self, corpus, tmp_path_factory):
+        router = _train_mutable_router(corpus)
+        router.upsert([5000], corpus.queries[:1])
+        router.delete([0])
+        bundle = router.save(tmp_path_factory.mktemp("mutable") / "deployment")
+        expected = router.search(corpus.queries, 5, nprobs=4)
+        router.close()
+        return bundle, expected
+
+    def test_mutable_bundle_reloads_locally(self, corpus, mutated_bundle):
+        bundle, expected = mutated_bundle
+        with ShardedJunoIndex.load(bundle) as reloaded:
+            assert reloaded.mutable
+            observed = reloaded.search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, observed)
+            # and it keeps accepting mutations
+            reloaded.upsert([6000], corpus.queries[1:2])
+            assert reloaded.search(corpus.queries[1:2], 5, nprobs=4).ids[0, 0] == 6000
+
+    def test_resident_workers_serve_and_mutate(self, corpus, mutated_bundle):
+        bundle, expected = mutated_bundle
+        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+            executor = resident.executor_spec
+            assert executor.mutable
+            observed = resident.search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, observed)
+
+            resident.upsert([7777], corpus.queries[1:2])
+            assert executor.ops_broadcast == 1
+            assert executor.op_log(7777 % 2)[0]["op"] == "upsert"
+            hit = resident.search(corpus.queries[1:2], 5, nprobs=4)
+            assert hit.ids[0, 0] == 7777
+
+            # replica consistency: two distinct batches (affinity may route
+            # them to different replicas) both see the mutation
+            other = resident.search(corpus.queries[1:3], 5, nprobs=4)
+            assert other.ids[0, 0] == 7777
+
+            # failover: kill a replica of the owning shard mid-batch; the
+            # survivor serves the mutated state bit-identically
+            executor.inject_failure(7777 % 2)
+            survivor = resident.search(corpus.queries[1:2], 5, nprobs=4)
+            assert search_results_equal(hit, survivor)
+            assert executor.retried_batches >= 1
+
+            # ops keep applying on the surviving replica
+            resident.delete([7777])
+            gone = resident.search(corpus.queries[1:2], 5, nprobs=4)
+            assert 7777 not in gone.ids
+
+    def test_make_resident_carries_the_mutable_flag(self, corpus, tmp_path):
+        """A mutable router switched to the resident runtime must boot its
+        workers from the mutable bundles it just saved (regression: the
+        executor defaulted to immutable and the warm-up ping failed)."""
+        router = _train_mutable_router(corpus)
+        router.upsert([4242], corpus.queries[:1])
+        expected = router.search(corpus.queries, 5, nprobs=4)
+        router.make_resident(tmp_path / "mutable-resident", num_replicas=1)
+        try:
+            assert router.executor_spec.mutable
+            observed = router.search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, observed)
+            router.delete([4242])
+            assert 4242 not in router.search(corpus.queries, 5, nprobs=4).ids
+        finally:
+            router.close()
+
+    def test_apply_ops_requires_mutable_deployment(self, corpus, tmp_path):
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=2, executor="sequential", **_settings()
+        ).train(corpus.points)
+        bundle = router.save(tmp_path / "frozen")
+        router.close()
+        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+            with pytest.raises(RuntimeError, match="immutable bundle"):
+                resident.executor_spec.apply_ops(0, [{"op": "compact"}])
+
+    def test_apply_ops_fails_over_to_survivors_and_exhausts(self, corpus, mutated_bundle):
+        bundle, _ = mutated_bundle
+        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+            executor = resident.executor_spec
+            executor.inject_failure(0, replica_id=0)
+            report = executor.apply_ops(0, [{"op": "upsert", "ids": np.array([8000]),
+                                             "vectors": corpus.queries[:1]}])
+            assert report["live"] > 0
+            assert executor.alive_replicas(0) == [1]
+            executor.inject_failure(0, replica_id=1)
+            with pytest.raises(WorkerFailoverError, match="no surviving replica"):
+                executor.apply_ops(0, [{"op": "compact"}])
+
+
+class TestCacheAffinityRouting:
+    def test_repeat_batches_hit_the_same_workers_cache(self, corpus, tmp_path):
+        """With R=2 and affinity on, an exact repeat batch must land on the
+        replica that served it before -- observable as stage-cache hits that
+        pure round-robin (which alternates replicas) cannot produce."""
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=2, executor="sequential", **_settings()
+        ).train(corpus.points)
+        bundle = router.save(tmp_path / "affinity")
+        router.close()
+        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+            assert resident.executor_spec.affinity
+            first = resident.search(corpus.queries, 5, nprobs=4)
+            second = resident.search(corpus.queries, 5, nprobs=4)
+            assert first.extra["stage_cache"]["coarse_filter"] == {"hits": 0, "misses": 2}
+            assert second.extra["stage_cache"]["coarse_filter"] == {"hits": 2, "misses": 0}
+            assert second.extra["stage_cache"]["rt_select"] == {"hits": 2, "misses": 0}
+            # a different batch routes (and caches) independently
+            third = resident.search(corpus.queries[:4], 5, nprobs=4)
+            assert third.extra["stage_cache"]["coarse_filter"]["misses"] == 2
+
+    def test_affinity_falls_back_on_replica_death(self, corpus, tmp_path):
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=1, executor="sequential", **_settings()
+        ).train(corpus.points)
+        expected = router.search(corpus.queries, 5, nprobs=4)
+        bundle = router.save(tmp_path / "fallback")
+        router.close()
+        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+            executor = resident.executor_spec
+            resident.search(corpus.queries, 5, nprobs=4)
+            executor.inject_failure(0)  # whichever replica the batch prefers
+            failover = resident.search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, failover)
+            # the repeat batch now consistently maps to the survivor
+            again = resident.search(corpus.queries, 5, nprobs=4)
+            assert search_results_equal(expected, again)
+            assert len(executor.alive_replicas(0)) == 1
+
+    def test_affinity_can_be_disabled(self, corpus, tmp_path):
+        router = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=1, executor="sequential", **_settings()
+        ).train(corpus.points)
+        bundle = router.save(tmp_path / "rr")
+        router.close()
+        executor = ResidentProcessShardExecutor(bundle, num_replicas=2, affinity=False)
+        try:
+            # round-robin alternates replicas, so the exact repeat batch
+            # cannot hit the first replica's warm cache
+            r1 = executor.search_shards([None], corpus.queries, 5, {"nprobs": 4})
+            r2 = executor.search_shards([None], corpus.queries, 5, {"nprobs": 4})
+            assert r1[0].extra["stage_cache"]["coarse_filter"]["misses"] == 1
+            assert r2[0].extra["stage_cache"]["coarse_filter"]["misses"] == 1
+        finally:
+            executor.close()
+
+
+class TestMixedClosedLoop:
+    """The freshness harness: concurrent readers + writers over one engine."""
+
+    def _mutable_engine(self, corpus):
+        from repro.core.config import JunoConfig
+        from repro.core.index import JunoIndex
+
+        mutable = MutableJunoIndex(
+            JunoIndex(JunoConfig(num_subspaces=corpus.dim // 2, **_settings())).train(
+                corpus.points
+            ),
+            corpus.points,
+        )
+        return ServingEngine(mutable, label="mutable")
+
+    def test_mixed_loop_reports_freshness_and_zero_stale_reads(self, corpus):
+        from repro.bench.harness import run_mixed_closed_loop
+
+        report = run_mixed_closed_loop(
+            self._mutable_engine(corpus),
+            corpus.queries,
+            id_start=corpus.num_points + 100,
+            k=5,
+            num_readers=3,
+            num_writers=2,
+            reads_per_client=4,
+            writes_per_writer=3,
+            nprobs=4,
+        )
+        assert report.num_reads == 12
+        assert report.num_upserts == 6 and report.num_deletes == 4
+        # read-your-writes through the shared batching front-end
+        assert report.visible_fraction == 1.0
+        assert report.stale_reads == 0
+        assert report.freshness_mean_s > 0.0
+        assert report.read_qps > 0 and report.write_ops_per_s > 0
+        payload = report.to_json_dict()
+        assert payload["stale_reads"] == 0 and payload["visible_fraction"] == 1.0
+
+    def test_mixed_loop_validates_inputs(self, corpus, juno_l2, l2_dataset):
+        from repro.bench.harness import run_mixed_closed_loop
+
+        with pytest.raises(TypeError, match="upsert/delete"):
+            run_mixed_closed_loop(juno_l2, l2_dataset.queries, id_start=10_000)
+        engine = self._mutable_engine(corpus)
+        with pytest.raises(ValueError, match="num_readers"):
+            run_mixed_closed_loop(engine, corpus.queries, id_start=10_000, num_readers=0)
+        with pytest.raises(ValueError, match="writes_per_writer"):
+            run_mixed_closed_loop(
+                engine, corpus.queries, id_start=10_000, writes_per_writer=0
+            )
+
+
+class TestEngineMutationAPI:
+    def test_engine_routes_mutations_to_mutable_backends(self, corpus):
+        from repro.core.config import JunoConfig
+        from repro.core.index import JunoIndex
+
+        mutable = MutableJunoIndex(
+            JunoIndex(JunoConfig(num_subspaces=corpus.dim // 2, **_settings())).train(
+                corpus.points
+            ),
+            corpus.points,
+            policy=RebuildPolicy(delta_capacity=16),
+        )
+        engine = ServingEngine(mutable)
+        assert engine.backend == "mutable-juno"
+        assert engine.supports_updates
+        engine.upsert([9000], corpus.queries[:1])
+        result = engine.search(corpus.queries[:1], k=5, nprobs=4)
+        assert result.ids[0, 0] == 9000
+        engine.delete([9000])
+        assert 9000 not in engine.search(corpus.queries[:1], k=5, nprobs=4).ids
+
+    def test_engine_rejects_mutations_on_frozen_backends(self, corpus, juno_l2):
+        engine = ServingEngine(juno_l2)
+        assert not engine.supports_updates
+        with pytest.raises(TypeError, match="streaming updates"):
+            engine.upsert([1], corpus.queries[:1])
+        sharded = ShardedJunoIndex.from_dim(
+            corpus.dim, num_shards=2, executor="sequential", **_settings()
+        ).train(corpus.points)
+        frozen = ServingEngine(sharded)
+        assert not frozen.supports_updates
+        with pytest.raises(TypeError, match="streaming updates"):
+            frozen.delete([1])
+        sharded.close()
