@@ -1,0 +1,130 @@
+"""Chaos/recovery benchmark: kill resident workers mid-workload, heal, verify.
+
+The closed-loop benchmarks measure the serving stack when nothing goes
+wrong; this one measures what the self-healing layer
+(:mod:`repro.serving.recovery`) guarantees when workers die.  A 2-shard
+mutable deployment is saved once and loaded twice from the same bundle:
+
+* the **chaos** deployment runs resident workers with two replicas per
+  shard and a :class:`~repro.serving.recovery.ReplicaSupervisor`;
+* the **control** deployment runs the unkilled thread executor.
+
+:func:`~repro.bench.harness.run_chaos_recovery` then drives concurrent
+closed-loop readers plus one deterministic writer (every op applied to both
+deployments), crashes a replica mid-``apply_ops`` broadcast before selected
+write cycles, and lets the supervisor respawn it from the shard bundle and
+replay the op log.  The run must end with zero stale reads, bit-identical
+results versus the control run, one state digest per shard's replica set,
+and every recovery inside the stated bound.
+
+Results land in ``BENCH_serving.json`` (section ``recovery``) so recovery
+time and replay volume are tracked across PRs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_chaos_recovery
+from repro.bench.report import emit, format_table, update_bench_json
+from repro.serving import (
+    AdmissionPolicy,
+    ReplicaPolicy,
+    ReplicaSupervisor,
+    ServingConfig,
+    ShardedJunoIndex,
+)
+from repro.updates import RebuildPolicy
+
+NUM_READERS = 4
+READS_PER_CLIENT = 8
+NUM_WRITES = 10
+KILL_BEFORE_WRITE = (2, 6)
+RECOVERY_BOUND_S = 60.0
+K = 10
+MAX_WAIT_S = 0.002
+MAX_QUEUE_DEPTH = 64
+
+
+def test_chaos_recovery(deep_workload, benchmark, tmp_path):
+    dataset = deep_workload.dataset
+    config = deep_workload.juno.config
+    id_start = dataset.num_points + 1_000
+
+    sharded = ShardedJunoIndex.from_dim(
+        dataset.dim,
+        num_shards=2,
+        num_clusters=config.num_clusters,
+        num_entries=config.num_entries,
+        num_threshold_samples=32,
+        kmeans_iters=6,
+        seed=7,
+    )
+    sharded.train(dataset.points)
+    sharded.enable_updates(points=dataset.points, policy=RebuildPolicy(delta_capacity=64))
+    bundle = sharded.save(tmp_path / "chaos-deployment")
+    sharded.close()
+
+    chaos = ShardedJunoIndex.load(
+        bundle,
+        ServingConfig(
+            executor="resident",
+            replicas=ReplicaPolicy(num_replicas=2),
+            admission=AdmissionPolicy(max_queue_depth=MAX_QUEUE_DEPTH),
+            label="JUNO x2 resident R=2",
+        ),
+    )
+    control = ShardedJunoIndex.load(bundle, ServingConfig(executor="thread"))
+    supervisor = ReplicaSupervisor(chaos)
+    with chaos, control:
+        report = benchmark.pedantic(
+            run_chaos_recovery,
+            args=(chaos, supervisor, control, dataset.queries, id_start),
+            kwargs=dict(
+                k=K,
+                num_readers=NUM_READERS,
+                reads_per_client=READS_PER_CLIENT,
+                num_writes=NUM_WRITES,
+                kill_before_write=KILL_BEFORE_WRITE,
+                recovery_bound_s=RECOVERY_BOUND_S,
+                max_wait_s=MAX_WAIT_S,
+                admission=AdmissionPolicy(max_queue_depth=MAX_QUEUE_DEPTH),
+                label="JUNO x2 resident R=2",
+                nprobs=8,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+
+    emit()
+    emit(
+        format_table(
+            [
+                {
+                    "system": report.label,
+                    "kills": report.kills_injected,
+                    "recoveries": len(report.recoveries),
+                    "ops_replayed": report.ops_replayed,
+                    "recovery_max_ms": report.recovery_max_s * 1e3,
+                    "stale": report.stale_reads,
+                    "match": report.results_match_control,
+                    "consistent": report.replicas_consistent,
+                    "read_qps": report.read_qps,
+                }
+            ],
+            title=f"Chaos recovery [{dataset.name}]: {NUM_READERS} readers + 1 writer, "
+            f"kills before writes {KILL_BEFORE_WRITE}",
+        )
+    )
+    update_bench_json("recovery", report.to_json_dict())
+
+    # The self-healing acceptance gate: every kill was healed by a respawn
+    # with op-log catch-up, no reader ever saw a deleted id, and the healed
+    # deployment is bit-identical to the run where nothing died.
+    assert report.kills_injected == len(KILL_BEFORE_WRITE)
+    assert len(report.recoveries) >= report.kills_injected
+    assert report.stale_reads == 0
+    assert report.results_match_control
+    assert report.replicas_consistent
+    assert report.recovery_within_bound, (
+        f"recovery took {report.recovery_max_s:.3f}s, bound {RECOVERY_BOUND_S}s"
+    )
+    assert report.healthy

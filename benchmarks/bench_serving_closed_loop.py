@@ -69,7 +69,7 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
         seed=7,
     )
     sharded.train(dataset.points)
-    sharded.make_resident(tmp_path / "resident-deployment", num_replicas=1)
+    sharded.make_resident(tmp_path / "resident-deployment")
     with sharded, ServingEngine(sharded, label="JUNO x2 resident") as resident_engine:
         resident_report = run_closed_loop(
             resident_engine,

@@ -26,6 +26,8 @@ from pathlib import Path
 from repro import (
     CostModel,
     ExactSearch,
+    ReplicaPolicy,
+    ServingConfig,
     ServingEngine,
     ShardedJunoIndex,
     make_deep_like,
@@ -99,7 +101,10 @@ def main() -> None:
     #    once; afterwards only query arrays cross the process boundary) and
     #    serve concurrent asyncio clients through `await submit(query)`.
     with tempfile.TemporaryDirectory() as tmp:
-        serving.make_resident(Path(tmp) / "resident", num_replicas=2)
+        serving.make_resident(
+            Path(tmp) / "resident",
+            ServingConfig(executor="resident", replicas=ReplicaPolicy(num_replicas=2)),
+        )
         # the engine context shuts the resident worker processes down even if
         # a step below fails (engine.close() -> router.close() -> executor)
         with ServingEngine(serving, label="JUNO resident") as resident_engine:

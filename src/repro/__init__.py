@@ -38,11 +38,18 @@ from repro.pipeline import (
     default_search_pipeline,
 )
 from repro.serving import (
+    AdmissionPolicy,
     AsyncBatchingScheduler,
     BatchingScheduler,
     EngineResult,
+    OverloadError,
+    RecoveryError,
+    ReplicaPolicy,
+    ReplicaSupervisor,
     ResidentProcessShardExecutor,
+    ServingConfig,
     ServingEngine,
+    ServingError,
     ShardedJunoIndex,
     load_index,
     save_index,
@@ -79,11 +86,18 @@ __all__ = [
     "QueryContext",
     "QueryPipeline",
     "default_search_pipeline",
+    "AdmissionPolicy",
     "AsyncBatchingScheduler",
     "BatchingScheduler",
+    "OverloadError",
+    "RecoveryError",
+    "ReplicaPolicy",
+    "ReplicaSupervisor",
     "ResidentProcessShardExecutor",
     "EngineResult",
+    "ServingConfig",
     "ServingEngine",
+    "ServingError",
     "ShardedJunoIndex",
     "MutableJunoIndex",
     "RebuildPolicy",

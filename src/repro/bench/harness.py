@@ -19,13 +19,16 @@ import numpy as np
 from repro.baselines.ivfpq import IVFPQIndex
 from repro.core.config import QualityMode
 from repro.core.index import JunoIndex
+from repro.errors import OverloadError
 from repro.gpu.cost_model import CostModel
 from repro.metrics.qps import ThroughputRecord, pareto_frontier
 from repro.metrics.recall import recall_k_at_n
 from repro.pipeline.cache import StageCache
 from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
 from repro.serving.async_scheduler import AsyncBatchingScheduler
+from repro.serving.config import AdmissionPolicy
 from repro.serving.engine import ServingEngine
+from repro.serving.persistence import search_results_equal
 from repro.serving.shard import ShardedJunoIndex
 
 
@@ -291,6 +294,11 @@ class ClosedLoopReport:
         mean_batch_size: average queries per flushed batch.
         stage_cache: accumulated per-stage cache counters (empty when the
             engine ran uncached).
+        num_overloaded: requests the admission controller refused (rejected
+            at submit or shed from the queue); they complete no search and
+            contribute no latency sample.
+        admission: the scheduler's admission counters
+            (:meth:`~repro.serving.async_scheduler.AsyncBatchingScheduler.admission_stats`).
     """
 
     label: str
@@ -304,6 +312,8 @@ class ClosedLoopReport:
     num_batches: int
     mean_batch_size: float
     stage_cache: dict = field(default_factory=dict)
+    num_overloaded: int = 0
+    admission: dict = field(default_factory=dict)
 
     def cache_hit_rates(self) -> dict[str, float]:
         """Per-stage hit rates in ``[0, 1]`` from the accumulated counters."""
@@ -329,6 +339,8 @@ class ClosedLoopReport:
             "mean_batch_size": self.mean_batch_size,
             "stage_cache": {name: dict(counts) for name, counts in self.stage_cache.items()},
             "cache_hit_rates": self.cache_hit_rates(),
+            "num_overloaded": self.num_overloaded,
+            "admission": dict(self.admission),
         }
 
 
@@ -342,6 +354,7 @@ def run_closed_loop(
     max_wait_s: float = 0.002,
     label: str | None = None,
     clock=time.perf_counter,
+    admission: AdmissionPolicy | None = None,
     **search_params,
 ) -> ClosedLoopReport:
     """Drive an engine with concurrent closed-loop clients; report QPS/latency.
@@ -359,6 +372,12 @@ def run_closed_loop(
     ``max_batch_size`` defaults to ``num_clients`` -- with every client
     blocked awaiting, that is the largest batch a closed loop can form, so
     full batches flush on size and stragglers flush on ``max_wait_s``.
+
+    ``admission`` bounds the scheduler's queue
+    (:class:`~repro.serving.config.AdmissionPolicy`): a refused request
+    raises :class:`~repro.errors.OverloadError` at (or after) submit; the
+    client counts it and moves on, and the report carries the scheduler's
+    admission counters.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
@@ -368,12 +387,17 @@ def run_closed_loop(
     if max_batch_size is None:
         max_batch_size = num_clients
     latencies: list[float] = []
+    overloaded = [0]
 
     async def _client(client_id: int, scheduler: AsyncBatchingScheduler) -> None:
         for request in range(requests_per_client):
             query = queries[(client_id + request * num_clients) % queries.shape[0]]
             started = clock()
-            await scheduler.submit(query)
+            try:
+                await scheduler.submit(query)
+            except OverloadError:
+                overloaded[0] += 1
+                continue
             latencies.append(clock() - started)
 
     async def _run() -> ClosedLoopReport:
@@ -383,6 +407,7 @@ def run_closed_loop(
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             clock=clock,
+            admission=admission,
             **search_params,
         ) as scheduler:
             started = clock()
@@ -398,15 +423,17 @@ def run_closed_loop(
                 num_requests=int(lat.size),
                 wall_s=float(wall),
                 qps=float(lat.size / wall),
-                latency_p50_s=float(np.percentile(lat, 50)),
-                latency_p99_s=float(np.percentile(lat, 99)),
-                latency_mean_s=float(lat.mean()),
+                latency_p50_s=float(np.percentile(lat, 50)) if lat.size else float("nan"),
+                latency_p99_s=float(np.percentile(lat, 99)) if lat.size else float("nan"),
+                latency_mean_s=float(lat.mean()) if lat.size else float("nan"),
                 num_batches=stats.num_batches,
                 mean_batch_size=stats.mean_batch_size,
                 stage_cache={
                     name: dict(counts)
                     for name, counts in scheduler.stage_cache_counters.items()
                 },
+                num_overloaded=overloaded[0],
+                admission=scheduler.admission_stats(),
             )
 
     return asyncio.run(_run())
@@ -439,6 +466,8 @@ class MixedLoopReport:
             budget (1.0 = perfect read-your-writes).
         stale_reads: probes that returned a deleted id (must be 0).
         num_batches / mean_batch_size: batching-front-end statistics.
+        num_overloaded: reads/probes the admission controller refused.
+        admission: the scheduler's admission counters.
     """
 
     label: str
@@ -459,6 +488,8 @@ class MixedLoopReport:
     stale_reads: int
     num_batches: int
     mean_batch_size: float
+    num_overloaded: int = 0
+    admission: dict = field(default_factory=dict)
 
     def to_json_dict(self) -> dict:
         """A JSON-serialisable summary for ``BENCH_serving.json``."""
@@ -481,6 +512,8 @@ class MixedLoopReport:
             "stale_reads": self.stale_reads,
             "num_batches": self.num_batches,
             "mean_batch_size": self.mean_batch_size,
+            "num_overloaded": self.num_overloaded,
+            "admission": dict(self.admission),
         }
 
 
@@ -499,6 +532,7 @@ def run_mixed_closed_loop(
     label: str | None = None,
     clock=time.perf_counter,
     seed: int = 0,
+    admission: AdmissionPolicy | None = None,
     **search_params,
 ) -> MixedLoopReport:
     """Drive a mutable engine with concurrent readers and writers.
@@ -544,13 +578,23 @@ def run_mixed_closed_loop(
     stale_reads = [0]
     upserts = [0]
     deletes = [0]
+    overloaded = [0]
+
+    async def _probe(scheduler: AsyncBatchingScheduler, vector: np.ndarray):
+        """One scheduler round trip; an overloaded probe reports no ids."""
+        try:
+            return await scheduler.submit(vector)
+        except OverloadError:
+            overloaded[0] += 1
+            return None, None
 
     async def _reader(client_id: int, scheduler: AsyncBatchingScheduler) -> None:
         for request in range(reads_per_client):
             query = queries[(client_id + request * num_readers) % queries.shape[0]]
             started = clock()
-            await scheduler.submit(query)
-            read_latencies.append(clock() - started)
+            ids, _scores = await _probe(scheduler, query)
+            if ids is not None:
+                read_latencies.append(clock() - started)
 
     async def _writer(writer_id: int, scheduler: AsyncBatchingScheduler) -> None:
         previous: tuple[int, np.ndarray] | None = None
@@ -562,8 +606,8 @@ def run_mixed_closed_loop(
             engine.upsert([new_id], vector[None, :])
             upserts[0] += 1
             for _ in range(visibility_probes):
-                ids, _scores = await scheduler.submit(vector)
-                if new_id in ids:
+                ids, _scores = await _probe(scheduler, vector)
+                if ids is not None and new_id in ids:
                     freshness.append(clock() - written_at)
                     visible[0] += 1
                     break
@@ -571,8 +615,8 @@ def run_mixed_closed_loop(
                 old_id, old_vector = previous
                 engine.delete([old_id])
                 deletes[0] += 1
-                ids, _scores = await scheduler.submit(old_vector)
-                if old_id in ids:
+                ids, _scores = await _probe(scheduler, old_vector)
+                if ids is not None and old_id in ids:
                     stale_reads[0] += 1
             previous = (new_id, vector)
 
@@ -583,6 +627,7 @@ def run_mixed_closed_loop(
             max_batch_size=max_batch_size,
             max_wait_s=max_wait_s,
             clock=clock,
+            admission=admission,
             **search_params,
         ) as scheduler:
             started = clock()
@@ -605,18 +650,277 @@ def run_mixed_closed_loop(
                 wall_s=float(wall),
                 read_qps=float(lat.size / wall),
                 write_ops_per_s=float(writes / wall),
-                latency_p50_s=float(np.percentile(lat, 50)),
-                latency_p99_s=float(np.percentile(lat, 99)),
-                latency_mean_s=float(lat.mean()),
+                latency_p50_s=float(np.percentile(lat, 50)) if lat.size else float("nan"),
+                latency_p99_s=float(np.percentile(lat, 99)) if lat.size else float("nan"),
+                latency_mean_s=float(lat.mean()) if lat.size else float("nan"),
                 freshness_mean_s=float(fresh.mean()) if fresh.size else float("nan"),
                 freshness_max_s=float(fresh.max()) if fresh.size else float("nan"),
                 visible_fraction=float(visible[0] / max(upserts[0], 1)),
                 stale_reads=stale_reads[0],
                 num_batches=stats.num_batches,
                 mean_batch_size=stats.mean_batch_size,
+                num_overloaded=overloaded[0],
+                admission=scheduler.admission_stats(),
             )
 
     return asyncio.run(_run())
+
+
+@dataclass
+class ChaosRecoveryReport:
+    """Measured behaviour of one chaos run: kills under mixed load, healed.
+
+    The self-healing acceptance report: workers are killed mid mixed
+    read/write workload, the :class:`~repro.serving.recovery.ReplicaSupervisor`
+    respawns them from their shard bundles and replays the op log, and the
+    run ends with three correctness verdicts -- no stale read was ever
+    served, the chaos deployment's final results are bit-identical to an
+    unkilled control run fed the same op sequence, and every shard's live
+    replicas report one state digest.
+
+    Attributes:
+        label: engine label the run measured.
+        num_readers / num_reads: closed-loop read side of the workload.
+        num_upserts / num_deletes: write ops applied (to chaos *and* control).
+        kills_injected: worker crashes injected mid-run.
+        recoveries: completed respawns, as
+            :meth:`~repro.serving.recovery.RecoveryEvent.to_json_dict` rows.
+        ops_replayed: op-log records replayed across all recoveries.
+        recovery_max_s: slowest detection-to-readmission recovery.
+        recovery_bound_s: the bound the run was measured against.
+        recovery_within_bound: every recovery finished inside the bound.
+        stale_reads: probes that returned a deleted id (must be 0).
+        results_match_control: final full-batch search of the chaos
+            deployment is bit-identical to the control run.
+        replicas_consistent: every shard's live replicas share one digest.
+        wall_s / read_qps: workload timing.
+        num_overloaded / admission: admission-control counters (when a
+            bounded :class:`~repro.serving.config.AdmissionPolicy` ran).
+    """
+
+    label: str
+    num_readers: int
+    num_reads: int
+    num_upserts: int
+    num_deletes: int
+    kills_injected: int
+    recoveries: list = field(default_factory=list)
+    ops_replayed: int = 0
+    recovery_max_s: float = 0.0
+    recovery_bound_s: float = 0.0
+    recovery_within_bound: bool = True
+    stale_reads: int = 0
+    results_match_control: bool = False
+    replicas_consistent: bool = False
+    wall_s: float = 0.0
+    read_qps: float = 0.0
+    num_overloaded: int = 0
+    admission: dict = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """All correctness verdicts at once (the chaos pass/fail line)."""
+        return (
+            self.stale_reads == 0
+            and self.results_match_control
+            and self.replicas_consistent
+            and self.recovery_within_bound
+            and len(self.recoveries) >= self.kills_injected > 0
+        )
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable summary for ``BENCH_serving.json``."""
+        return {
+            "label": self.label,
+            "num_readers": self.num_readers,
+            "num_reads": self.num_reads,
+            "num_upserts": self.num_upserts,
+            "num_deletes": self.num_deletes,
+            "kills_injected": self.kills_injected,
+            "recoveries": [dict(event) for event in self.recoveries],
+            "ops_replayed": self.ops_replayed,
+            "recovery_max_s": self.recovery_max_s,
+            "recovery_bound_s": self.recovery_bound_s,
+            "recovery_within_bound": self.recovery_within_bound,
+            "stale_reads": self.stale_reads,
+            "results_match_control": self.results_match_control,
+            "replicas_consistent": self.replicas_consistent,
+            "healthy": self.healthy,
+            "wall_s": self.wall_s,
+            "read_qps": self.read_qps,
+            "num_overloaded": self.num_overloaded,
+            "admission": dict(self.admission),
+        }
+
+
+def run_chaos_recovery(
+    engine,
+    supervisor,
+    control,
+    queries: np.ndarray,
+    id_start: int,
+    k: int = 10,
+    num_readers: int = 4,
+    reads_per_client: int = 12,
+    num_writes: int = 10,
+    kill_before_write: tuple[int, ...] = (2, 6),
+    recovery_bound_s: float = 60.0,
+    max_batch_size: int | None = None,
+    max_wait_s: float = 0.002,
+    visibility_probes: int = 8,
+    label: str | None = None,
+    clock=time.perf_counter,
+    seed: int = 0,
+    admission: AdmissionPolicy | None = None,
+    **search_params,
+) -> ChaosRecoveryReport:
+    """Kill replicas mid mixed read/write workload and verify the healing.
+
+    The chaos drill behind the self-healing guarantees: ``num_readers``
+    closed-loop clients stream queries through a batching scheduler while a
+    **single deterministic writer** applies ``num_writes`` upsert/delete
+    cycles -- each op is applied to the chaos ``engine`` *and* to an unkilled
+    ``control`` deployment loaded from the same bundle, so the op sequences
+    are identical by construction.  Immediately before the write cycles in
+    ``kill_before_write``, a replica of the owning shard is poisoned
+    (:meth:`~repro.serving.routing.ResidentProcessShardExecutor.inject_failure`),
+    so the very next op broadcast crashes a worker mid-``apply_ops``; the
+    ``supervisor`` then sweeps, respawns the dead worker from its bundle,
+    replays the retained op log, and re-admits it.  Writer cycles end with
+    ``supervisor.maintain()`` / ``control.maybe_compact()`` in lockstep, so
+    scheduled compaction triggers identically on both sides.
+
+    The writer is single on purpose: concurrent writers would interleave
+    nondeterministically against the control run and void the bit-identity
+    verdict.  Readers are the concurrency -- they race the kills and the
+    catch-up and must never observe a deleted id.
+
+    Args:
+        engine: the chaos deployment -- a mutable resident
+            :class:`~repro.serving.shard.ShardedJunoIndex` (or a
+            :class:`~repro.serving.engine.ServingEngine` over one).
+        supervisor: a :class:`~repro.serving.recovery.ReplicaSupervisor`
+            built over ``engine``'s router (so :meth:`maintain` works).
+        control: an unkilled deployment of the same bundle (any executor)
+            receiving the same op sequence; the bit-identity reference.
+        queries: reader query pool, also the template pool for writes.
+        id_start: first global id the writer may allocate.
+        kill_before_write: write-cycle indexes that start with a kill.
+        recovery_bound_s: recovery-time bound the report is judged against.
+    """
+    if num_readers <= 0 or reads_per_client <= 0:
+        raise ValueError("num_readers and reads_per_client must be positive")
+    if num_writes <= 0:
+        raise ValueError("num_writes must be positive")
+    kill_set = {int(cycle) for cycle in kill_before_write}
+    out_of_range = sorted(cycle for cycle in kill_set if not 0 <= cycle < num_writes)
+    if out_of_range:
+        raise ValueError(f"kill_before_write cycles {out_of_range} not in [0, {num_writes})")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if max_batch_size is None:
+        max_batch_size = num_readers + 1
+    executor = supervisor.executor
+    rng = np.random.default_rng(seed)
+    jitter = 1e-3 * rng.standard_normal((num_writes, queries.shape[1]))
+    read_latencies: list[float] = []
+    stale_reads = [0]
+    upserts = [0]
+    deletes = [0]
+    kills = [0]
+    overloaded = [0]
+
+    async def _probe(scheduler: AsyncBatchingScheduler, vector: np.ndarray):
+        try:
+            return await scheduler.submit(vector)
+        except OverloadError:
+            overloaded[0] += 1
+            return None, None
+
+    async def _reader(client_id: int, scheduler: AsyncBatchingScheduler) -> None:
+        for request in range(reads_per_client):
+            query = queries[(client_id + request * num_readers) % queries.shape[0]]
+            started = clock()
+            ids, _scores = await _probe(scheduler, query)
+            if ids is not None:
+                read_latencies.append(clock() - started)
+
+    async def _writer(scheduler: AsyncBatchingScheduler) -> None:
+        previous: tuple[int, np.ndarray] | None = None
+        for cycle in range(num_writes):
+            if cycle in kill_set:
+                # Poison a replica of the shard this cycle's upsert owns: the
+                # op broadcast below crashes it mid-apply_ops.
+                executor.inject_failure((id_start + cycle) % executor.num_shards)
+                kills[0] += 1
+            new_id = int(id_start + cycle)
+            vector = queries[cycle % queries.shape[0]] + jitter[cycle]
+            engine.upsert([new_id], vector[None, :])
+            control.upsert([new_id], vector[None, :])
+            upserts[0] += 1
+            for _ in range(visibility_probes):
+                ids, _scores = await _probe(scheduler, vector)
+                if ids is not None and new_id in ids:
+                    break
+            if previous is not None:
+                old_id, old_vector = previous
+                engine.delete([old_id])
+                control.delete([old_id])
+                deletes[0] += 1
+                ids, _scores = await _probe(scheduler, old_vector)
+                if ids is not None and old_id in ids:
+                    stale_reads[0] += 1
+            # Scheduled maintenance, in lockstep with the control run: both
+            # sides saw the same ops, so compaction triggers identically.
+            supervisor.maintain()
+            control.maybe_compact()
+            # Heal: respawn whatever died this cycle (probing catches workers
+            # that crashed with no in-flight future to fail).
+            supervisor.scan(probe=True)
+            previous = (new_id, vector)
+
+    async def _run() -> tuple[float, dict]:
+        async with AsyncBatchingScheduler(
+            engine,
+            k=k,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            clock=clock,
+            admission=admission,
+            **search_params,
+        ) as scheduler:
+            started = clock()
+            await asyncio.gather(
+                *(_reader(client_id, scheduler) for client_id in range(num_readers)),
+                _writer(scheduler),
+            )
+            wall = max(clock() - started, 1e-12)
+            return wall, scheduler.admission_stats()
+
+    wall, admission_stats = asyncio.run(_run())
+    supervisor.scan(probe=True)  # heal any straggler before the verdicts
+    final_chaos = engine.search(queries, k, **search_params)
+    final_control = control.search(queries, k, **search_params)
+    durations = [event.duration_s for event in supervisor.events]
+    return ChaosRecoveryReport(
+        label=label if label is not None else getattr(engine, "label", "engine"),
+        num_readers=num_readers,
+        num_reads=len(read_latencies),
+        num_upserts=upserts[0],
+        num_deletes=deletes[0],
+        kills_injected=kills[0],
+        recoveries=[event.to_json_dict() for event in supervisor.events],
+        ops_replayed=sum(event.ops_replayed for event in supervisor.events),
+        recovery_max_s=max(durations) if durations else 0.0,
+        recovery_bound_s=recovery_bound_s,
+        recovery_within_bound=all(d <= recovery_bound_s for d in durations),
+        stale_reads=stale_reads[0],
+        results_match_control=search_results_equal(final_chaos, final_control),
+        replicas_consistent=supervisor.replicas_consistent(),
+        wall_s=float(wall),
+        read_qps=float(len(read_latencies) / wall),
+        num_overloaded=overloaded[0],
+        admission=admission_stats,
+    )
 
 
 def speedup_summary(

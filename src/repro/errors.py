@@ -1,0 +1,43 @@
+"""The unified typed error hierarchy of the serving stack.
+
+Every failure the serving layers raise deliberately -- a corrupt bundle, a
+torn write-ahead log, a shard with no surviving replica, an overloaded
+admission queue, a respawn that cannot catch up -- derives from one base,
+:class:`ServingError`, so callers that want blanket handling catch a single
+type while callers that care distinguish the concrete subclasses
+(:class:`~repro.serving.persistence.PersistenceError`,
+:class:`~repro.updates.wal.WalError`,
+:class:`~repro.serving.routing.WorkerFailoverError`,
+:class:`OverloadError`, :class:`RecoveryError`).
+
+This module lives at the package root, below both :mod:`repro.serving` and
+:mod:`repro.updates`, because the two packages import each other's modules
+(the serving engine serves mutable indexes; mutable persistence lives in the
+serving package) -- a shared base inside either package would complete that
+cycle.  :class:`ServingError` extends :class:`RuntimeError` so pre-existing
+``except RuntimeError`` call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base of every typed error raised by the serving stack."""
+
+
+class OverloadError(ServingError):
+    """An admission-controlled queue rejected or shed a query under load.
+
+    Raised by :class:`~repro.serving.async_scheduler.AsyncBatchingScheduler`
+    when its :class:`~repro.serving.config.AdmissionPolicy` bounds the
+    pending queue: either the submitting client is rejected outright
+    (``overload="reject"``) or the oldest queued client's future fails so
+    the fresh query can be admitted (``overload="shed_oldest"``).
+    """
+
+
+class RecoveryError(ServingError):
+    """A dead replica could not be respawned or caught up from the op log."""
+
+
+__all__ = ["OverloadError", "RecoveryError", "ServingError"]

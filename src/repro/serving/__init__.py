@@ -18,9 +18,20 @@ which dispatches query-only payloads to the **worker runtime**
 (:mod:`repro.serving.runtime`: processes that load their shard from a
 per-shard bundle once and keep it -- plus a private stage cache -- resident
 for their lifetime).
+
+Deployments are described by a typed, frozen
+:class:`~repro.serving.config.ServingConfig` (with nested
+:class:`~repro.serving.config.ReplicaPolicy` and
+:class:`~repro.serving.config.AdmissionPolicy`); the kwargs they replaced
+survive as deprecated shims.  Failures share one exception hierarchy rooted
+at :class:`~repro.errors.ServingError`, and the self-healing loop --
+dead-replica detection, respawn from bundle, op-log catch-up, re-admission
+-- lives in :mod:`repro.serving.recovery`.
 """
 
+from repro.errors import OverloadError, RecoveryError, ServingError
 from repro.serving.async_scheduler import AsyncBatchingScheduler
+from repro.serving.config import AdmissionPolicy, ReplicaPolicy, ServingConfig
 from repro.serving.engine import EngineResult, ServingEngine
 from repro.serving.executors import (
     ProcessShardExecutor,
@@ -39,6 +50,7 @@ from repro.serving.persistence import (
     search_results_equal,
     shard_bundle_path,
 )
+from repro.serving.recovery import RecoveryEvent, ReplicaSupervisor
 from repro.serving.routing import (
     ResidentProcessShardExecutor,
     WorkerFailoverError,
@@ -55,25 +67,35 @@ from repro.serving.shard import (
     ShardedJunoIndex,
     merge_shard_results,
 )
+from repro.updates.wal import WalError
 
 __all__ = [
+    "AdmissionPolicy",
     "AsyncBatchingScheduler",
     "BatchRecord",
     "BatchingScheduler",
     "EngineResult",
     "FORMAT_VERSION",
+    "OverloadError",
     "PersistenceError",
     "ProcessShardExecutor",
     "QueryTicket",
+    "RecoveryError",
+    "RecoveryEvent",
+    "ReplicaPolicy",
+    "ReplicaSupervisor",
     "ResidentProcessShardExecutor",
     "ResidentShardHandle",
     "ResidentWorker",
     "SchedulerStats",
     "SequentialShardExecutor",
+    "ServingConfig",
     "ServingEngine",
+    "ServingError",
     "ShardExecutor",
     "ShardedJunoIndex",
     "ThreadShardExecutor",
+    "WalError",
     "WorkerFailoverError",
     "load_index",
     "load_mutable_index",

@@ -26,6 +26,8 @@ import time
 
 import numpy as np
 
+from repro.errors import OverloadError
+from repro.serving.config import AdmissionPolicy
 from repro.serving.scheduler import (
     BatchRecord,
     SchedulerStats,
@@ -60,6 +62,16 @@ class AsyncBatchingScheduler:
         poll_interval_s: how often the background task re-checks the wait
             policy; defaults to a quarter of ``max_wait_s``.  Only the
             *check cadence* -- the policy itself reads ``clock``.
+        admission: optional
+            :class:`~repro.serving.config.AdmissionPolicy` bounding the
+            pending queue.  The flush-on-size policy already caps pending
+            queries at ``max_batch_size``; an admission policy bounds it
+            *tighter* and decides who pays for the overflow -- the
+            submitting client (``"reject"``: :meth:`submit` raises
+            :class:`~repro.errors.OverloadError`) or the oldest queued one
+            (``"shed_oldest"``: its future fails with the same typed error
+            and the fresh query is admitted).  Load-shedding counters are
+            reported by :meth:`admission_stats`.
         **search_params: extra keyword arguments forwarded to every batched
             search call.
 
@@ -78,6 +90,7 @@ class AsyncBatchingScheduler:
         max_wait_s: float = 0.01,
         clock=time.monotonic,
         poll_interval_s: float | None = None,
+        admission: AdmissionPolicy | None = None,
         **search_params,
     ) -> None:
         if k <= 0:
@@ -98,9 +111,16 @@ class AsyncBatchingScheduler:
             if poll_interval_s is not None
             else max(self.max_wait_s / 4.0, 1e-4)
         )
+        if admission is not None and not isinstance(admission, AdmissionPolicy):
+            raise TypeError("admission must be an AdmissionPolicy (or None)")
+        self.admission = admission
         self.search_params = dict(search_params)
         self.records: list[BatchRecord] = []
         self.stage_cache_counters: dict[str, dict[str, int]] = {}
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.peak_queue_depth = 0
         self._pending = _AsyncPending()
         self._flusher: asyncio.Task | None = None
         self._closed = False
@@ -121,11 +141,14 @@ class AsyncBatchingScheduler:
 
         Returns the query's read-only ``(ids, scores)`` rows.  Raises
         :class:`asyncio.CancelledError` if the scheduler is closed while the
-        query is still pending, and whatever the engine raised if its batch
-        search failed.
+        query is still pending, :class:`~repro.errors.OverloadError` if the
+        admission policy rejected this query (or, for a *queued* client,
+        when a later submit shed it), and whatever the engine raised if its
+        batch search failed.
         """
         if self._closed:
             raise RuntimeError("cannot submit to a closed AsyncBatchingScheduler")
+        self._admit()
         loop = asyncio.get_running_loop()
         query = np.asarray(query, dtype=np.float64).ravel()
         if not self._pending.queries:
@@ -133,6 +156,8 @@ class AsyncBatchingScheduler:
         future: asyncio.Future = loop.create_future()
         self._pending.queries.append(query)
         self._pending.futures.append(future)
+        self.admitted += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, self.num_pending)
         if self.num_pending >= self.max_batch_size:
             self._flush_pending()
         elif self.clock() - self._pending.opened_at >= self.max_wait_s:
@@ -158,6 +183,56 @@ class AsyncBatchingScheduler:
     async def flush(self) -> int:
         """Unconditionally execute the pending batch; returns its size."""
         return self._flush_pending()
+
+    # ------------------------------------------------------------- admission
+    def _admit(self) -> None:
+        """Apply the admission policy to one incoming submit.
+
+        Runs *before* the query is queued.  ``"reject"`` pushes the cost of
+        overload back onto the submitting client; ``"shed_oldest"`` fails
+        the head-of-line client instead (its answer is the stalest and so
+        the least likely to still matter) and lets the fresh query in.
+        """
+        if self.admission is None or not self.admission.bounded:
+            return
+        if self.num_pending < self.admission.max_queue_depth:
+            return
+        if self.admission.overload == "reject":
+            self.rejected += 1
+            raise OverloadError(
+                f"admission queue is full ({self.num_pending} pending >= "
+                f"max_queue_depth={self.admission.max_queue_depth})"
+            )
+        # shed_oldest: drop head-of-line entries until the fresh query fits.
+        while self.num_pending >= self.admission.max_queue_depth:
+            self._pending.queries.pop(0)
+            future = self._pending.futures.pop(0)
+            self.shed += 1
+            if not future.done():
+                future.set_exception(
+                    OverloadError(
+                        "query shed from an overloaded admission queue "
+                        f"(max_queue_depth={self.admission.max_queue_depth})"
+                    )
+                )
+
+    def admission_stats(self) -> dict:
+        """Counters of the admission policy (all zero when disabled).
+
+        Keys: ``admitted`` (queries that entered the queue), ``rejected``
+        (submits refused with :class:`~repro.errors.OverloadError`),
+        ``shed`` (queued clients failed to admit fresher traffic),
+        ``peak_queue_depth``, plus the policy's ``max_queue_depth`` /
+        ``overload`` (``None`` when no policy is installed).
+        """
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "peak_queue_depth": self.peak_queue_depth,
+            "max_queue_depth": self.admission.max_queue_depth if self.admission else None,
+            "overload": self.admission.overload if self.admission else None,
+        }
 
     # ------------------------------------------------------------- internals
     def _ensure_flusher(self, loop: asyncio.AbstractEventLoop) -> None:

@@ -39,6 +39,7 @@ from repro.baselines.ivfpq import IVFPQIndex
 from repro.core.index import JunoIndex
 from repro.gpu.cost_model import CostModel
 from repro.gpu.work import SearchWork
+from repro.serving.config import ServingConfig
 from repro.serving.scheduler import BatchingScheduler
 from repro.serving.shard import ShardedJunoIndex
 from repro.updates.mutable import MutableJunoIndex
@@ -134,12 +135,28 @@ class ServingEngine:
         index: a trained index of any supported family
             (:class:`JunoIndex`, :class:`ShardedJunoIndex`,
             :class:`IVFPQIndex`, :class:`ExactSearch`, :class:`HNSWIndex`).
-        label: display name; defaults to the backend family name.
+        label: display name; defaults to ``config.label`` and then to the
+            backend family name.
         cost_model: optional :class:`CostModel` enabling
             :meth:`modelled_qps`.
+        config: optional :class:`~repro.serving.config.ServingConfig`.  The
+            engine reads ``config.label`` (default display name) and
+            ``config.admission`` (default
+            :class:`~repro.serving.config.AdmissionPolicy` for schedulers
+            built by :meth:`serve_async`); the deployment-shaped fields
+            (``executor``, ``replicas``, ...) belong to
+            :meth:`ShardedJunoIndex.load` and are ignored here.
     """
 
-    def __init__(self, index, label: str | None = None, cost_model: CostModel | None = None):
+    def __init__(
+        self,
+        index,
+        label: str | None = None,
+        cost_model: CostModel | None = None,
+        config: ServingConfig | None = None,
+    ):
+        if config is not None and not isinstance(config, ServingConfig):
+            raise TypeError(f"config must be a ServingConfig, got {type(config).__name__}")
         for index_type, backend, adapter, accepted in _ADAPTERS:
             if isinstance(index, index_type):
                 self.index = index
@@ -149,6 +166,9 @@ class ServingEngine:
                 break
         else:
             raise TypeError(f"no serving adapter for index type {type(index).__name__}")
+        self.config = config
+        if label is None and config is not None:
+            label = config.label
         self.label = label if label is not None else self.backend
         self.cost_model = cost_model
 
@@ -186,6 +206,21 @@ class ServingEngine:
         if not self.supports_updates:
             raise TypeError(f"backend {self.backend!r} does not support streaming updates")
         return self.index.delete(ids)
+
+    def maybe_compact(self):
+        """Run the backend's explicit, schedulable compaction step.
+
+        Mutations never compact inline (see
+        :meth:`repro.updates.mutable.MutableJunoIndex.maybe_compact`); a
+        maintenance loop -- typically a
+        :class:`~repro.serving.recovery.ReplicaSupervisor` -- calls this
+        between batches instead.  Returns whatever the backend reports
+        (``bool`` for a single mutable index, compacted shard ids for the
+        sharded router).
+        """
+        if not self.supports_updates:
+            raise TypeError(f"backend {self.backend!r} does not support streaming updates")
+        return self.index.maybe_compact()
 
     def search(self, queries: np.ndarray, k: int, **params) -> EngineResult:
         """Batched search through the backend adapter.
@@ -229,15 +264,23 @@ class ServingEngine:
         The asyncio counterpart of :meth:`make_scheduler`: concurrent
         clients ``await scheduler.submit(query)`` and resolve when their
         batch flushes.  Scheduler knobs (``max_batch_size``, ``max_wait_s``,
-        ``clock``, ``poll_interval_s``) pass through; everything else is a
-        search parameter validated against the backend.  Use it as an async
-        context manager so pending clients are cancelled on exit.
+        ``clock``, ``poll_interval_s``, ``admission``) pass through;
+        everything else is a search parameter validated against the backend.
+        When the engine was built with a :class:`ServingConfig` whose
+        :class:`~repro.serving.config.AdmissionPolicy` is bounded, that
+        policy is the scheduler's default admission control.  Use the
+        scheduler as an async context manager so pending clients are
+        cancelled on exit.
         """
         from repro.serving.async_scheduler import AsyncBatchingScheduler
 
         scheduler_kwargs, search_params = self._split_scheduler_params(
-            scheduler_params, ("max_batch_size", "max_wait_s", "clock", "poll_interval_s")
+            scheduler_params,
+            ("max_batch_size", "max_wait_s", "clock", "poll_interval_s", "admission"),
         )
+        if "admission" not in scheduler_kwargs and self.config is not None:
+            if self.config.admission.bounded:
+                scheduler_kwargs["admission"] = self.config.admission
         return AsyncBatchingScheduler(self, k=k, **scheduler_kwargs, **search_params)
 
     def _split_scheduler_params(

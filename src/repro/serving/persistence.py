@@ -41,6 +41,7 @@ from repro.core.density import DensityMap
 from repro.core.index import JunoIndex
 from repro.core.subspace_index import SubspaceInvertedIndex
 from repro.core.threshold import ThresholdModel
+from repro.errors import ServingError
 from repro.quantization.codebook import SubspaceCodebook
 from repro.quantization.product_quantizer import ProductQuantizer
 
@@ -53,7 +54,7 @@ _BASE_BUNDLE_NAME = "base"
 _UPDATES_NAME = "updates.npz"
 
 
-class PersistenceError(RuntimeError):
+class PersistenceError(ServingError):
     """Raised when a bundle is missing, corrupt or fails validation."""
 
 

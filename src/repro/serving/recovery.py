@@ -1,0 +1,214 @@
+"""Self-healing for the worker-resident cluster: detect, respawn, re-admit.
+
+The routing layer (:mod:`repro.serving.routing`) survives worker death by
+failing batches over to siblings -- but the survivor set only ever shrinks,
+so every crash permanently spends replication headroom.  This module closes
+the loop: a :class:`ReplicaSupervisor` sweeps the replica table for dead
+workers (passively observed deaths, plus active ping probes for workers that
+died idle), respawns each one from its on-disk shard bundle, replays the
+executor's retained op log to catch mutable state up **bit-identically**
+with the survivors, and re-admits the replica to routing only once it is at
+the op-log watermark -- recovery can shrink capacity, never correctness.
+
+The supervisor also owns the two *scheduled* maintenance duties that were
+deliberately moved out of the request path:
+
+* **elastic re-assignment** -- :meth:`ReplicaSupervisor.set_replicas` grows
+  or shrinks every shard's replica set online (respawning dead slots before
+  booting new ones);
+* **compaction** -- :meth:`ReplicaSupervisor.maintain` runs the router's
+  explicit ``maybe_compact()`` step, so delta buffers drain between batches
+  instead of inside some unlucky client's upsert.
+
+Everything here is coordinator-side and synchronous: one supervisor per
+executor, driven from whatever loop owns the deployment (the chaos harness
+calls it once per writer cycle; a real deployment would tick it from a
+timer).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+from repro.serving.routing import ResidentProcessShardExecutor
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed replica recovery.
+
+    Attributes:
+        shard_id: shard whose replica died.
+        replica_id: the respawned replica's id (unchanged across respawn).
+        ops_replayed: op-log records replayed to catch the fresh worker up.
+        duration_s: wall-clock from detection to re-admission, including
+            process boot, bundle load and op-log replay.
+    """
+
+    shard_id: int
+    replica_id: int
+    ops_replayed: int
+    duration_s: float
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable form for the bench report."""
+        return {
+            "shard_id": self.shard_id,
+            "replica_id": self.replica_id,
+            "ops_replayed": self.ops_replayed,
+            "duration_s": self.duration_s,
+        }
+
+
+class ReplicaSupervisor:
+    """Watches a resident executor's replica table and heals it.
+
+    Args:
+        target: the :class:`ResidentProcessShardExecutor` to supervise, or
+            a router/engine built over one (anything exposing
+            ``resident_executor()``, e.g.
+            :class:`~repro.serving.shard.ShardedJunoIndex` or a
+            :class:`~repro.serving.engine.ServingEngine` whose index is a
+            resident router).  Passing the router additionally lets
+            :meth:`maintain` schedule its ``maybe_compact()`` step.
+        clock: monotonic time source for recovery timing (injectable).
+
+    Attributes:
+        events: every :class:`RecoveryEvent` this supervisor completed.
+    """
+
+    def __init__(self, target, clock=time.perf_counter) -> None:
+        self.router = None
+        if isinstance(target, ResidentProcessShardExecutor):
+            executor = target
+        else:
+            index = getattr(target, "index", target)  # unwrap a ServingEngine
+            accessor = getattr(index, "resident_executor", None)
+            if not callable(accessor):
+                raise TypeError(
+                    "ReplicaSupervisor needs a ResidentProcessShardExecutor or a "
+                    f"router built over one, got {type(target).__name__}"
+                )
+            executor = accessor()
+            self.router = index
+        self.executor = executor
+        self.clock = clock
+        self.events: list[RecoveryEvent] = []
+
+    # ---------------------------------------------------------------- detection
+    def dead_replicas(self, probe: bool = False) -> list[tuple[int, int]]:
+        """``(shard_id, replica_id)`` pairs currently dead.
+
+        ``probe=True`` additionally pings every allegedly-alive worker
+        first, so replicas that died *between* batches (no in-flight future
+        to fail) are discovered too.
+        """
+        if probe:
+            self.executor.probe_replicas()
+        return self.executor.dead_replicas()
+
+    # ----------------------------------------------------------------- healing
+    def scan(self, probe: bool = False) -> list[RecoveryEvent]:
+        """Respawn every dead replica; returns this sweep's recoveries.
+
+        Each recovery is timed from detection to re-admission (process
+        boot + bundle load + op-log replay) and appended to :attr:`events`.
+        A sweep over a healthy table is a cheap no-op, so callers can tick
+        this as often as they like.
+        """
+        recovered = []
+        for shard_id, replica_id in self.dead_replicas(probe=probe):
+            started = self.clock()
+            report = self.executor.respawn_replica(shard_id, replica_id)
+            recovered.append(
+                RecoveryEvent(
+                    shard_id=shard_id,
+                    replica_id=replica_id,
+                    ops_replayed=int(report["ops_replayed"]),
+                    duration_s=max(self.clock() - started, 0.0),
+                )
+            )
+        self.events.extend(recovered)
+        return recovered
+
+    # -------------------------------------------------------------- elasticity
+    def set_replicas(self, num_replicas: int) -> dict[int, list[int]]:
+        """Resize every shard's replica set to ``num_replicas`` live workers.
+
+        Online join/leave: dead slots are respawned first (they already own
+        a replica id and their recovery is the cheap path), then fresh
+        replicas are added -- each booted from the bundle and caught up on
+        the op log before admission -- and finally surplus live replicas are
+        retired, highest replica id first.  Returns the live replica ids
+        per shard after the resize.
+        """
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        out: dict[int, list[int]] = {}
+        for shard_id in range(self.executor.num_shards):
+            alive = self.executor.alive_replicas(shard_id)
+            dead = [r for s, r in self.executor.dead_replicas() if s == shard_id]
+            for replica_id in dead:
+                if len(alive) >= num_replicas:
+                    self.executor.remove_replica(shard_id, replica_id)
+                    continue
+                started = self.clock()
+                report = self.executor.respawn_replica(shard_id, replica_id)
+                self.events.append(
+                    RecoveryEvent(
+                        shard_id=shard_id,
+                        replica_id=replica_id,
+                        ops_replayed=int(report["ops_replayed"]),
+                        duration_s=max(self.clock() - started, 0.0),
+                    )
+                )
+                alive.append(replica_id)
+            while len(alive) < num_replicas:
+                alive.append(self.executor.add_replica(shard_id))
+            while len(alive) > num_replicas:
+                self.executor.remove_replica(shard_id, max(alive))
+                alive.remove(max(alive))
+            out[shard_id] = sorted(alive)
+        return out
+
+    # ------------------------------------------------------------- maintenance
+    def maintain(self) -> list[int]:
+        """Run the router's explicit ``maybe_compact()`` maintenance step.
+
+        Returns the shard ids that compacted.  Requires the supervisor to
+        have been built over a router (not a bare executor) with updates
+        enabled; raises :class:`~repro.errors.RecoveryError` otherwise so a
+        misconfigured maintenance loop fails loudly instead of silently
+        never compacting.
+        """
+        if self.router is None or not callable(getattr(self.router, "maybe_compact", None)):
+            raise RecoveryError(
+                "this supervisor was built over a bare executor; construct it "
+                "from the mutable router (ReplicaSupervisor(router)) to "
+                "schedule compaction"
+            )
+        return self.router.maybe_compact()
+
+    # ------------------------------------------------------------- consistency
+    def replicas_consistent(self, shard_id: int | None = None) -> bool:
+        """Whether every live replica of a shard reports the same digest.
+
+        With ``shard_id=None`` all shards are checked.  This is the
+        bit-identity guarantee the op-log design promises; the chaos
+        harness asserts it after every recovery.
+        """
+        shard_ids = (
+            range(self.executor.num_shards) if shard_id is None else (int(shard_id),)
+        )
+        for sid in shard_ids:
+            digests = {
+                state["digest"] for state in self.executor.replica_states(sid).values()
+            }
+            if len(digests) > 1:
+                return False
+        return True
+
+
+__all__ = ["RecoveryEvent", "ReplicaSupervisor"]

@@ -33,11 +33,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import RecoveryError, ServingError
 from repro.serving.executors import ShardExecutor
 from repro.serving.runtime import ResidentWorker
 
 
-class WorkerFailoverError(RuntimeError):
+class WorkerFailoverError(ServingError):
     """A shard's batch could not be completed on any replica."""
 
 
@@ -114,6 +115,10 @@ class ResidentProcessShardExecutor(ShardExecutor):
         retried_batches: shard batches that were re-routed to a surviving
             replica after a worker death.
         ops_broadcast: mutation payloads broadcast via :meth:`apply_ops`.
+        replicas_respawned: dead replicas rebooted via
+            :meth:`respawn_replica` (or the elasticity entry points).
+        ops_replayed: op records replayed into freshly booted workers to
+            catch their mutable state up before re-admission.
     """
 
     kind = "resident"
@@ -144,6 +149,8 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.last_batch_payload_bytes = 0
         self.retried_batches = 0
         self.ops_broadcast = 0
+        self.replicas_respawned = 0
+        self.ops_replayed = 0
         self._op_logs: dict[int, list[dict]] = {}
         self._injected_failures: set[tuple[int, int]] = set()
         self._closed = False
@@ -414,3 +421,211 @@ class ResidentProcessShardExecutor(ShardExecutor):
     def op_log(self, shard_id: int) -> list:
         """The ops broadcast to one shard so far (replicated op log)."""
         return list(self._op_logs.get(int(shard_id), ()))
+
+    def op_watermark(self, shard_id: int) -> int:
+        """Epoch watermark of one shard's op log: ops broadcast so far.
+
+        A replica is *caught up* exactly when it has applied every op below
+        the current watermark; :meth:`respawn_replica` loops until the
+        watermark it replayed to stops moving before re-admitting the
+        worker.
+        """
+        return len(self._op_logs.get(int(shard_id), ()))
+
+    # ---------------------------------------------------------------- recovery
+    def dead_replicas(self) -> list[tuple[int, int]]:
+        """``(shard_id, replica_id)`` of every replica known to be dead.
+
+        "Known" means a batch, broadcast or probe already observed the
+        broken pool; a worker that died while idle is only discovered by
+        :meth:`probe_replicas` (or the next batch that reaches it).
+        """
+        return [
+            (replica_set.shard_id, worker.replica_id)
+            for replica_set in self._replica_sets
+            for worker in replica_set.workers
+            if not worker.alive
+        ]
+
+    def probe_replicas(self) -> list[tuple[int, int]]:
+        """Ping every allegedly-alive worker; returns the newly dead ones.
+
+        The active half of failure detection: a worker that crashed between
+        batches holds no in-flight future to fail, so nothing marks it dead
+        until traffic (or this probe) touches its pool.  All probes are
+        submitted before any is awaited, so a sweep costs one round trip.
+        """
+        probes: list[tuple[_ReplicaSet, ResidentWorker, Future | None]] = []
+        for replica_set in self._replica_sets:
+            for worker in replica_set.alive():
+                try:
+                    probes.append((replica_set, worker, worker.submit_ping()))
+                except BrokenExecutor:
+                    probes.append((replica_set, worker, None))
+        newly_dead = []
+        for replica_set, worker, probe in probes:
+            if probe is not None:
+                try:
+                    probe.result()
+                    continue
+                except BrokenExecutor:
+                    pass
+            worker.mark_dead()
+            worker.close()
+            newly_dead.append((replica_set.shard_id, worker.replica_id))
+        return newly_dead
+
+    def _boot_caught_up_worker(self, shard_id: int, replica_id: int) -> tuple[ResidentWorker, int]:
+        """Boot a fresh worker for one shard and replay the op log into it.
+
+        The respawn recipe: the worker loads the shard from its on-disk
+        bundle (the state at save time), then the retained op stream is
+        replayed through the same apply path the live broadcasts used --
+        deterministic ops, so the caught-up state is bit-identical to the
+        survivors'.  The replay loops on the epoch watermark: ops broadcast
+        while a chunk was being applied are picked up by the next pass, and
+        the worker is only handed back (for admission) once the watermark
+        stops moving.
+        """
+        worker = ResidentWorker(
+            self.bundle_path,
+            (shard_id,),
+            replica_id=replica_id,
+            stage_cache=self.stage_cache,
+            mutable=self.mutable,
+        )
+        replayed = 0
+        try:
+            worker.ping()
+            while replayed < self.op_watermark(shard_id):
+                pending = self._op_logs[shard_id][replayed:]
+                worker.submit_apply(shard_id, pending).result()
+                replayed += len(pending)
+        except BaseException as exc:
+            worker.close()
+            if isinstance(exc, BrokenExecutor):
+                raise RecoveryError(
+                    f"freshly booted replica {replica_id} of shard {shard_id} "
+                    f"died during op-log catch-up (after {replayed} ops)"
+                ) from exc
+            raise
+        return worker, replayed
+
+    def respawn_replica(self, shard_id: int, replica_id: int) -> dict:
+        """Reboot one dead replica from its bundle and catch it up.
+
+        The self-healing path: a fresh worker process is booted from the
+        shard's persisted bundle, the replicated op log is replayed into it
+        (:meth:`_boot_caught_up_worker`), and only the fully caught-up
+        worker is swapped into the routing table -- queries can never reach
+        a replica that is behind the watermark, so recovery cannot cause
+        stale reads.  Raises :class:`~repro.errors.RecoveryError` when the
+        target replica is still alive (respawning over a live worker would
+        drop its in-flight batches) or the respawn itself dies.
+
+        Returns ``{"shard_id", "replica_id", "ops_replayed"}``.
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        replica_set = self._replica_sets[shard_id]
+        slots = [
+            slot for slot, w in enumerate(replica_set.workers) if w.replica_id == replica_id
+        ]
+        if not slots:
+            raise ValueError(
+                f"shard {shard_id} has no replica {replica_id} "
+                f"(configured: {[w.replica_id for w in replica_set.workers]})"
+            )
+        old = replica_set.workers[slots[0]]
+        if old.alive:
+            raise RecoveryError(
+                f"replica {replica_id} of shard {shard_id} is still alive; "
+                "refusing to respawn over a serving worker"
+            )
+        worker, replayed = self._boot_caught_up_worker(shard_id, replica_id)
+        old.close()
+        replica_set.workers[slots[0]] = worker  # re-admitted only now
+        self.replicas_respawned += 1
+        self.ops_replayed += replayed
+        return {
+            "shard_id": int(shard_id),
+            "replica_id": int(replica_id),
+            "ops_replayed": int(replayed),
+        }
+
+    # -------------------------------------------------------------- elasticity
+    def add_replica(self, shard_id: int) -> int:
+        """Grow one shard's replica set by a freshly caught-up worker.
+
+        Online scale-out: the new worker boots from the bundle, replays the
+        op log, and joins routing only once caught up -- the same admission
+        rule as :meth:`respawn_replica`.  Returns the new replica id.
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        replica_set = self._replica_sets[shard_id]
+        replica_id = 1 + max(
+            (w.replica_id for w in replica_set.workers), default=-1
+        )
+        worker, replayed = self._boot_caught_up_worker(shard_id, replica_id)
+        replica_set.workers.append(worker)
+        self.ops_replayed += replayed
+        return replica_id
+
+    def remove_replica(self, shard_id: int, replica_id: int) -> None:
+        """Retire one replica (scale-in, or garbage-collect a dead slot).
+
+        Removing the last replica of a shard -- alive or dead -- is refused:
+        a shard with an empty replica set could never serve or heal again.
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        replica_set = self._replica_sets[shard_id]
+        slots = [
+            slot for slot, w in enumerate(replica_set.workers) if w.replica_id == replica_id
+        ]
+        if not slots:
+            raise ValueError(
+                f"shard {shard_id} has no replica {replica_id} "
+                f"(configured: {[w.replica_id for w in replica_set.workers]})"
+            )
+        if len(replica_set.workers) == 1:
+            raise ValueError(
+                f"cannot remove the last replica of shard {shard_id}; "
+                "add a replacement first"
+            )
+        worker = replica_set.workers.pop(slots[0])
+        worker.close()
+
+    # -------------------------------------------------------------- consistency
+    def replica_states(self, shard_id: int) -> dict[int, dict]:
+        """State fingerprints of one shard's live replicas, by replica id.
+
+        Submits every probe before awaiting any.  Replicas that applied the
+        same op stream report equal ``digest`` values; the chaos harness
+        asserts exactly that after every recovery.  A replica whose pool
+        breaks under the probe is marked dead and omitted.
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard_id must be in [0, {self.num_shards})")
+        probes = []
+        for worker in self._replica_sets[shard_id].alive():
+            try:
+                probes.append((worker, worker.submit_state(shard_id)))
+            except BrokenExecutor:
+                worker.mark_dead()
+                worker.close()
+        states: dict[int, dict] = {}
+        for worker, probe in probes:
+            try:
+                states[worker.replica_id] = probe.result()
+            except BrokenExecutor:
+                worker.mark_dead()
+                worker.close()
+        return states

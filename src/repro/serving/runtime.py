@@ -19,10 +19,13 @@ the batching front-ends live in :mod:`repro.serving.scheduler` /
 
 from __future__ import annotations
 
+import hashlib
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 #: Process-global state of a resident worker, populated by
 #: :func:`resident_worker_init` when the pool boots the process.  Maps
@@ -155,7 +158,66 @@ def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
         "ops_applied": int(index.ops_applied),
         "live": int(index.num_points),
         "state_token": index.state_token,
+        # Maintenance signals for the coordinator's explicit maybe_compact()
+        # scheduling: mutations never compact inline in the worker either.
+        "maintenance_due": index.maintenance_due(),
+        "auto_compact": bool(index.policy.auto_compact),
     }
+
+
+def _state_digest(index) -> str:
+    """Hex digest of a resident shard's observable state, bit for bit.
+
+    Mutable shards carry their own digest
+    (:meth:`~repro.updates.mutable.MutableJunoIndex.state_digest`, covering
+    buffer and tombstones too); immutable shards are digested over their
+    trained arrays here.  Replicas of one shard that applied the same op
+    stream -- or none -- must produce identical digests.
+    """
+    own = getattr(index, "state_digest", None)
+    if callable(own):
+        return own()
+    digest = hashlib.blake2b(digest_size=16)
+    for name, array in (
+        ("codes", index.codes),
+        ("labels", index.ivf.labels),
+        ("centroids", index.ivf.centroids),
+    ):
+        array = np.ascontiguousarray(np.asarray(array))
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def resident_state_task(shard_id: int) -> dict:
+    """Report one resident shard's state fingerprint (consistency probe).
+
+    The recovery layer compares these across a shard's replicas: equal
+    digests prove the replicas hold bit-identical state, which is exactly
+    the guarantee op-log replay (respawn catch-up) must restore.  Mutable
+    shards additionally report their live count, state token and pending
+    maintenance.
+    """
+    _check_worker_ready()
+    try:
+        index, _ = _RESIDENT_SHARDS[int(shard_id)]
+    except KeyError:
+        raise RuntimeError(
+            f"shard {shard_id} is not resident in this worker "
+            f"(resident: {sorted(s for s in _RESIDENT_SHARDS if isinstance(s, int))})"
+        ) from None
+    report = {
+        "shard_id": int(shard_id),
+        "digest": _state_digest(index),
+        "live": int(index.num_points),
+    }
+    if callable(getattr(index, "maintenance_due", None)):
+        report["state_token"] = index.state_token
+        report["ops_applied"] = int(index.ops_applied)
+        report["maintenance_due"] = index.maintenance_due()
+    return report
 
 
 def resident_die_task() -> None:
@@ -222,6 +284,10 @@ class ResidentWorker:
     def submit_apply(self, shard_id: int, ops: Sequence[dict]) -> Future:
         """Queue a mutation-op payload on this worker (replication path)."""
         return self._pool.submit(resident_apply_task, shard_id, ops)
+
+    def submit_state(self, shard_id: int) -> Future:
+        """Queue a state-fingerprint probe (replica-consistency checks)."""
+        return self._pool.submit(resident_state_task, shard_id)
 
     def submit_die(self) -> Future:
         """Queue a hard crash (failure injection); breaks the pool."""

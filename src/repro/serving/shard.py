@@ -28,6 +28,7 @@ exact rescoring restores a globally consistent order.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Sequence
@@ -42,6 +43,7 @@ from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
 from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
 from repro.pipeline.stages import ExactRerankStage
+from repro.serving.config import _UNSET, ReplicaPolicy, ServingConfig
 from repro.serving.executors import (
     ShardExecutor,
     make_shard_executor,
@@ -310,6 +312,9 @@ class ShardedJunoIndex:
         self._mutable = False
         self._owner_map: dict[int, int] | None = None
         self._resident_live: dict[int, int] = {}
+        # Latest per-shard maintenance signal from resident apply reports,
+        # consumed by the explicit maybe_compact() scheduling step.
+        self._resident_maintenance: dict[int, dict] = {}
         self._rerank_points: np.ndarray | None = None
         self._executor: ShardExecutor | None = None
         self._executor_key: tuple | None = None
@@ -546,14 +551,20 @@ class ShardedJunoIndex:
         """Apply one op to its owning shard (locally or via resident workers)."""
         executor = self._fanout_executor()
         if getattr(executor, "resident", False):
-            report = executor.apply_ops(shard_id, [op])
-            self._resident_live[shard_id] = int(report["live"])
+            self._record_resident_report(shard_id, executor.apply_ops(shard_id, [op]))
             return
         shard = self.shards[shard_id]
         if op["op"] == "upsert":
             shard.upsert(op["ids"], op["vectors"])
         else:
             shard.delete(op["ids"])
+
+    def _record_resident_report(self, shard_id: int, report: dict) -> None:
+        self._resident_live[shard_id] = int(report["live"])
+        self._resident_maintenance[shard_id] = {
+            "maintenance_due": report.get("maintenance_due", "none"),
+            "auto_compact": bool(report.get("auto_compact", True)),
+        }
 
     def _refresh_live_count(self) -> None:
         if self._resident_live:
@@ -601,12 +612,50 @@ class ShardedJunoIndex:
         executor = self._fanout_executor()
         for shard_id in range(self.num_shards):
             if getattr(executor, "resident", False):
-                report = executor.apply_ops(shard_id, [{"op": "compact"}])
-                self._resident_live[shard_id] = int(report["live"])
+                self._record_resident_report(
+                    shard_id, executor.apply_ops(shard_id, [{"op": "compact"}])
+                )
             else:
                 self.shards[shard_id].compact()
         self._refresh_live_count()
         return self
+
+    def maybe_compact(self) -> list[int]:
+        """Compact exactly the shards whose policy trigger has fired.
+
+        The router-level half of the explicit maintenance step (see
+        :meth:`~repro.updates.mutable.MutableJunoIndex.maybe_compact`):
+        mutations only buffer, and this schedulable call -- typically driven
+        by a :class:`~repro.serving.recovery.ReplicaSupervisor` between
+        batches -- drains the shards that crossed their ``delta_capacity``.
+        With a resident executor the decision uses the maintenance signal of
+        the latest apply report and the compaction itself is broadcast as an
+        explicit ``compact`` op (entering the replicated op log, so respawn
+        replay reproduces it); both paths apply the same trigger rule, so a
+        local deployment and a resident one compact in lockstep on the same
+        op sequence.  Returns the shard ids that compacted.
+        """
+        self._require_mutable()
+        executor = self._fanout_executor()
+        compacted: list[int] = []
+        for shard_id in range(self.num_shards):
+            if getattr(executor, "resident", False):
+                signal = self._resident_maintenance.get(shard_id)
+                if (
+                    signal is None
+                    or not signal["auto_compact"]
+                    or signal["maintenance_due"] != "compact"
+                ):
+                    continue
+                self._record_resident_report(
+                    shard_id, executor.apply_ops(shard_id, [{"op": "compact"}])
+                )
+                compacted.append(shard_id)
+            elif self.shards[shard_id].maybe_compact():
+                compacted.append(shard_id)
+        if compacted:  # an untouched resident router has no live counts yet
+            self._refresh_live_count()
+        return compacted
 
     # ----------------------------------------------------------------- search
     def search(
@@ -714,6 +763,23 @@ class ShardedJunoIndex:
             self._executor_key = key
         return self._executor
 
+    def resident_executor(self):
+        """The deployment's :class:`ResidentProcessShardExecutor`.
+
+        The handle the recovery layer supervises
+        (:class:`~repro.serving.recovery.ReplicaSupervisor` accepts the
+        router and calls this).  Raises :class:`TypeError` when the router
+        is not backed by the worker-resident runtime.
+        """
+        executor = self._fanout_executor()
+        if not getattr(executor, "resident", False):
+            raise TypeError(
+                "this router's fan-out is not worker-resident; load the "
+                "bundle with ServingConfig(executor='resident') (or call "
+                "make_resident()) to get a supervisable deployment"
+            )
+        return executor
+
     def close(self) -> None:
         """Shut the router-owned fan-out executor down (idempotent).
 
@@ -807,25 +873,75 @@ class ShardedJunoIndex:
                 save_index(shard, shard_bundle_path(path, shard_id))
         return path
 
+    @staticmethod
+    def _resolve_legacy_config(
+        config: "ServingConfig | None", method: str, legacy: dict
+    ) -> "ServingConfig | None":
+        """Fold deprecated per-kwarg construction into a :class:`ServingConfig`.
+
+        ``legacy`` maps old kwarg names to values, with unset ones filtered
+        out by the ``_UNSET`` sentinel upstream -- so the deprecation only
+        fires for callers who actually used the old API.  Mixing both styles
+        is refused: silently preferring one would make the other a no-op.
+        """
+        legacy = {name: value for name, value in legacy.items() if value is not _UNSET}
+        if not legacy:
+            return config
+        if config is not None:
+            raise ValueError(
+                f"{method} got both config= and the legacy keyword(s) "
+                f"{sorted(legacy)}; pass everything through ServingConfig"
+            )
+        warnings.warn(
+            f"the {sorted(legacy)} keyword(s) of {method} are deprecated; "
+            "pass a ServingConfig (with a ReplicaPolicy for replica knobs) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        replicas = ReplicaPolicy(
+            num_replicas=legacy.get("num_replicas", 1),
+            worker_stage_cache=legacy.get("worker_stage_cache", True),
+        )
+        return ServingConfig(
+            executor=legacy.get("executor", "thread"),
+            num_workers=legacy.get("num_workers"),
+            load_shards=legacy.get("load_shards"),
+            replicas=replicas,
+        )
+
     @classmethod
     def load(
         cls,
         path: str | Path,
-        num_workers: int | None = None,
-        executor: str | ShardExecutor = "thread",
-        num_replicas: int = 1,
-        worker_stage_cache: bool = True,
-        load_shards: bool | None = None,
+        config: "ServingConfig | None" = None,
+        *,
+        num_workers=_UNSET,
+        executor=_UNSET,
+        num_replicas=_UNSET,
+        worker_stage_cache=_UNSET,
+        load_shards=_UNSET,
     ) -> "ShardedJunoIndex":
         """Restore a sharded index saved by :meth:`save` without retraining.
 
-        ``executor="resident"`` additionally boots the worker-resident
+        ``config`` (a :class:`~repro.serving.config.ServingConfig`)
+        describes the whole deployment: fan-out executor, worker count,
+        whether the coordinator materialises shards locally, and -- for
+        ``executor="resident"`` -- the
+        :class:`~repro.serving.config.ReplicaPolicy` (replica count,
+        cache-affinity routing, per-worker stage caches, warm boot).  The
+        keyword arguments of the pre-config API (``num_workers``,
+        ``executor``, ``num_replicas``, ``worker_stage_cache``,
+        ``load_shards``) still work but are deprecated shims: they emit a
+        :class:`DeprecationWarning`, fold into an equivalent config, and
+        cannot be mixed with ``config=``.
+
+        ``ServingConfig(executor="resident")`` boots the worker-resident
         runtime from the same bundle: one
         :class:`~repro.serving.routing.ResidentProcessShardExecutor` whose
-        pool workers load their shard(s) from the per-shard bundles at init,
-        with ``num_replicas`` workers per shard and (by default) a private
-        batch-surviving stage cache per worker.  The router owns that
-        executor and shuts it down on :meth:`close`.
+        pool workers load their shard(s) from the per-shard bundles at
+        init.  The router owns that executor and shuts it down on
+        :meth:`close`.
 
         ``load_shards`` controls whether the coordinator also materialises
         the shard indexes locally.  It defaults to ``True`` for the local
@@ -835,9 +951,31 @@ class ShardedJunoIndex:
         the shard-id mappings for the merge, and (if enabled) the rerank
         corpus; memory and boot time stop scaling with a second index copy.
         A bundle-backed router cannot be re-:meth:`save`\\ d (the bundle
-        *is* its persistent form); pass ``load_shards=True`` if a local
+        *is* its persistent form); use ``load_shards=True`` if a local
         copy is genuinely needed.
         """
+        if config is not None and not isinstance(config, ServingConfig):
+            raise TypeError(
+                "config must be a ServingConfig; legacy values such as "
+                "num_workers/executor must be passed by keyword"
+            )
+        config = cls._resolve_legacy_config(
+            config,
+            "ShardedJunoIndex.load()",
+            {
+                "num_workers": num_workers,
+                "executor": executor,
+                "num_replicas": num_replicas,
+                "worker_stage_cache": worker_stage_cache,
+                "load_shards": load_shards,
+            },
+        )
+        if config is None:
+            config = ServingConfig()
+        executor = config.executor
+        num_workers = config.num_workers
+        load_shards = config.load_shards
+        replicas = config.replicas
         path = Path(path)
         manifest = read_manifest(path, SHARDED_KIND)
         num_shards = int(manifest["num_shards"])
@@ -859,9 +997,11 @@ class ShardedJunoIndex:
             executor = ResidentProcessShardExecutor(
                 path,
                 num_shards=num_shards,
-                num_replicas=num_replicas,
-                stage_cache=worker_stage_cache,
+                num_replicas=replicas.num_replicas,
+                stage_cache=replicas.worker_stage_cache,
                 mutable=mutable,
+                warm=replicas.warm,
+                affinity=replicas.affinity,
             )
             owns_executor = True
         try:
@@ -936,8 +1076,10 @@ class ShardedJunoIndex:
     def make_resident(
         self,
         path: str | Path,
-        num_replicas: int = 1,
-        worker_stage_cache: bool = True,
+        config: "ServingConfig | None" = None,
+        *,
+        num_replicas=_UNSET,
+        worker_stage_cache=_UNSET,
         persist: bool = True,
     ) -> "ShardedJunoIndex":
         """Switch this router's fan-out to the worker-resident runtime.
@@ -946,21 +1088,41 @@ class ShardedJunoIndex:
         the bundle is already on disk) and replaces the fan-out executor with
         a router-owned
         :class:`~repro.serving.routing.ResidentProcessShardExecutor`: each
-        shard gets ``num_replicas`` dedicated worker processes that load it
-        from the bundle once and afterwards receive query-only payloads.
+        shard gets ``config.replicas.num_replicas`` dedicated worker
+        processes that load it from the bundle once and afterwards receive
+        query-only payloads.  The legacy ``num_replicas`` /
+        ``worker_stage_cache`` keywords still work but are deprecated shims
+        for the :class:`~repro.serving.config.ReplicaPolicy` inside
+        ``config``.
 
         Returns ``self`` (builder style).
         """
         from repro.serving.routing import ResidentProcessShardExecutor
 
+        if config is not None and not isinstance(config, ServingConfig):
+            raise TypeError(
+                "config must be a ServingConfig; the old num_replicas "
+                "positional must now be passed by keyword"
+            )
+        config = self._resolve_legacy_config(
+            config,
+            "ShardedJunoIndex.make_resident()",
+            {
+                "num_replicas": num_replicas,
+                "worker_stage_cache": worker_stage_cache,
+            },
+        )
+        replicas = config.replicas if config is not None else ReplicaPolicy()
         if persist:
             self.save(path)
         resident = ResidentProcessShardExecutor(
             path,
             num_shards=self.num_shards,
-            num_replicas=num_replicas,
-            stage_cache=worker_stage_cache,
+            num_replicas=replicas.num_replicas,
+            stage_cache=replicas.worker_stage_cache,
             mutable=self._mutable,
+            warm=replicas.warm,
+            affinity=replicas.affinity,
         )
         if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
             self.executor_spec.close()

@@ -24,11 +24,13 @@ serve live writes with the classic LSM-shaped recipe:
   training labels came from), PQ-encoded with the existing codebooks, and
   the posting lists / subspace inverted indices / RT scene are rebuilt from
   the merged arrays while tombstoned rows are physically purged;
-* a :class:`RebuildPolicy` decides *when*: the buffer auto-compacts at a
-  size threshold, and cumulative drift (mutated mass since training as a
-  fraction of the trained corpus) flags when the frozen density maps /
-  threshold regressor / codebooks have drifted enough that a full
-  :meth:`retrain` is warranted.
+* a :class:`RebuildPolicy` decides *when*: the explicit
+  :meth:`MutableJunoIndex.maybe_compact` maintenance step compacts once the
+  buffer crosses a size threshold (mutations themselves never compact
+  inline, so upsert/delete latency stays flat), and cumulative drift
+  (mutated mass since training as a fraction of the trained corpus) flags
+  when the frozen density maps / threshold regressor / codebooks have
+  drifted enough that a full :meth:`retrain` is warranted.
 
 Every mutation bumps the base index's cache token
 (:meth:`~repro.core.index.JunoIndex.bump_cache_token`), so
@@ -42,6 +44,7 @@ engine facade, sharded router, resident workers -- runs unchanged on top.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -64,19 +67,24 @@ class RebuildPolicy:
     """When the mutable layer compacts, and when drift warrants retraining.
 
     Attributes:
-        delta_capacity: buffered upserts that trigger an automatic
-            :meth:`MutableJunoIndex.compact` (the buffer is exact-scored, so
-            its cost grows linearly with its size; compaction folds it into
-            the indexed structures).
+        delta_capacity: buffered upserts (or tombstones) past which
+            :meth:`MutableJunoIndex.maybe_compact` compacts (the buffer is
+            exact-scored, so its cost grows linearly with its size;
+            compaction folds it into the indexed structures).
         max_drift: cumulative mutated mass -- upserted + deleted points
             since the last training, as a fraction of the trained corpus
             size -- past which :attr:`MutableJunoIndex.retrain_due` turns
             true.  Compaction keeps *serving* correct under drift (exact
             merge scores, purged tombstones) but cannot refresh the frozen
             density maps, threshold regressor or codebooks; retraining can.
-        auto_compact: apply the ``delta_capacity`` trigger automatically
-            after each mutation (disable for tests that stage the buffer
-            deliberately).
+        auto_compact: let :meth:`MutableJunoIndex.maybe_compact` act on the
+            ``delta_capacity`` trigger (disable for deployments that stage
+            the buffer deliberately and compact on their own schedule).
+            Compaction never runs inside ``upsert``/``delete`` themselves:
+            it is an explicit, schedulable step -- the
+            :class:`~repro.serving.recovery.ReplicaSupervisor` (or any
+            maintenance loop) calls ``maybe_compact()`` between batches, so
+            mutation latency is never compaction-shaped.
     """
 
     delta_capacity: int = 1024
@@ -217,7 +225,6 @@ class MutableJunoIndex:
             vectors=[[float(x) for x in row] for row in vectors],
         )
         self._apply_upsert(ids, vectors)
-        self._maintain()
         return self
 
     def delete(self, ids: np.ndarray) -> "MutableJunoIndex":
@@ -239,7 +246,6 @@ class MutableJunoIndex:
             raise KeyError(f"cannot delete ids that are not live: {missing}")
         self._log("delete", ids=[int(i) for i in ids])
         self._apply_delete(ids)
-        self._maintain()
         return self
 
     def compact(self) -> "MutableJunoIndex":
@@ -277,18 +283,65 @@ class MutableJunoIndex:
         """``"retrain"``, ``"compact"`` or ``"none"`` under the policy."""
         if self.retrain_due:
             return "retrain"
-        if len(self.delta) >= self.policy.delta_capacity or len(self.tombstones) >= self.policy.delta_capacity:
+        if (
+            len(self.delta) >= self.policy.delta_capacity
+            or len(self.tombstones) >= self.policy.delta_capacity
+        ):
             return "compact"
         return "none"
+
+    def maybe_compact(self) -> bool:
+        """Compact iff the policy's capacity trigger has fired; returns whether.
+
+        The explicit maintenance step that replaced in-band auto-compaction:
+        mutations only buffer (their latency stays flat), and whoever owns
+        the serving loop -- the
+        :class:`~repro.serving.recovery.ReplicaSupervisor`, a cron tick, a
+        test -- calls this between batches.  Compacts when the policy allows
+        it (``auto_compact``) and :meth:`maintenance_due` reports
+        ``"compact"``; a due *retrain* is deliberately not acted on here
+        (retraining is expensive enough to demand an explicit
+        :meth:`retrain` call).
+        """
+        if not self.policy.auto_compact:
+            return False
+        if self.maintenance_due() != "compact":
+            return False
+        self.compact()
+        return True
+
+    def state_digest(self) -> str:
+        """Hex digest naming the complete mutable state, bit for bit.
+
+        Covers the trained arrays (codes, labels, centroids), the raw
+        corpus, the global-id mapping, the delta buffer and the tombstone
+        set -- everything a search can observe.  Two replicas that applied
+        the same op stream produce the same digest; the recovery layer uses
+        this to assert a respawned replica caught up bit-identically.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        delta_ids, delta_vectors = self.delta.snapshot()
+        for name, array in (
+            ("codes", self.base.codes),
+            ("labels", self.base.ivf.labels),
+            ("centroids", self.base.ivf.centroids),
+            ("global_ids", self._global_ids),
+            ("vectors", self._vectors),
+            ("delta_ids", delta_ids),
+            ("delta_vectors", delta_vectors),
+            ("tombstones", self.tombstones.to_array()),
+        ):
+            array = np.ascontiguousarray(np.asarray(array))
+            digest.update(name.encode())
+            digest.update(str(array.dtype).encode())
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+        return digest.hexdigest()
 
     # --------------------------------------------------------- op application
     def _log(self, op: str, **fields) -> None:
         if self.wal is not None:
             self.wal.append(op, **fields)
-
-    def _maintain(self) -> None:
-        if self.policy.auto_compact and len(self.delta) >= self.policy.delta_capacity:
-            self.compact()
 
     def apply_record(self, record: dict) -> None:
         """Apply one WAL-shaped op record (replay and replication path).

@@ -29,8 +29,10 @@ import json
 from pathlib import Path
 from typing import IO, Iterator
 
+from repro.errors import ServingError
 
-class WalError(RuntimeError):
+
+class WalError(ServingError):
     """Raised when a write-ahead log is corrupt or misused."""
 
 

@@ -27,8 +27,10 @@ import pytest
 from repro.datasets.synthetic import make_clustered_dataset
 from repro.serving import (
     PersistenceError,
+    ReplicaPolicy,
     ResidentProcessShardExecutor,
     ResidentShardHandle,
+    ServingConfig,
     ShardedJunoIndex,
     WorkerFailoverError,
     load_index,
@@ -36,6 +38,16 @@ from repro.serving import (
     shard_bundle_path,
 )
 from repro.serving.persistence import MANIFEST_NAME
+
+
+def _resident(num_replicas=1, worker_stage_cache=True, load_shards=None):
+    return ServingConfig(
+        executor="resident",
+        load_shards=load_shards,
+        replicas=ReplicaPolicy(
+            num_replicas=num_replicas, worker_stage_cache=worker_stage_cache
+        ),
+    )
 
 
 def _settings():
@@ -98,7 +110,7 @@ class TestResidentParity:
         """Acceptance: resident == sequential across a sweep, with R=2 and one
         worker killed between grid points (the batch fails over)."""
         with ShardedJunoIndex.load(
-            bundle, executor="resident", num_replicas=2, worker_stage_cache=False
+            bundle, _resident(num_replicas=2, worker_stage_cache=False)
         ) as resident:
             executor = resident.executor_spec
             assert executor.kind == "resident"
@@ -122,7 +134,7 @@ class TestResidentParity:
         self, corpus, sequential_router, bundle
     ):
         with ShardedJunoIndex.load(
-            bundle, executor="resident", worker_stage_cache=False
+            bundle, _resident(worker_stage_cache=False)
         ) as resident:
             for mode in ("juno-h", "juno-m", "juno-l"):
                 expected = sequential_router.search(
@@ -133,7 +145,7 @@ class TestResidentParity:
                 _assert_work_equal(expected.work, observed.work)
 
     def test_single_replica_failure_exhausts_replicas(self, corpus, bundle):
-        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+        with ShardedJunoIndex.load(bundle, _resident()) as resident:
             executor = resident.executor_spec
             executor.inject_failure(1)
             with pytest.raises(WorkerFailoverError, match="no surviving replica"):
@@ -146,8 +158,8 @@ class TestQueryOnlyIPC:
         big_corpus = _make_corpus(num_points=1800, seed=5)
         big_bundle = _train_sharded(big_corpus).save(tmp_path / "big")
         with (
-            ShardedJunoIndex.load(bundle, executor="resident") as small,
-            ShardedJunoIndex.load(big_bundle, executor="resident") as big,
+            ShardedJunoIndex.load(bundle, _resident()) as small,
+            ShardedJunoIndex.load(big_bundle, _resident()) as big,
         ):
             small.search(corpus.queries, k=5, nprobs=4)
             big.search(corpus.queries, k=5, nprobs=4)
@@ -169,7 +181,7 @@ class TestQueryOnlyIPC:
 
 class TestWorkerResidentCache:
     def test_worker_cache_survives_across_batches(self, corpus, sequential_router, bundle):
-        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+        with ShardedJunoIndex.load(bundle, _resident()) as resident:
             first = resident.search(corpus.queries, k=5, nprobs=4)
             second = resident.search(corpus.queries, k=5, nprobs=4)
             counters = second.extra["stage_cache"]
@@ -186,7 +198,7 @@ class TestWorkerResidentCache:
 
     def test_router_stage_cache_not_shipped_to_resident_workers(self, corpus, bundle):
         """The router-side cache stays empty: resident workers own caching."""
-        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+        with ShardedJunoIndex.load(bundle, _resident()) as resident:
             from repro.pipeline import StageCache
 
             resident._stage_cache = StageCache()
@@ -200,7 +212,7 @@ class TestBundleBackedCoordinator:
     """A resident load keeps no second index copy in the coordinator."""
 
     def test_resident_load_installs_handles_not_indexes(self, corpus, bundle):
-        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+        with ShardedJunoIndex.load(bundle, _resident()) as resident:
             assert all(isinstance(s, ResidentShardHandle) for s in resident.shards)
             assert resident.is_trained
             # searching still works end to end (state lives in the workers)
@@ -215,7 +227,7 @@ class TestBundleBackedCoordinator:
 
     def test_load_shards_override_keeps_local_copies(self, corpus, sequential_router, bundle):
         with ShardedJunoIndex.load(
-            bundle, executor="resident", load_shards=True
+            bundle, _resident(load_shards=True)
         ) as resident:
             assert not any(isinstance(s, ResidentShardHandle) for s in resident.shards)
             expected = sequential_router.shards[0].search(corpus.queries, 5, nprobs=4)
@@ -227,7 +239,7 @@ class TestResidentLifecycle:
     def test_make_resident_switches_executor_and_close_owns_it(self, corpus, tmp_path):
         router = _train_sharded(corpus)
         expected = router.search(corpus.queries, k=5, nprobs=4)
-        router.make_resident(tmp_path / "make-resident", num_replicas=1)
+        router.make_resident(tmp_path / "make-resident", _resident())
         executor = router.executor_spec
         assert isinstance(executor, ResidentProcessShardExecutor)
         observed = router.search(corpus.queries, k=5, nprobs=4)

@@ -277,15 +277,35 @@ class TestCompaction:
         mutable.compact()
         assert wal.last_seq == 0  # a no-op compaction is not logged
 
-    def test_auto_compact_at_capacity(self, corpus):
+    def test_maybe_compact_drains_at_capacity(self, corpus):
+        """Mutations only buffer; the explicit maintenance step compacts
+        exactly when the ``delta_capacity`` trigger has fired (so a
+        supervisor can schedule it between batches instead of an unlucky
+        client paying for it inside an upsert)."""
         mutable = _mutable(corpus.points, policy=RebuildPolicy(delta_capacity=4))
         rng = np.random.default_rng(13)
-        for i in range(4):
+        for i in range(3):
             mutable.upsert(
                 [30_000 + i], corpus.points[i][None, :] + 0.01 * rng.standard_normal((1, corpus.dim))
             )
-        assert len(mutable.delta) == 0  # capacity hit -> compacted
+        assert not mutable.maybe_compact()  # under capacity: not due yet
+        assert len(mutable.delta) == 3  # the upserts themselves never compact
+        mutable.upsert([30_003], corpus.points[3][None, :])
+        assert len(mutable.delta) == 4
+        assert mutable.maintenance_due() == "compact"
+        assert mutable.maybe_compact()
+        assert len(mutable.delta) == 0  # capacity hit -> drained on request
         assert mutable.base.num_points == corpus.num_points + 4
+        assert not mutable.maybe_compact()  # idempotent once drained
+
+    def test_maybe_compact_respects_auto_compact_off(self, corpus):
+        mutable = _mutable(
+            corpus.points, policy=RebuildPolicy(delta_capacity=2, auto_compact=False)
+        )
+        mutable.upsert([31_000, 31_001], corpus.queries[:2])
+        assert mutable.maintenance_due() == "compact"
+        assert not mutable.maybe_compact()  # opted out: only explicit compact()
+        assert len(mutable.delta) == 2
 
     def test_drift_and_retrain_signal(self, corpus):
         mutable = _mutable(

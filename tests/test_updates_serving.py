@@ -26,14 +26,22 @@ import pytest
 
 from repro.datasets.synthetic import make_clustered_dataset
 from repro.serving import (
+    ReplicaPolicy,
     ResidentProcessShardExecutor,
     ServingEngine,
+    ServingConfig,
     ShardedJunoIndex,
     WorkerFailoverError,
     merge_shard_results,
     search_results_equal,
 )
 from repro.updates import MutableJunoIndex, RebuildPolicy
+
+
+def _resident(num_replicas=1):
+    return ServingConfig(
+        executor="resident", replicas=ReplicaPolicy(num_replicas=num_replicas)
+    )
 
 
 def _settings():
@@ -201,7 +209,7 @@ class TestResidentMutableServing:
 
     def test_resident_workers_serve_and_mutate(self, corpus, mutated_bundle):
         bundle, expected = mutated_bundle
-        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+        with ShardedJunoIndex.load(bundle, _resident(num_replicas=2)) as resident:
             executor = resident.executor_spec
             assert executor.mutable
             observed = resident.search(corpus.queries, 5, nprobs=4)
@@ -237,7 +245,7 @@ class TestResidentMutableServing:
         router = _train_mutable_router(corpus)
         router.upsert([4242], corpus.queries[:1])
         expected = router.search(corpus.queries, 5, nprobs=4)
-        router.make_resident(tmp_path / "mutable-resident", num_replicas=1)
+        router.make_resident(tmp_path / "mutable-resident", _resident())
         try:
             assert router.executor_spec.mutable
             observed = router.search(corpus.queries, 5, nprobs=4)
@@ -253,13 +261,13 @@ class TestResidentMutableServing:
         ).train(corpus.points)
         bundle = router.save(tmp_path / "frozen")
         router.close()
-        with ShardedJunoIndex.load(bundle, executor="resident") as resident:
+        with ShardedJunoIndex.load(bundle, _resident()) as resident:
             with pytest.raises(RuntimeError, match="immutable bundle"):
                 resident.executor_spec.apply_ops(0, [{"op": "compact"}])
 
     def test_apply_ops_fails_over_to_survivors_and_exhausts(self, corpus, mutated_bundle):
         bundle, _ = mutated_bundle
-        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+        with ShardedJunoIndex.load(bundle, _resident(num_replicas=2)) as resident:
             executor = resident.executor_spec
             executor.inject_failure(0, replica_id=0)
             report = executor.apply_ops(0, [{"op": "upsert", "ids": np.array([8000]),
@@ -269,6 +277,36 @@ class TestResidentMutableServing:
             executor.inject_failure(0, replica_id=1)
             with pytest.raises(WorkerFailoverError, match="no surviving replica"):
                 executor.apply_ops(0, [{"op": "compact"}])
+
+    def test_replica_killed_mid_broadcast_replays_bit_identically(
+        self, corpus, mutated_bundle
+    ):
+        """Satellite acceptance: a replica that dies mid-``apply_ops``
+        broadcast is respawned from the bundle, replays the retained op log
+        past the missed op, and converges to the survivor's exact state."""
+        bundle, _ = mutated_bundle
+        with ShardedJunoIndex.load(bundle, _resident(num_replicas=2)) as resident:
+            executor = resident.executor_spec
+            shard_id = 8400 % 2
+            executor.inject_failure(shard_id, replica_id=0)
+            # the broadcast kills replica 0 mid-apply; the survivor applies it
+            resident.upsert([8400], corpus.queries[2:3])
+            assert executor.dead_replicas() == [(shard_id, 0)]
+            assert executor.op_watermark(shard_id) >= 1
+
+            report = executor.respawn_replica(shard_id, 0)
+            assert report["ops_replayed"] == executor.op_watermark(shard_id)
+            states = executor.replica_states(shard_id)
+            assert states[0]["digest"] == states[1]["digest"]
+
+            # kill the survivor with the next broadcast: the replayed
+            # replica alone must serve the op it never saw applied live
+            executor.inject_failure(shard_id, replica_id=1)
+            resident.upsert([8402], corpus.queries[3:4])
+            assert executor.alive_replicas(shard_id) == [0]
+            alone = resident.search(corpus.queries[2:4], 5, nprobs=4)
+            assert alone.ids[0, 0] == 8400
+            assert alone.ids[1, 0] == 8402
 
 
 class TestCacheAffinityRouting:
@@ -281,7 +319,7 @@ class TestCacheAffinityRouting:
         ).train(corpus.points)
         bundle = router.save(tmp_path / "affinity")
         router.close()
-        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+        with ShardedJunoIndex.load(bundle, _resident(num_replicas=2)) as resident:
             assert resident.executor_spec.affinity
             first = resident.search(corpus.queries, 5, nprobs=4)
             second = resident.search(corpus.queries, 5, nprobs=4)
@@ -299,7 +337,7 @@ class TestCacheAffinityRouting:
         expected = router.search(corpus.queries, 5, nprobs=4)
         bundle = router.save(tmp_path / "fallback")
         router.close()
-        with ShardedJunoIndex.load(bundle, executor="resident", num_replicas=2) as resident:
+        with ShardedJunoIndex.load(bundle, _resident(num_replicas=2)) as resident:
             executor = resident.executor_spec
             resident.search(corpus.queries, 5, nprobs=4)
             executor.inject_failure(0)  # whichever replica the batch prefers
