@@ -1,0 +1,162 @@
+"""Boot + residency benchmark: time-to-serving and memory per residency mode.
+
+The closed-loop benchmark measures steady-state QPS; this one measures what
+the zero-copy residency work changes -- what it costs to *boot* a resident
+deployment and what each worker process actually holds afterwards.  The
+same trained 2-shard router is deployed three times from on-disk bundles,
+once per residency mode:
+
+* ``copy``   -- every worker loads a private copy of its shard (baseline);
+* ``mmap``   -- workers map the npy bundle read-only off the page cache;
+* ``shm``    -- the coordinator materialises each shard's arrays once in
+  POSIX shared memory and workers attach views (one physical copy per
+  shard no matter how many replicas).
+
+Per mode we record the wall-clock boot time, the pickled boot payload
+(``executor.boot_payload_bytes()`` -- descriptors and paths, never arrays),
+executor-owned shared memory (``resident_bytes()``), and per-worker
+Rss/Pss probed from ``/proc/<pid>/smaps_rollup`` via ``worker_pids()``.
+Pss is the honest column: private copies charge each worker in full, while
+mmap/shm pages are billed split across the processes sharing them.
+
+All three deployments must serve bit-identically; results land in
+``BENCH_serving.json`` (section ``boot_residency``) so the boot-cost
+trajectory is tracked across PRs alongside the closed-loop sections.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.bench.report import emit, format_table, update_bench_json
+from repro.serving import (
+    ReplicaPolicy,
+    ServingConfig,
+    ShardedJunoIndex,
+    search_results_equal,
+)
+
+RESIDENCIES = ("copy", "mmap", "shm")
+NUM_SHARDS = 2
+NUM_REPLICAS = 2
+K = 10
+
+
+def _worker_memory_kb(executor) -> dict[str, float]:
+    """Per-worker Rss/Pss sums in kB from ``/proc/<pid>/smaps_rollup``.
+
+    Returns zeros when the proc interface is unavailable (non-Linux) so the
+    benchmark still runs; the JSON records the worker count either way.
+    """
+    totals = {"rss_kb": 0.0, "pss_kb": 0.0, "workers": 0}
+    for pid in executor.worker_pids().values():
+        rollup = Path(f"/proc/{pid}/smaps_rollup")
+        try:
+            text = rollup.read_text()
+        except OSError:
+            continue
+        fields = {}
+        for line in text.splitlines():
+            if line.startswith(("Rss:", "Pss:")):
+                key, value = line.split(":", 1)
+                fields[key] = float(value.strip().split()[0])
+        totals["rss_kb"] += fields.get("Rss", 0.0)
+        totals["pss_kb"] += fields.get("Pss", 0.0)
+        totals["workers"] += 1
+    return totals
+
+
+def _boot(bundle, residency):
+    """Load a resident deployment from ``bundle``, timed."""
+    config = ServingConfig(
+        executor="resident",
+        replicas=ReplicaPolicy(num_replicas=NUM_REPLICAS, residency=residency),
+        label=f"residency={residency}",
+    )
+    start = time.perf_counter()
+    router = ShardedJunoIndex.load(bundle, config)
+    boot_s = time.perf_counter() - start
+    return router, boot_s
+
+
+def test_boot_residency(deep_workload, benchmark, tmp_path):
+    dataset = deep_workload.dataset
+    config = deep_workload.juno.config
+
+    sharded = ShardedJunoIndex.from_dim(
+        dataset.dim,
+        num_shards=NUM_SHARDS,
+        num_clusters=config.num_clusters,
+        num_entries=config.num_entries,
+        num_threshold_samples=32,
+        kmeans_iters=6,
+        seed=7,
+    )
+    sharded.train(dataset.points)
+    # one bundle per layout: mmap residency maps raw npy arrays off disk,
+    # copy/shm boot from the default compressed layout
+    npz_bundle = sharded.save(tmp_path / "bundle-npz", layout="npz")
+    npy_bundle = sharded.save(tmp_path / "bundle-npy", layout="npy")
+    sharded.close()
+
+    rows = []
+    results = {}
+    for residency in RESIDENCIES:
+        bundle = npy_bundle if residency == "mmap" else npz_bundle
+        if residency == "shm":
+            # the pedantic round makes the shm boot the tracked timing
+            router, boot_s = benchmark.pedantic(
+                _boot, args=(bundle, residency), rounds=1, iterations=1
+            )
+        else:
+            router, boot_s = _boot(bundle, residency)
+        with router:
+            executor = router.executor_spec
+            results[residency] = router.search(dataset.queries, K, nprobs=8)
+            memory = _worker_memory_kb(executor)
+            rows.append(
+                {
+                    "residency": residency,
+                    "boot_ms": boot_s * 1e3,
+                    "boot_payload_bytes": executor.boot_payload_bytes(),
+                    "resident_mb": executor.resident_bytes() / 2**20,
+                    "workers": memory["workers"],
+                    "rss_mb": memory["rss_kb"] / 1024,
+                    "pss_mb": memory["pss_kb"] / 1024,
+                }
+            )
+
+    emit()
+    emit(
+        format_table(
+            rows,
+            title=f"Boot + residency [{dataset.name}]: {NUM_SHARDS} shards "
+            f"x {NUM_REPLICAS} replicas",
+        )
+    )
+    update_bench_json(
+        "boot_residency",
+        {
+            "dataset": dataset.name,
+            "num_shards": NUM_SHARDS,
+            "num_replicas": NUM_REPLICAS,
+            "modes": rows,
+        },
+    )
+
+    by_mode = {row["residency"]: row for row in rows}
+    # every residency serves the same bits
+    assert search_results_equal(results["copy"], results["mmap"])
+    assert search_results_equal(results["copy"], results["shm"])
+    # boot payloads carry paths/descriptors, never arrays: kilobytes per
+    # worker regardless of corpus size (corpus-independence itself is pinned
+    # in tests/test_shm.py)
+    for row in rows:
+        assert row["boot_payload_bytes"] < 64 * 1024
+    # one physical copy per shard lives in executor-owned shared memory
+    assert by_mode["shm"]["resident_mb"] > 0
+    assert by_mode["copy"]["resident_mb"] == by_mode["mmap"]["resident_mb"] == 0
+    # the proc probe found every worker on Linux
+    if by_mode["copy"]["workers"]:
+        assert by_mode["copy"]["workers"] == NUM_SHARDS * NUM_REPLICAS

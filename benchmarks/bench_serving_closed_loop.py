@@ -21,6 +21,8 @@ from __future__ import annotations
 from repro.baselines.exact import ExactSearch
 from repro.bench.harness import run_closed_loop
 from repro.bench.report import emit, format_table, update_bench_json
+from repro.pipeline.cache import StageCache
+from repro.pipeline.pipeline import default_search_pipeline
 from repro.serving import ServingEngine, ShardedJunoIndex
 
 NUM_CLIENTS = 8
@@ -54,6 +56,11 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
             requests_per_client=REQUESTS_PER_CLIENT,
             max_wait_s=MAX_WAIT_S,
             nprobs=8,
+            # The single-process engine holds no worker-resident caches, so
+            # give it a cached pipeline -- closed-loop clients re-walk the
+            # query set, and without this the report's cache_hit_rates were
+            # always empty for this system.
+            pipeline=default_search_pipeline(stage_cache=StageCache()),
         ),
         rounds=1,
         iterations=1,
@@ -122,3 +129,5 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
     # worker-resident sharding answers from resident state: its workers see
     # query-only payloads, and repeated hot batches hit the worker caches
     assert resident_report.num_batches >= 1
+    # the cached single-process pipeline must actually report cache traffic
+    assert juno_report.cache_hit_rates()

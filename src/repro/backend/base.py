@@ -1,0 +1,139 @@
+"""Array-backend protocol for the batched score kernels.
+
+The online score path (``ScoreStage`` and the :class:`SelectiveLUT` /
+:class:`HitCountScorer` kernels it drives) is a handful of bulk array
+primitives: allocate a table, scatter hit values into it, gather member
+rows, and reduce over the subspace axis.  :class:`ArrayBackend` names
+exactly those primitives so the kernels can run unchanged on NumPy (the
+default, bit-identical reference), CuPy or torch without sprinkling
+``import cupy`` through the pipeline.
+
+Index bookkeeping (CSR expansion, argsorts, segment offsets) deliberately
+stays in NumPy on the host: it is integer arithmetic over small arrays,
+and shipping it to a device would cost more in transfers than it saves.
+Only the value tables and their reductions go through the backend.
+
+Equality contract: a backend with ``exact=True`` must reproduce the NumPy
+reference bit-for-bit (same element order, same pairwise reductions).
+GPU backends cannot promise that -- scatter order and reduction trees are
+nondeterministic on device -- so they carry a documented ``tolerance``
+instead, and the parity suite compares them with ``np.allclose`` at that
+tolerance rather than ``array_equal``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BackendError(RuntimeError):
+    """Raised when a requested array backend is unknown or unavailable."""
+
+
+class ArrayBackend:
+    """Bulk-array primitives the batched score kernels are written against.
+
+    Subclasses bind the primitives to one array library.  All index
+    arguments (``flat_indices``, ``row_indices``) are host NumPy integer
+    arrays; implementations convert them as needed.
+
+    Attributes:
+        name: registry name (``"numpy"``, ``"cupy"``, ``"torch"``).
+        device: ``"cpu"`` or ``"gpu"``.
+        exact: whether results are bit-identical to the NumPy reference.
+        tolerance: absolute comparison tolerance versus the reference
+            (``0.0`` when ``exact``); the parity harness uses it.
+    """
+
+    name: str = "abstract"
+    device: str = "cpu"
+    exact: bool = False
+    tolerance: float = 0.0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity string mixed into stage-cache keys.
+
+        Cached artifacts must never alias across backends: a GPU backend's
+        outputs are tolerance-equal, not bit-equal, so a cache entry
+        produced under one backend must miss under another.
+        """
+        return f"{self.name}:{self.library_version()}:{self.device}"
+
+    def library_version(self) -> str:
+        """Version string of the underlying array library."""
+        raise NotImplementedError
+
+    # -- array movement ------------------------------------------------
+    def asarray(self, array: np.ndarray):
+        """Move a host array to the backend's native representation."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Move a backend array back to a host NumPy array."""
+        raise NotImplementedError
+
+    # -- allocation ----------------------------------------------------
+    def full(self, shape, fill_value, dtype):
+        """Allocate a backend array filled with ``fill_value``."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype):
+        """Allocate a zero-filled backend array."""
+        raise NotImplementedError
+
+    # -- scatter / gather ----------------------------------------------
+    def put(self, array, flat_indices: np.ndarray, values) -> None:
+        """``array.flat[flat_indices] = values`` (assignment scatter).
+
+        With duplicate indices the reference (NumPy) semantics are
+        last-write-wins in index order; GPU backends may pick any of the
+        duplicates, which is covered by their tolerance contract (the
+        kernels only scatter duplicates carrying equal values).
+        """
+        raise NotImplementedError
+
+    def take(self, array, flat_indices: np.ndarray):
+        """``array.flat[flat_indices]`` (flat gather)."""
+        raise NotImplementedError
+
+    def take_rows(self, array, row_indices: np.ndarray):
+        """``array[row_indices]`` for a 2-D table (row gather)."""
+        raise NotImplementedError
+
+    # -- elementwise / reduction ---------------------------------------
+    def astype(self, array, dtype):
+        """Cast to ``dtype`` (NumPy ``astype`` semantics)."""
+        raise NotImplementedError
+
+    def isnan(self, array):
+        """Elementwise NaN test."""
+        raise NotImplementedError
+
+    def logical_not(self, array):
+        """Elementwise boolean negation."""
+        raise NotImplementedError
+
+    def where(self, condition, if_true, if_false):
+        """Elementwise select."""
+        raise NotImplementedError
+
+    def sum(self, array, axis: int):
+        """Reduce one axis (NumPy ``sum`` semantics, bools promote to int)."""
+        raise NotImplementedError
+
+    def __reduce__(self):
+        """Pickle by registry name, not by state.
+
+        Backends may hold module handles or device contexts that cannot
+        cross a process boundary; the receiving process re-resolves the
+        name against its own registry (raising :class:`BackendError` if
+        the library is absent there -- a real configuration error worth
+        surfacing, not papering over).
+        """
+        from repro.backend.registry import get_backend
+
+        return (get_backend, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.fingerprint}>"

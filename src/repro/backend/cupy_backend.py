@@ -1,0 +1,80 @@
+"""Optional CuPy backend: NumPy-mirroring API on a CUDA device.
+
+Import of this module is cheap and safe without CuPy installed; the
+backend class raises :class:`BackendError` from its constructor when CuPy
+(or a usable CUDA device) is absent.  The registry probes availability by
+constructing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, BackendError
+
+
+class CupyBackend(ArrayBackend):
+    """Score-kernel primitives on CuPy arrays.
+
+    CuPy mirrors the NumPy API, so every primitive is the same call
+    against ``cupy``.  Results are *not* bit-identical to the reference:
+    device reduction trees and scatter ordering differ, hence the
+    documented tolerance (see ``docs/performance.md``).
+    """
+
+    name = "cupy"
+    device = "gpu"
+    exact = False
+    tolerance = 1e-10
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - env without cupy
+            raise BackendError(
+                "array backend 'cupy' is not available: cupy is not installed"
+            ) from exc
+        try:  # a usable device, not just an importable package
+            cupy.zeros(1)
+        except Exception as exc:  # pragma: no cover - no CUDA device
+            raise BackendError(f"array backend 'cupy' has no usable CUDA device: {exc}") from exc
+        self.cupy = cupy
+
+    def library_version(self) -> str:
+        return self.cupy.__version__
+
+    def asarray(self, array: np.ndarray):
+        return self.cupy.asarray(array)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self.cupy.asnumpy(array)
+
+    def full(self, shape, fill_value, dtype):
+        return self.cupy.full(shape, fill_value, dtype=dtype)
+
+    def zeros(self, shape, dtype):
+        return self.cupy.zeros(shape, dtype=dtype)
+
+    def put(self, array, flat_indices: np.ndarray, values) -> None:
+        array.reshape(-1)[self.cupy.asarray(flat_indices)] = self.cupy.asarray(values)
+
+    def take(self, array, flat_indices: np.ndarray):
+        return array.reshape(-1)[self.cupy.asarray(flat_indices)]
+
+    def take_rows(self, array, row_indices: np.ndarray):
+        return array[self.cupy.asarray(row_indices)]
+
+    def astype(self, array, dtype):
+        return array.astype(dtype)
+
+    def isnan(self, array):
+        return self.cupy.isnan(array)
+
+    def logical_not(self, array):
+        return ~array
+
+    def where(self, condition, if_true, if_false):
+        return self.cupy.where(condition, if_true, if_false)
+
+    def sum(self, array, axis: int):
+        return array.sum(axis=axis)

@@ -1,0 +1,62 @@
+"""NumPy reference backend: the default, always available, bit-exact."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Thin pass-through to NumPy.
+
+    Every primitive delegates to the exact NumPy operation the historical
+    kernels used, so routing a kernel through this backend changes nothing
+    -- the parity suite pins that with ``array_equal``, not ``allclose``.
+    """
+
+    name = "numpy"
+    device = "cpu"
+    exact = True
+    tolerance = 0.0
+
+    def library_version(self) -> str:
+        return np.__version__
+
+    def asarray(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array)
+
+    def to_numpy(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array)
+
+    def full(self, shape, fill_value, dtype) -> np.ndarray:
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def put(self, array: np.ndarray, flat_indices: np.ndarray, values) -> None:
+        # reshape(-1) is a view for the C-contiguous tables the kernels
+        # allocate, so this is an in-place scatter (last write wins).
+        array.reshape(-1)[flat_indices] = values
+
+    def take(self, array: np.ndarray, flat_indices: np.ndarray) -> np.ndarray:
+        return array.reshape(-1)[flat_indices]
+
+    def take_rows(self, array: np.ndarray, row_indices: np.ndarray) -> np.ndarray:
+        return array[row_indices]
+
+    def astype(self, array: np.ndarray, dtype) -> np.ndarray:
+        return array.astype(dtype)
+
+    def isnan(self, array: np.ndarray) -> np.ndarray:
+        return np.isnan(array)
+
+    def logical_not(self, array: np.ndarray) -> np.ndarray:
+        return ~array
+
+    def where(self, condition, if_true, if_false) -> np.ndarray:
+        return np.where(condition, if_true, if_false)
+
+    def sum(self, array: np.ndarray, axis: int) -> np.ndarray:
+        return array.sum(axis=axis)

@@ -1,0 +1,75 @@
+"""Backend discovery and selection.
+
+Resolution order for :func:`get_backend`:
+
+1. an explicit argument (an :class:`ArrayBackend` instance or a name) --
+   deployment configuration, e.g. ``ServingConfig.backend``;
+2. the ``REPRO_BACKEND`` environment variable -- operator override that
+   reaches every pipeline built in the process (resident workers inherit
+   it through the deployment config instead, so a coordinator-side env
+   var cannot silently diverge from its workers);
+3. ``"numpy"`` -- the always-available, bit-exact default.
+
+Optional backends are constructed lazily and memoised; a backend whose
+library is not installed (or has no usable device) raises
+:class:`BackendError` with the reason, and :func:`backend_available`
+turns that probe into a boolean for test lanes that skip cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import ArrayBackend, BackendError
+from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend
+
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+#: Every backend name the registry knows, installed or not.  Config
+#: validation checks membership here; availability is a use-time concern.
+KNOWN_BACKENDS: tuple[str, ...] = ("numpy", "cupy", "torch")
+
+_FACTORIES: dict[str, type[ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "torch": TorchBackend,
+}
+
+_instances: dict[str, ArrayBackend] = {}
+
+
+def get_backend(spec: ArrayBackend | str | None = None) -> ArrayBackend:
+    """Resolve ``spec`` to a live :class:`ArrayBackend` instance.
+
+    ``spec`` may be an instance (returned as-is), a registry name, or
+    ``None`` for the environment/default resolution described in the
+    module docstring.  Unknown names and unavailable libraries raise
+    :class:`BackendError`.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(REPRO_BACKEND_ENV, "").strip() or "numpy"
+    name = str(spec).strip().lower()
+    if name not in _FACTORIES:
+        raise BackendError(f"unknown array backend {spec!r}; known backends: {KNOWN_BACKENDS}")
+    cached = _instances.get(name)
+    if cached is None:
+        cached = _instances[name] = _FACTORIES[name]()  # raises BackendError if unavailable
+    return cached
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` resolves to a usable backend in this environment."""
+    try:
+        get_backend(name)
+    except BackendError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that are actually usable here."""
+    return tuple(name for name in KNOWN_BACKENDS if backend_available(name))

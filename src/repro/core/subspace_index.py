@@ -13,7 +13,39 @@ boundaries, which keeps lookups vectorised.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+
+@dataclass(frozen=True)
+class FlatClusterLayout:
+    """Concatenated, cluster-major view of the inverted index.
+
+    The fused score kernel works on flat ``(candidate, subspace)`` tables
+    whose rows are the members of every probed cluster laid out
+    back-to-back.  This layout provides the vectorised lookups it needs
+    without any per-cluster Python iteration:
+
+    Attributes:
+        cluster_sizes: ``(C,)`` member count per cluster.
+        member_base: ``(C + 1,)`` exclusive prefix sum of the sizes -- the
+            offset of each cluster's slice in the concatenated arrays.
+        members: ``(N,)`` member point ids, cluster-major.
+        positions: ``(S, N)`` within-cluster member positions sorted by
+            code, cluster-major (the ``argsort`` each cluster's inverted
+            lists were built from).
+        entry_offsets: ``(S, C, E + 1)`` group boundaries indexing the
+            second axis of ``positions``: the members of cluster ``c``
+            encoded with entry ``e`` in subspace ``s`` sit at
+            ``positions[s, entry_offsets[s, c, e]:entry_offsets[s, c, e + 1]]``.
+    """
+
+    cluster_sizes: np.ndarray
+    member_base: np.ndarray
+    members: np.ndarray
+    positions: np.ndarray
+    entry_offsets: np.ndarray
 
 
 class SubspaceInvertedIndex:
@@ -31,7 +63,9 @@ class SubspaceInvertedIndex:
         self._members: list[np.ndarray] = []
         self._codes: list[np.ndarray] = []
         self._sorted_members: list[np.ndarray] = []  # (S, n_c) member ids per cluster
+        self._sorted_positions: list[np.ndarray] = []  # (S, n_c) member positions per cluster
         self._group_offsets: list[np.ndarray] = []  # (S, E + 1) boundaries per cluster
+        self._flat_layout: FlatClusterLayout | None = None
         self.num_subspaces: int | None = None
 
     @property
@@ -55,24 +89,66 @@ class SubspaceInvertedIndex:
         self._members = []
         self._codes = []
         self._sorted_members = []
+        self._sorted_positions = []
         self._group_offsets = []
+        self._flat_layout = None
         for members in posting_lists:
             members = np.asarray(members, dtype=np.int64)
             cluster_codes = codes[members]
             self._members.append(members)
             self._codes.append(cluster_codes)
             sorted_members = np.empty((self.num_subspaces, members.shape[0]), dtype=np.int64)
+            sorted_positions = np.empty((self.num_subspaces, members.shape[0]), dtype=np.int64)
             offsets = np.empty((self.num_subspaces, self.num_entries + 1), dtype=np.int64)
             for s in range(self.num_subspaces):
                 order = np.argsort(cluster_codes[:, s], kind="stable")
                 sorted_codes = cluster_codes[order, s]
                 sorted_members[s] = members[order]
+                sorted_positions[s] = order
                 offsets[s] = np.searchsorted(
                     sorted_codes, np.arange(self.num_entries + 1), side="left"
                 )
             self._sorted_members.append(sorted_members)
+            self._sorted_positions.append(sorted_positions)
             self._group_offsets.append(offsets)
         return self
+
+    def flat_layout(self) -> FlatClusterLayout:
+        """Concatenated CSR layout consumed by the fused score kernel.
+
+        Built lazily from the per-cluster structures on first use and
+        cached; the index is immutable after :meth:`build`, so the cache
+        never goes stale (mutation flows rebuild the whole index).
+        """
+        if self._flat_layout is None:
+            num_subspaces = self.num_subspaces or 0
+            sizes = np.array([m.shape[0] for m in self._members], dtype=np.int64)
+            member_base = np.zeros(sizes.shape[0] + 1, dtype=np.int64)
+            np.cumsum(sizes, out=member_base[1:])
+            total = int(member_base[-1])
+            members = (
+                np.concatenate(self._members)
+                if self._members
+                else np.zeros(0, dtype=np.int64)
+            )
+            positions = np.empty((num_subspaces, total), dtype=np.int64)
+            for c, sorted_positions in enumerate(self._sorted_positions):
+                positions[:, member_base[c] : member_base[c + 1]] = sorted_positions
+            if self._group_offsets:
+                entry_offsets = np.stack(self._group_offsets, axis=1)
+                entry_offsets = entry_offsets + member_base[:-1][None, :, None]
+            else:
+                entry_offsets = np.zeros(
+                    (num_subspaces, 0, self.num_entries + 1), dtype=np.int64
+                )
+            self._flat_layout = FlatClusterLayout(
+                cluster_sizes=sizes,
+                member_base=member_base,
+                members=members,
+                positions=positions,
+                entry_offsets=entry_offsets,
+            )
+        return self._flat_layout
 
     # --------------------------------------------------------------- lookups
     def cluster_members(self, cluster_id: int) -> np.ndarray:

@@ -105,13 +105,17 @@ class QueryPipeline:
         return ctx
 
 
-def default_search_pipeline(stage_cache: StageCache | None = None) -> QueryPipeline:
+def default_search_pipeline(
+    stage_cache: StageCache | None = None,
+    backend=None,
+    score_kernel: str = "fused",
+) -> QueryPipeline:
     """The staged equivalent of the monolithic JUNO online path (Alg. 2).
 
     ``CoarseFilterStage -> ThresholdStage -> RTSelectStage -> ScoreStage ->
     TopKStage``; bit-identical to the pre-pipeline ``JunoIndex.search``
-    (the score stage runs the batched kernel, which the parity tests pin to
-    the historical loop).
+    (the score stage runs the CSR-fused kernel by default, which the parity
+    tests pin to the historical loop).
 
     Args:
         stage_cache: optional :class:`~repro.pipeline.cache.StageCache`
@@ -122,22 +126,35 @@ def default_search_pipeline(stage_cache: StageCache | None = None) -> QueryPipel
             RT-select memo keys on the full upstream slice -- including the
             quality mode's inner-sphere setting and the ``t_max`` budgets --
             so it only hits for exact repeats.
+        backend: array backend for the score kernel's bulk work -- an
+            :class:`~repro.backend.ArrayBackend`, a registry name, or
+            ``None`` for the ``REPRO_BACKEND``-env/NumPy default.  The
+            resolved backend's fingerprint is mixed into every stage-cache
+            key so cached artifacts never alias across backends.
+        score_kernel: ``"fused"`` (CSR-native, the default) or ``"dense"``
+            (the historical batched kernel; NumPy backend only).
     """
     return QueryPipeline(
         (
-            CoarseFilterStage(cache=stage_cache),
-            ThresholdStage(cache=stage_cache),
-            RTSelectStage(cache=stage_cache),
-            ScoreStage(),
+            CoarseFilterStage(cache=stage_cache, backend=backend),
+            ThresholdStage(cache=stage_cache, backend=backend),
+            RTSelectStage(cache=stage_cache, backend=backend),
+            ScoreStage(backend=backend, kernel=score_kernel),
             TopKStage(),
         )
     )
 
 
-def rerank_pipeline(points, metric=None, stage_cache: StageCache | None = None) -> QueryPipeline:
+def rerank_pipeline(
+    points,
+    metric=None,
+    stage_cache: StageCache | None = None,
+    backend=None,
+    score_kernel: str = "fused",
+) -> QueryPipeline:
     """A default pipeline with an exact rerank appended after top-k."""
     from repro.pipeline.stages import ExactRerankStage
 
-    return default_search_pipeline(stage_cache=stage_cache).appended(
-        ExactRerankStage(points, metric=metric)
-    )
+    return default_search_pipeline(
+        stage_cache=stage_cache, backend=backend, score_kernel=score_kernel
+    ).appended(ExactRerankStage(points, metric=metric))

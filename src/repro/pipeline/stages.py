@@ -36,6 +36,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.backend import ArrayBackend, BackendError, get_backend
 from repro.core.hit_count import HitCountScorer
 from repro.core.inner_product import inner_product_threshold_to_tmax
 from repro.core.selective_lut import SelectiveLUTConstructor
@@ -43,6 +44,7 @@ from repro.core.threshold import ThresholdModel
 from repro.metrics.distances import Metric, padded_top_k
 from repro.pipeline.cache import StageCache, freeze
 from repro.pipeline.context import QueryContext
+from repro.pipeline.fused import fused_score_candidates
 
 
 @runtime_checkable
@@ -100,8 +102,11 @@ class CoarseFilterStage:
 
     name = "coarse_filter"
 
-    def __init__(self, cache: StageCache | None = None) -> None:
+    def __init__(
+        self, cache: StageCache | None = None, backend: ArrayBackend | str | None = None
+    ) -> None:
         self.cache = cache
+        self.backend = get_backend(backend)
 
     def run(self, ctx: QueryContext) -> None:
         index = ctx.require("index", self.name)
@@ -109,6 +114,7 @@ class CoarseFilterStage:
         if self.cache is not None:
             key = (
                 self.name,
+                self.backend.fingerprint,
                 _index_cache_identity(index),
                 int(ctx.nprobs),
                 self.cache.fingerprint(ctx.queries),
@@ -140,8 +146,11 @@ class ThresholdStage:
 
     name = "threshold"
 
-    def __init__(self, cache: StageCache | None = None) -> None:
+    def __init__(
+        self, cache: StageCache | None = None, backend: ArrayBackend | str | None = None
+    ) -> None:
         self.cache = cache
+        self.backend = get_backend(backend)
 
     def run(self, ctx: QueryContext) -> None:
         index = ctx.require("index", self.name)
@@ -150,6 +159,7 @@ class ThresholdStage:
         if self.cache is not None:
             key = (
                 self.name,
+                self.backend.fingerprint,
                 _index_cache_identity(index),
                 float(ctx.threshold_scale),
                 self.cache.fingerprint(ctx.queries),
@@ -230,8 +240,11 @@ class RTSelectStage:
 
     name = "rt_select"
 
-    def __init__(self, cache: StageCache | None = None) -> None:
+    def __init__(
+        self, cache: StageCache | None = None, backend: ArrayBackend | str | None = None
+    ) -> None:
         self.cache = cache
+        self.backend = get_backend(backend)
 
     def _cache_key(self, ctx: QueryContext, index, origins, t_max) -> tuple:
         inner_ratio = (
@@ -241,6 +254,7 @@ class RTSelectStage:
         )
         return (
             self.name,
+            self.backend.fingerprint,
             _index_cache_identity(index),
             ctx.metric.value,
             inner_ratio,
@@ -318,17 +332,34 @@ def _miss_penalties(ctx: QueryContext, row_thresholds: np.ndarray) -> np.ndarray
 class ScoreStage:
     """Stage C1: batched distance calculation over the selected points only.
 
-    The ``(query, cluster)`` work items of the batch are grouped by cluster:
-    each cluster's member codes are gathered once and every ray touching the
-    cluster is scored in one vectorised NumPy kernel -- a ``(rays, members,
-    subspaces)`` block for both the exact-distance (JUNO-H) and hit-count
-    (JUNO-L/M) quality modes -- instead of one Python iteration per
-    ``(query, cluster)`` pair.  Scores, candidate ordering and
-    :class:`SearchWork` deltas are bit-identical to
-    :class:`LoopedScoreStage` (the historical per-ray loop, kept as the
-    parity-test reference): the per-element arithmetic and the per-(ray,
-    member) reduction over the subspace axis are unchanged, only the batch
-    shape differs.
+    Two kernels compute the same scores:
+
+    * ``kernel="fused"`` (the default): the CSR-native fused
+      threshold+score kernel (:mod:`repro.pipeline.fused`) scatters the
+      RT hit lists straight into a flat ``(candidate, subspace)`` table
+      -- no dense ``(rays, S, E)`` materialisation and no per-cluster
+      Python loop -- with the dynamic-threshold miss penalties fused
+      into the same pass.
+    * ``kernel="dense"``: the historical batched kernel.  The ``(query,
+      cluster)`` work items of the batch are grouped by cluster: each
+      cluster's member codes are gathered once and every ray touching
+      the cluster is scored in one vectorised NumPy kernel -- a ``(rays,
+      members, subspaces)`` block for both the exact-distance (JUNO-H)
+      and hit-count (JUNO-L/M) quality modes.
+
+    Scores, candidate ordering and :class:`SearchWork` deltas of both
+    kernels are bit-identical to :class:`LoopedScoreStage` (the
+    historical per-ray loop, kept as the parity-test reference): the
+    per-element arithmetic and the per-(ray, member) reduction over the
+    subspace axis are unchanged, only the batch shape differs.
+
+    ``backend`` selects the :class:`~repro.backend.ArrayBackend` the
+    bulk array work runs on (name, instance, or ``None`` for the
+    ``REPRO_BACKEND``-env/NumPy default).  The NumPy backend is
+    bit-exact; GPU backends are tolerance-documented (see
+    ``docs/performance.md``).  The dense kernel accepts only bit-exact
+    backends -- it *is* the NumPy reference shape; non-exact backends
+    pair with the fused kernel.
 
     Produces one concatenated ``(ids, scores)`` candidate pair per query
     (``None`` for queries whose probed clusters yielded no candidate); the
@@ -337,7 +368,25 @@ class ScoreStage:
 
     name = "score"
 
+    def __init__(
+        self,
+        backend: ArrayBackend | str | None = None,
+        kernel: str = "fused",
+    ) -> None:
+        self.backend = get_backend(backend)
+        if kernel not in ("fused", "dense"):
+            raise ValueError(f"unknown score kernel {kernel!r}; expected 'fused' or 'dense'")
+        if kernel == "dense" and not self.backend.exact:
+            raise BackendError(
+                "the dense score kernel is the bit-exact NumPy reference path; "
+                f"use kernel='fused' with the {self.backend.name!r} backend"
+            )
+        self.kernel = kernel
+
     def run(self, ctx: QueryContext) -> None:
+        if self.kernel == "fused":
+            fused_score_candidates(ctx, self.backend, _miss_penalties)
+            return
         index = ctx.require("index", self.name)
         selected = ctx.require("selected", self.name)
         lut = ctx.require("lut", self.name)

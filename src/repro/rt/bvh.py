@@ -70,11 +70,52 @@ class FlatBVH:
     leaf_start: np.ndarray
     leaf_count: np.ndarray
     leaf_primitives: np.ndarray
+    _parent: np.ndarray | None = field(default=None, repr=False)
+    _level_offsets: np.ndarray | None = field(default=None, repr=False)
+    _leaf_nodes: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes in the flattened tree."""
         return int(self.node_min.shape[0])
+
+    def topology(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Derived traversal topology ``(parent, level_offsets, leaf_nodes)``.
+
+        Because nodes are stored breadth-first, every tree level occupies a
+        contiguous index range: level ``l`` is ``[level_offsets[l],
+        level_offsets[l + 1])``.  The level-synchronous batch tracer uses
+        this to propagate reachability one level at a time with a single
+        gather per level instead of a Python loop over nodes.  Computed
+        lazily and cached (the tree is immutable once flattened).
+
+        Returns:
+            ``parent``: ``(num_nodes,)`` parent index per node (-1 for the
+            root); ``level_offsets``: ``(num_levels + 1,)`` slice boundaries
+            of the per-level index ranges; ``leaf_nodes``: ascending indices
+            of the leaf nodes.
+        """
+        if self._parent is None:
+            count = self.num_nodes
+            parent = np.full(count, -1, dtype=np.int64)
+            internal = np.flatnonzero(self.left >= 0)
+            parent[self.left[internal]] = internal
+            parent[self.right[internal]] = internal
+            depth = np.zeros(count, dtype=np.int64)
+            for node in range(1, count):
+                depth[node] = depth[parent[node]] + 1
+            if count:
+                boundaries = np.flatnonzero(np.diff(depth)) + 1
+                level_offsets = np.concatenate(
+                    ([0], boundaries, [count])
+                ).astype(np.int64)
+            else:
+                level_offsets = np.zeros(1, dtype=np.int64)
+            self._parent = parent
+            self._level_offsets = level_offsets
+            self._leaf_nodes = np.flatnonzero(self.left < 0)
+        assert self._level_offsets is not None and self._leaf_nodes is not None
+        return self._parent, self._level_offsets, self._leaf_nodes
 
 
 class BVH:

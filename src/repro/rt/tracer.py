@@ -165,64 +165,62 @@ class RayTracer:
         ox = origins_xy[:, 0]
         oy = origins_xy[:, 1]
 
-        hit_rays: list[np.ndarray] = []
-        hit_entries: list[np.ndarray] = []
-        hit_times: list[np.ndarray] = []
+        parent, level_offsets, leaf_nodes = flat.topology()
 
-        # Boolean-mask BFS over the flattened BVH: ``reach[i]`` marks the rays
-        # whose traversal stack would contain node i; the slab test then
-        # decides which of those descend into the children / leaf primitives.
-        reach = np.zeros((flat.num_nodes, num_rays), dtype=bool)
+        # Slab tests for every (node, ray) pair in one broadcast -- identical
+        # boolean outcomes to the per-node tests of the reference traversal.
+        in_x = (ox[None, :] >= flat.node_min[:, 0, None]) & (
+            ox[None, :] <= flat.node_max[:, 0, None]
+        )
+        in_y = (oy[None, :] >= flat.node_min[:, 1, None]) & (
+            oy[None, :] <= flat.node_max[:, 1, None]
+        )
+        t_entry = np.maximum(flat.node_min[:, 2] - origin_z, 0.0)
+        t_exit = flat.node_max[:, 2] - origin_z
+        slab = in_x & in_y & (t_max_arr[None, :] >= t_entry[:, None]) & (t_exit[:, None] >= 0.0)
+
+        # Level-synchronous reachability: ``reach[i]`` marks the rays whose
+        # traversal stack would contain node i.  A node is reached iff its
+        # parent was reached and its parent's slab test passed, and because
+        # the flattened tree is breadth-first each level is a contiguous
+        # index range -- so one gather per level replaces the per-node loop.
+        reach = np.empty((flat.num_nodes, num_rays), dtype=bool)
         reach[0] = True
-        node_visits = 0
-        prim_tests = 0
-        for node in range(flat.num_nodes):
-            active = reach[node]
-            active_count = int(active.sum())
-            if active_count == 0:
-                continue
-            node_visits += active_count
-            in_x = (ox >= flat.node_min[node, 0]) & (ox <= flat.node_max[node, 0])
-            in_y = (oy >= flat.node_min[node, 1]) & (oy <= flat.node_max[node, 1])
-            t_entry = flat.node_min[node, 2] - origin_z
-            t_exit = flat.node_max[node, 2] - origin_z
-            in_z = (t_max_arr >= max(t_entry, 0.0)) & (t_exit >= 0.0)
-            passed = active & in_x & in_y & in_z
-            if not passed.any():
-                continue
-            if flat.left[node] >= 0:
-                reach[flat.left[node]] |= passed
-                reach[flat.right[node]] |= passed
-                continue
-            # Leaf: test each primitive against the passing rays.
-            start = flat.leaf_start[node]
-            count = flat.leaf_count[node]
-            prim_ids = flat.leaf_primitives[start : start + count]
-            ray_ids = np.flatnonzero(passed)
-            prim_tests += len(ray_ids) * len(prim_ids)
-            centres = layer.centres_xy[prim_ids]
-            radii = layer.radii[prim_ids]
-            dx = ox[ray_ids, None] - centres[None, :, 0]
-            dy = oy[ray_ids, None] - centres[None, :, 1]
-            dist_sq = dx * dx + dy * dy
-            z_offset = layer.z - origin_z
-            inside = dist_sq <= radii[None, :] ** 2
-            half_chord = np.sqrt(np.maximum(radii[None, :] ** 2 - dist_sq, 0.0))
-            t_hit = z_offset - half_chord
-            accepted = inside & (t_hit <= t_max_arr[ray_ids, None]) & (t_hit >= 0.0)
-            if accepted.any():
-                local_ray, local_prim = np.nonzero(accepted)
-                hit_rays.append(ray_ids[local_ray])
-                hit_entries.append(prim_ids[local_prim])
-                hit_times.append(t_hit[local_ray, local_prim])
+        for level in range(1, len(level_offsets) - 1):
+            lo = int(level_offsets[level])
+            hi = int(level_offsets[level + 1])
+            parents = parent[lo:hi]
+            reach[lo:hi] = reach[parents] & slab[parents]
+        stats.node_visits = int(reach.sum())
+        stats.aabb_tests = stats.node_visits
 
-        stats.node_visits = node_visits
-        stats.aabb_tests = node_visits
-        stats.prim_tests = prim_tests
-        if hit_rays:
-            ray_index = np.concatenate(hit_rays)
-            entry_index = np.concatenate(hit_entries)
-            t_hit_all = np.concatenate(hit_times)
+        # Leaves: expand every passing (leaf, ray) pair to its primitive
+        # range and run all sphere tests flat.  ``np.nonzero`` is row-major,
+        # so pairs come out ordered by leaf node index then ray index, and
+        # primitives keep their in-leaf order -- the exact hit order the
+        # per-node loop produced.
+        leaf_pass = reach[leaf_nodes] & slab[leaf_nodes]
+        pair_leaf, pair_ray = np.nonzero(leaf_pass)
+        counts = flat.leaf_count[leaf_nodes[pair_leaf]]
+        stats.prim_tests = int(counts.sum())
+        if stats.prim_tests:
+            starts = flat.leaf_start[leaf_nodes[pair_leaf]]
+            offsets = np.cumsum(counts) - counts
+            within = np.arange(stats.prim_tests, dtype=np.int64) - np.repeat(offsets, counts)
+            prim_ids = flat.leaf_primitives[np.repeat(starts, counts) + within]
+            ray_ids = np.repeat(pair_ray, counts)
+            dx = ox[ray_ids] - layer.centres_xy[prim_ids, 0]
+            dy = oy[ray_ids] - layer.centres_xy[prim_ids, 1]
+            dist_sq = dx * dx + dy * dy
+            radii_sq = layer.radii[prim_ids] ** 2
+            z_offset = layer.z - origin_z
+            inside = dist_sq <= radii_sq
+            half_chord = np.sqrt(np.maximum(radii_sq - dist_sq, 0.0))
+            t_hit = z_offset - half_chord
+            accepted = inside & (t_hit <= t_max_arr[ray_ids]) & (t_hit >= 0.0)
+            ray_index = ray_ids[accepted].astype(np.int64)
+            entry_index = prim_ids[accepted]
+            t_hit_all = t_hit[accepted]
         else:
             ray_index = np.zeros(0, dtype=np.int64)
             entry_index = np.zeros(0, dtype=np.int64)

@@ -30,6 +30,7 @@ _UNSET = object()
 
 _OVERLOAD_POLICIES = ("reject", "shed_oldest")
 _EXECUTOR_KINDS = ("sequential", "thread", "process", "resident")
+_RESIDENCY_MODES = ("copy", "mmap", "shm")
 
 
 @dataclass(frozen=True)
@@ -84,16 +85,25 @@ class ReplicaPolicy:
         worker_stage_cache: give every worker a private batch-surviving
             :class:`~repro.pipeline.cache.StageCache`.
         warm: ping every worker at boot so a bad bundle fails fast.
+        residency: how workers make shard arrays resident -- ``"copy"``
+            (private copies, the default), ``"mmap"`` (read-only maps of the
+            bundle's ``npy``-layout arrays) or ``"shm"`` (coordinator-owned
+            shared-memory segments).  The zero-copy modes let all replicas
+            of a shard share one physical copy; they require an immutable
+            deployment.
     """
 
     num_replicas: int = 1
     affinity: bool = True
     worker_stage_cache: bool = True
     warm: bool = True
+    residency: str = "copy"
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if self.residency not in _RESIDENCY_MODES:
+            raise ValueError(f"residency must be one of {_RESIDENCY_MODES}")
 
     def to_dict(self) -> dict:
         """JSON-serialisable form; inverse of :meth:`from_dict`."""
@@ -102,6 +112,7 @@ class ReplicaPolicy:
             "affinity": self.affinity,
             "worker_stage_cache": self.worker_stage_cache,
             "warm": self.warm,
+            "residency": self.residency,
         }
 
     @classmethod
@@ -130,6 +141,9 @@ class ServingConfig:
         admission: the :class:`AdmissionPolicy` applied by
             :meth:`~repro.serving.engine.ServingEngine.serve_async`.
         label: display name for engines built over the deployment.
+        backend: array-backend name (:mod:`repro.backend`) the deployment's
+            score kernels run on; ``None`` keeps the
+            ``REPRO_BACKEND``-env/NumPy default.
     """
 
     executor: object = "thread"
@@ -138,12 +152,18 @@ class ServingConfig:
     replicas: ReplicaPolicy = field(default_factory=ReplicaPolicy)
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     label: str | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.executor, str) and self.executor not in _EXECUTOR_KINDS:
             raise ValueError(f"executor must be one of {_EXECUTOR_KINDS}")
         if self.num_workers is not None and self.num_workers <= 0:
             raise ValueError("num_workers must be positive (or None for one per shard)")
+        if self.backend is not None:
+            from repro.backend import KNOWN_BACKENDS
+
+            if self.backend not in KNOWN_BACKENDS:
+                raise ValueError(f"backend must be one of {KNOWN_BACKENDS} (or None)")
 
     def with_updates(self, **changes) -> "ServingConfig":
         """A copy with the given fields replaced (frozen-dataclass idiom)."""
@@ -163,6 +183,7 @@ class ServingConfig:
             "replicas": self.replicas.to_dict(),
             "admission": self.admission.to_dict(),
             "label": self.label,
+            "backend": self.backend,
         }
 
     @classmethod

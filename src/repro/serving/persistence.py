@@ -10,7 +10,10 @@ directory bundle:
   trained state (corpus size, sphere radius, threshold-range statistics).
 * ``arrays.npz`` -- IVF centroids and labels, PQ codes, one codebook entry
   matrix per subspace, the density maps and the threshold-regressor
-  coefficients.
+  coefficients.  ``save_index(layout="npy")`` stores the same arrays as
+  uncompressed ``arrays/<name>.npy`` files instead -- that layout is
+  memory-mappable (``load_index(mmap=True)``), which is what the zero-copy
+  residency modes of :mod:`repro.serving.runtime` build on.
 
 Everything else (posting lists, the subspace-level inverted indices, the
 traversable RT scene, ray origin offsets) is a deterministic function of the
@@ -48,10 +51,12 @@ from repro.quantization.product_quantizer import ProductQuantizer
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
+ARRAYS_DIR_NAME = "arrays"
 _INDEX_KIND = "juno-index"
 MUTABLE_KIND = "mutable-juno-index"
 _BASE_BUNDLE_NAME = "base"
 _UPDATES_NAME = "updates.npz"
+_LAYOUTS = ("npz", "npy")
 
 
 class PersistenceError(ServingError):
@@ -74,8 +79,9 @@ def save_index(
     validate_queries: np.ndarray | None = None,
     validate_k: int = 10,
     validate_nprobs: int = 8,
+    layout: str = "npz",
 ) -> Path:
-    """Persist a trained index as a ``manifest.json`` + ``arrays.npz`` bundle.
+    """Persist a trained index as a ``manifest.json`` + array bundle.
 
     Args:
         index: a trained :class:`JunoIndex`.
@@ -87,12 +93,21 @@ def save_index(
             validation).
         validate_k: ``k`` used for round-trip validation searches.
         validate_nprobs: ``nprobs`` used for round-trip validation searches.
+        layout: ``"npz"`` (default) stores every array in one compressed
+            ``arrays.npz``; ``"npy"`` stores each array as an uncompressed
+            ``arrays/<name>.npy`` file instead.  The ``npy`` layout is
+            **memory-mappable**: ``load_index(path, mmap=True)`` then maps
+            the corpus-proportional arrays read-only straight from the page
+            cache, so N resident workers on one host share one physical copy
+            instead of unpickling N private ones.
 
     Returns:
         The bundle directory as a :class:`~pathlib.Path`.
     """
     if not index.is_trained:
         raise PersistenceError("cannot save an untrained JunoIndex")
+    if layout not in _LAYOUTS:
+        raise PersistenceError(f"layout must be one of {_LAYOUTS}")
     path = Path(path)
     try:
         path.mkdir(parents=True, exist_ok=True)
@@ -102,6 +117,7 @@ def save_index(
     manifest = {
         "format_version": FORMAT_VERSION,
         "kind": _INDEX_KIND,
+        "layout": layout,
         "config": asdict(index.config),
         "dim": int(index.dim),
         "num_points": int(index.num_points),
@@ -124,7 +140,13 @@ def save_index(
         arrays[f"codebook_{s}"] = codebook.entries
 
     (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
-    np.savez_compressed(path / ARRAYS_NAME, **arrays)
+    if layout == "npy":
+        arrays_dir = path / ARRAYS_DIR_NAME
+        arrays_dir.mkdir(exist_ok=True)
+        for name, array in arrays.items():
+            np.save(arrays_dir / f"{name}.npy", np.ascontiguousarray(array))
+    else:
+        np.savez_compressed(path / ARRAYS_NAME, **arrays)
 
     if validate_queries is not None:
         reloaded = load_index(path)
@@ -135,6 +157,9 @@ def save_index(
             # not be left behind where a serving process could load it.
             (path / MANIFEST_NAME).unlink(missing_ok=True)
             (path / ARRAYS_NAME).unlink(missing_ok=True)
+            if layout == "npy":
+                for name in arrays:
+                    (path / ARRAYS_DIR_NAME / f"{name}.npy").unlink(missing_ok=True)
             msg = (
                 f"round-trip validation failed: the bundle at {path} does not "
                 "reproduce the original search results (bundle removed)"
@@ -167,41 +192,88 @@ def read_manifest(path: str | Path, expected_kind: str) -> dict:
     return manifest
 
 
-def load_index(path: str | Path) -> JunoIndex:
-    """Restore a trained :class:`JunoIndex` from a bundle written by :func:`save_index`.
+def read_bundle_arrays(path: str | Path, manifest: dict, mmap: bool = False) -> dict:
+    """Load a bundle's trained arrays as a ``name -> array`` dict.
 
-    The reloaded index is immediately searchable; no training runs.  Raises
-    :class:`PersistenceError` when the bundle is missing, has an unsupported
-    format version or is internally inconsistent.
+    The reading half of :func:`load_index`, split out so residency layers
+    can substitute their own array sources -- shared-memory views, memmaps
+    -- and hand them to :func:`index_from_arrays` for assembly.
+
+    Args:
+        path: bundle directory.
+        manifest: the bundle manifest (already read and validated).
+        mmap: map the arrays read-only (``np.load(..., mmap_mode="r")``)
+            instead of reading them into private memory.  Requires the
+            memory-mappable ``npy`` layout (``save_index(layout="npy")``);
+            the compressed ``npz`` layout cannot be mapped and raises.
     """
     path = Path(path)
-    manifest = read_manifest(path, _INDEX_KIND)
+    layout = manifest.get("layout", "npz")
+    names = [
+        "ivf_centroids",
+        "ivf_labels",
+        "codes",
+        "density_mins",
+        "density_maxs",
+        "density_densities",
+        "threshold_coefficients",
+    ] + [f"codebook_{s}" for s in range(int(manifest["config"]["num_subspaces"]))]
+    if layout == "npy":
+        arrays_dir = path / ARRAYS_DIR_NAME
+        if not arrays_dir.is_dir():
+            raise PersistenceError(f"index bundle at {path} is missing {ARRAYS_DIR_NAME}/")
+        try:
+            return {
+                name: np.load(arrays_dir / f"{name}.npy", mmap_mode="r" if mmap else None)
+                for name in names
+            }
+        except PersistenceError:
+            raise
+        except Exception as exc:
+            raise PersistenceError(f"corrupt array bundle in {path}: {exc}") from exc
+    if mmap:
+        raise PersistenceError(
+            f"the bundle at {path} uses the compressed {ARRAYS_NAME} layout, "
+            "which cannot be memory-mapped; save it with layout='npy' for "
+            "mmap/shared residency"
+        )
     arrays_path = path / ARRAYS_NAME
     if not arrays_path.is_file():
         raise PersistenceError(f"index bundle at {path} is missing {ARRAYS_NAME}")
+    try:
+        with np.load(arrays_path) as arrays:
+            return {name: arrays[name] for name in names}
+    except PersistenceError:
+        raise
+    except Exception as exc:
+        raise PersistenceError(f"corrupt array bundle in {path}: {exc}") from exc
 
+
+def index_from_arrays(manifest: dict, arrays: dict) -> JunoIndex:
+    """Assemble a searchable :class:`JunoIndex` from a manifest plus arrays.
+
+    The assembly half of :func:`load_index`: ``arrays`` maps the bundle's
+    array names to array-likes (private copies, read-only memmaps or
+    shared-memory views -- anything NumPy indexing accepts).  Everything
+    derived (posting lists, subspace inverted indices, the RT scene) is
+    rebuilt here, which is what keeps reloaded indexes bit-identical.
+    """
     config = JunoConfig(**manifest["config"])
     index = JunoIndex(config)
     index.dim = int(manifest["dim"])
     index.num_points = int(manifest["num_points"])
 
-    try:
-        with np.load(arrays_path) as arrays:
-            centroids = arrays["ivf_centroids"]
-            labels = arrays["ivf_labels"]
-            codes = arrays["codes"]
-            codebooks = [
-                SubspaceCodebook(arrays[f"codebook_{s}"], subspace_id=s)
-                for s in range(config.num_subspaces)
-            ]
-            density_mins = arrays["density_mins"]
-            density_maxs = arrays["density_maxs"]
-            densities = arrays["density_densities"]
-            coefficients = arrays["threshold_coefficients"]
-    except PersistenceError:
-        raise
-    except Exception as exc:
-        raise PersistenceError(f"corrupt array bundle in {path}: {exc}") from exc
+    centroids = arrays["ivf_centroids"]
+    labels = arrays["ivf_labels"]
+    codes = arrays["codes"]
+    codebooks = [
+        SubspaceCodebook(arrays[f"codebook_{s}"], subspace_id=s)
+        for s in range(config.num_subspaces)
+    ]
+    density_mins = arrays["density_mins"]
+    density_maxs = arrays["density_maxs"]
+    densities = arrays["density_densities"]
+    coefficients = arrays["threshold_coefficients"]
 
     _check_consistency(index, manifest, centroids, labels, codes, densities)
 
@@ -252,6 +324,27 @@ def load_index(path: str | Path) -> JunoIndex:
     index.sphere_radius = float(manifest["sphere_radius"])
     index.rebuild_scene()
     return index
+
+
+def load_index(path: str | Path, mmap: bool = False) -> JunoIndex:
+    """Restore a trained :class:`JunoIndex` from a bundle written by :func:`save_index`.
+
+    The reloaded index is immediately searchable; no training runs.  Raises
+    :class:`PersistenceError` when the bundle is missing, has an unsupported
+    format version or is internally inconsistent.
+
+    Args:
+        path: bundle directory.
+        mmap: map the persisted arrays read-only instead of copying them
+            into private memory (requires the ``npy`` layout; see
+            :func:`read_bundle_arrays`).  Search results are bit-identical
+            either way, but co-resident processes mapping the same bundle
+            share one physical copy of the corpus-proportional arrays.
+    """
+    path = Path(path)
+    manifest = read_manifest(path, _INDEX_KIND)
+    arrays = read_bundle_arrays(path, manifest, mmap=mmap)
+    return index_from_arrays(manifest, arrays)
 
 
 def save_mutable_index(index, path: str | Path) -> Path:

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.errors import RecoveryError, ServingError
 from repro.serving.executors import ShardExecutor
-from repro.serving.runtime import ResidentWorker
+from repro.serving.runtime import RESIDENCY_MODES, ResidentWorker
+from repro.serving.shm import ShmArraySet
 
 
 class WorkerFailoverError(ServingError):
@@ -107,6 +108,17 @@ class ResidentProcessShardExecutor(ShardExecutor):
             its ``(queries, k, params)`` instead of pure round-robin, so hot
             repeat batches hit the worker whose resident stage cache already
             holds them; falls back over surviving replicas on death.
+        residency: how workers make shard arrays resident.  ``"copy"``
+            (default) gives every worker a private copy; ``"mmap"`` maps the
+            bundle's ``npy``-layout arrays read-only from the page cache;
+            ``"shm"`` materialises each shard's arrays exactly once into
+            executor-owned POSIX shared memory and ships only descriptors to
+            the workers -- with either zero-copy mode, N replicas of a shard
+            share one physical copy of its trained arrays.  Zero-copy modes
+            require an immutable deployment: mutable shards replay WAL tails
+            and mutate state in place, which cannot alias a shared mapping.
+        backend: array-backend name for the workers' score kernels
+            (:mod:`repro.backend`), or ``None`` for the default.
 
     Attributes:
         last_batch_payload_bytes: summed pickled size of the last fan-out's
@@ -133,9 +145,20 @@ class ResidentProcessShardExecutor(ShardExecutor):
         warm: bool = True,
         mutable: bool = False,
         affinity: bool = True,
+        residency: str = "copy",
+        backend: str | None = None,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if residency not in RESIDENCY_MODES:
+            raise ValueError(
+                f"residency must be one of {RESIDENCY_MODES}, got {residency!r}"
+            )
+        if mutable and residency != "copy":
+            raise ValueError(
+                "zero-copy residency (mmap/shm) requires an immutable deployment; "
+                "mutable shards replay WAL tails and mutate state in place"
+            )
         self.bundle_path = Path(bundle_path)
         if num_shards is None:
             num_shards = self._read_num_shards(self.bundle_path)
@@ -146,6 +169,8 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.stage_cache = bool(stage_cache)
         self.mutable = bool(mutable)
         self.affinity = bool(affinity)
+        self.residency = str(residency)
+        self.backend = backend
         self.last_batch_payload_bytes = 0
         self.retried_batches = 0
         self.ops_broadcast = 0
@@ -155,18 +180,15 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self._injected_failures: set[tuple[int, int]] = set()
         self._closed = False
         self._replica_sets: list[_ReplicaSet] = []
+        self._shm_sets: dict[int, ShmArraySet] = {}
         try:
+            if self.residency == "shm":
+                self._create_shm_sets()
             self._replica_sets = [
                 _ReplicaSet(
                     shard_id,
                     [
-                        ResidentWorker(
-                            self.bundle_path,
-                            (shard_id,),
-                            replica_id=replica,
-                            stage_cache=self.stage_cache,
-                            mutable=self.mutable,
-                        )
+                        self._make_worker(shard_id, replica)
                         for replica in range(self.num_replicas)
                     ],
                 )
@@ -176,9 +198,84 @@ class ResidentProcessShardExecutor(ShardExecutor):
                 self.warm()
         except BaseException:
             # A failed boot (bad bundle, dead interpreter) must not leak the
-            # worker pools already spawned for earlier shards/replicas.
+            # worker pools already spawned for earlier shards/replicas, nor
+            # the shared-memory segments already materialised.
             self.close()
             raise
+
+    def _create_shm_sets(self) -> None:
+        """Materialise every shard's arrays into executor-owned shared memory.
+
+        One :class:`~repro.serving.shm.ShmArraySet` per shard, loaded
+        straight from the per-shard bundle -- the single physical copy all
+        of that shard's replicas attach to.  The executor is the owner: the
+        segments are unlinked in :meth:`close`.
+        """
+        from repro.serving.persistence import (
+            read_bundle_arrays,
+            read_manifest,
+            shard_bundle_path,
+        )
+
+        for shard_id in range(self.num_shards):
+            bundle = shard_bundle_path(self.bundle_path, shard_id)
+            manifest = read_manifest(bundle, "juno-index")
+            arrays = read_bundle_arrays(bundle, manifest)
+            self._shm_sets[shard_id] = ShmArraySet.create(
+                arrays, prefix=f"repro-s{shard_id}"
+            )
+
+    def _make_worker(self, shard_id: int, replica_id: int) -> ResidentWorker:
+        """Boot one worker with this executor's residency/backend settings."""
+        shm_set = self._shm_sets.get(shard_id)
+        return ResidentWorker(
+            self.bundle_path,
+            (shard_id,),
+            replica_id=replica_id,
+            stage_cache=self.stage_cache,
+            mutable=self.mutable,
+            residency=self.residency,
+            shm_descriptors=(
+                {shard_id: shm_set.descriptors} if shm_set is not None else None
+            ),
+            backend=self.backend,
+        )
+
+    def boot_payload_bytes(self) -> int:
+        """Summed pickled initargs of every configured worker.
+
+        The boot-time IPC observable, the counterpart of
+        :attr:`last_batch_payload_bytes`: with zero-copy residency the
+        payloads carry bundle paths and shm descriptors instead of arrays,
+        so this stays flat as the corpus grows (regression-tested).
+        """
+        return sum(
+            worker.boot_payload_bytes
+            for replica_set in self._replica_sets
+            for worker in replica_set.workers
+        )
+
+    def resident_bytes(self) -> int:
+        """Bytes of trained-array state held in executor-owned shared memory.
+
+        Zero unless ``residency == "shm"``; one physical copy per shard
+        regardless of the replica count.
+        """
+        return sum(shm.total_bytes for shm in self._shm_sets.values())
+
+    def worker_pids(self) -> dict[tuple[int, int], int]:
+        """``(shard_id, replica_id) -> pid`` of every live worker process.
+
+        Used by the boot-residency benchmark to probe per-worker RSS from
+        ``/proc``; workers that have not spawned a process yet (never
+        pinged) are omitted.
+        """
+        pids = {}
+        for replica_set in self._replica_sets:
+            for worker in replica_set.alive():
+                for pid in worker.pids():
+                    pids[(replica_set.shard_id, worker.replica_id)] = pid
+        return pids
 
     @staticmethod
     def _read_num_shards(bundle_path: Path) -> int:
@@ -212,13 +309,18 @@ class ResidentProcessShardExecutor(ShardExecutor):
         return [w.replica_id for w in self._replica_sets[shard_id].alive()]
 
     def close(self) -> None:
-        """Shut every worker down (idempotent)."""
+        """Shut every worker down and unlink owned shared memory (idempotent)."""
         if self._closed:
             return
         self._closed = True
         for replica_set in self._replica_sets:
             for worker in replica_set.workers:
                 worker.close()
+        # Workers have detached by now; destroying the segments last means no
+        # live worker ever observes its resident arrays disappearing.
+        for shm in self._shm_sets.values():
+            shm.unlink()
+        self._shm_sets = {}
 
     # ------------------------------------------------------------- fault inject
     def inject_failure(self, shard_id: int, replica_id: int | None = None) -> None:
@@ -487,13 +589,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
         the worker is only handed back (for admission) once the watermark
         stops moving.
         """
-        worker = ResidentWorker(
-            self.bundle_path,
-            (shard_id,),
-            replica_id=replica_id,
-            stage_cache=self.stage_cache,
-            mutable=self.mutable,
-        )
+        worker = self._make_worker(shard_id, replica_id)
         replayed = 0
         try:
             worker.ping()

@@ -21,24 +21,40 @@ from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+#: Residency modes of a worker's shard arrays: ``"copy"`` gives every worker
+#: a private copy (the original behaviour), ``"mmap"`` maps the bundle's
+#: ``npy``-layout arrays read-only from the page cache, and ``"shm"``
+#: attaches coordinator-created shared-memory segments -- both zero-copy
+#: modes let N co-resident workers share one physical copy.
+RESIDENCY_MODES = ("copy", "mmap", "shm")
+
 #: Process-global state of a resident worker, populated by
 #: :func:`resident_worker_init` when the pool boots the process.  Maps
 #: ``shard_id -> (JunoIndex, QueryPipeline | None)``; the ``"__error__"`` key
 #: holds an initializer failure so tasks can re-raise it as a typed error
-#: instead of breaking the pool.
+#: instead of breaking the pool, and ``"__shm__"`` retains the attached
+#: :class:`~repro.serving.shm.ShmArraySet` objects so their views stay valid
+#: for the worker's lifetime.
 _RESIDENT_SHARDS: dict = {}
 
 
 def resident_worker_init(
-    bundle_path: str, shard_ids: Sequence[int], stage_cache: bool, mutable: bool = False
+    bundle_path: str,
+    shard_ids: Sequence[int],
+    stage_cache: bool,
+    mutable: bool = False,
+    residency: str = "copy",
+    shm_descriptors: dict | None = None,
+    backend: str | None = None,
 ) -> None:
-    """Pool initializer: load the assigned shards from disk, once.
+    """Pool initializer: make the assigned shards resident, once.
 
     Runs inside the freshly started worker process.  Each shard is restored
     from its per-shard bundle (written by
@@ -51,6 +67,15 @@ def resident_worker_init(
     so the worker can apply replicated op payloads
     (:func:`resident_apply_task`) in addition to serving queries.
 
+    ``residency`` picks how the trained arrays become resident: ``"copy"``
+    reads private copies from the bundle, ``"mmap"`` maps the bundle's
+    ``npy``-layout arrays read-only, and ``"shm"`` attaches the
+    shared-memory segments whose descriptors arrive in ``shm_descriptors``
+    (``{shard_id: {name: ShmArrayDescriptor}}``) -- the arrays themselves
+    never cross the process boundary.  ``backend`` names the array backend
+    the worker's score kernels run on (``None`` keeps the
+    ``REPRO_BACKEND``-env/NumPy default).
+
     A failing load is *recorded* rather than raised: an initializer exception
     would break the whole pool with an untyped
     :class:`~concurrent.futures.process.BrokenProcessPool`; instead every
@@ -58,20 +83,51 @@ def resident_worker_init(
     """
     from repro.pipeline.cache import StageCache
     from repro.pipeline.pipeline import default_search_pipeline
-    from repro.serving.persistence import load_index, load_mutable_index, shard_bundle_path
+    from repro.serving.persistence import (
+        index_from_arrays,
+        load_index,
+        load_mutable_index,
+        read_manifest,
+        shard_bundle_path,
+    )
+    from repro.serving.shm import ShmArraySet
 
     _RESIDENT_SHARDS.clear()
     try:
+        if residency not in RESIDENCY_MODES:
+            raise ValueError(f"residency must be one of {RESIDENCY_MODES}")
         root = Path(bundle_path)
+        attached: dict[int, ShmArraySet] = {}
         for shard_id in shard_ids:
+            shard_path = shard_bundle_path(root, shard_id)
             if mutable:
-                index = load_mutable_index(shard_bundle_path(root, shard_id))
+                # Mutable bundles replay WAL tails and mutate state in
+                # place; zero-copy residency is validated away upstream.
+                index = load_mutable_index(shard_path)
+            elif residency == "shm":
+                descriptors = (shm_descriptors or {}).get(int(shard_id))
+                if descriptors is None:
+                    raise ValueError(
+                        f"shm residency for shard {shard_id} needs its "
+                        "shared-memory descriptors"
+                    )
+                shm = ShmArraySet.attach(descriptors)
+                attached[int(shard_id)] = shm
+                index = index_from_arrays(
+                    read_manifest(shard_path, "juno-index"), shm.arrays()
+                )
             else:
-                index = load_index(shard_bundle_path(root, shard_id))
+                index = load_index(shard_path, mmap=residency == "mmap")
             pipeline = (
-                default_search_pipeline(stage_cache=StageCache()) if stage_cache else None
+                default_search_pipeline(
+                    stage_cache=StageCache() if stage_cache else None, backend=backend
+                )
+                if stage_cache or backend is not None
+                else None
             )
             _RESIDENT_SHARDS[int(shard_id)] = (index, pipeline)
+        if attached:
+            _RESIDENT_SHARDS["__shm__"] = attached
     except Exception as exc:  # noqa: BLE001 - re-raised typed by every task
         _RESIDENT_SHARDS["__error__"] = exc
 
@@ -247,6 +303,20 @@ class ResidentWorker:
             :class:`~repro.pipeline.cache.StageCache`.
         mutable: boot the shards as mutable indexes (from mutable bundles)
             so the worker accepts replicated op payloads.
+        residency: how the worker makes shard arrays resident (one of
+            :data:`RESIDENCY_MODES`).
+        shm_descriptors: per-shard shared-memory descriptors
+            (``{shard_id: {name: ShmArrayDescriptor}}``) when ``residency``
+            is ``"shm"``; the coordinator owns the segments.
+        backend: array-backend name for the worker's score kernels, or
+            ``None`` for the default.
+
+    Attributes:
+        boot_payload_bytes: pickled size of the initializer arguments --
+            everything that crosses the process boundary to boot this
+            worker.  With zero-copy residency this stays flat as the corpus
+            grows (descriptors, not arrays, are shipped), which the
+            residency tests pin as a regression guard.
     """
 
     def __init__(
@@ -256,17 +326,32 @@ class ResidentWorker:
         replica_id: int = 0,
         stage_cache: bool = True,
         mutable: bool = False,
+        residency: str = "copy",
+        shm_descriptors: dict | None = None,
+        backend: str | None = None,
     ) -> None:
         self.bundle_path = str(bundle_path)
         self.shard_ids = tuple(int(s) for s in shard_ids)
         self.replica_id = int(replica_id)
         self.stage_cache = bool(stage_cache)
         self.mutable = bool(mutable)
+        self.residency = str(residency)
+        self.backend = backend
         self.alive = True
+        initargs = (
+            self.bundle_path,
+            self.shard_ids,
+            self.stage_cache,
+            self.mutable,
+            self.residency,
+            shm_descriptors,
+            self.backend,
+        )
+        self.boot_payload_bytes = len(pickle.dumps(initargs))
         self._pool = ProcessPoolExecutor(
             max_workers=1,
             initializer=resident_worker_init,
-            initargs=(self.bundle_path, self.shard_ids, self.stage_cache, self.mutable),
+            initargs=initargs,
         )
 
     def submit_ping(self) -> Future:
@@ -276,6 +361,10 @@ class ResidentWorker:
     def ping(self) -> list[int]:
         """Block until the worker booted; returns its resident shard ids."""
         return self.submit_ping().result()
+
+    def pids(self) -> list[int]:
+        """OS pids of the worker's spawned process(es), for RSS probes."""
+        return [proc.pid for proc in (self._pool._processes or {}).values()]
 
     def submit_search(self, shard_id: int, queries, k: int, params: dict) -> Future:
         """Queue one shard search on this worker (query-only payload)."""

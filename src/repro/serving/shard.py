@@ -90,6 +90,18 @@ class ResidentShardHandle:
             "Load with load_shards=True for a coordinator-local copy."
         )
 _ASSIGNMENTS = ("round_robin", "contiguous")
+
+#: How *previously unseen* global ids are homed to a shard on upsert.
+#: ``"contiguous"`` (default) assigns fixed-size id blocks to shards in
+#: rotation, so a burst of fresh consecutive ids lands on one shard and an
+#: upsert batch touches few owners; ``"modulo"`` is the legacy
+#: ``global_id % num_shards`` deal (one shard hop per consecutive id),
+#: kept behind the flag for bundles/deployments that already homed ids
+#: that way.
+_NEW_ID_ASSIGNMENTS = ("contiguous", "modulo")
+
+#: Block size of the contiguous new-id homing rule.
+_NEW_ID_BLOCK = 1024
 _RERANK_CORPUS_NAME = "rerank_corpus.npz"
 
 
@@ -275,6 +287,12 @@ class ShardedJunoIndex:
             empty copies each batch, so it only pays off on the sequential
             and thread executors.  Ignored when a custom ``pipeline=`` is
             passed to :meth:`search`.
+        new_id_assignment: how previously unseen global ids are homed on
+            upsert -- ``"contiguous"`` (default) rotates fixed-size id
+            blocks across shards so bursts of fresh ids land together;
+            ``"modulo"`` is the legacy per-id ``global_id % num_shards``
+            rule.  Persisted in the bundle manifest so reloaded deployments
+            keep homing ids the same way.
     """
 
     def __init__(
@@ -287,17 +305,23 @@ class ShardedJunoIndex:
         exact_rerank: bool = False,
         rerank_depth: int | None = None,
         stage_cache: "bool | StageCache" = False,
+        new_id_assignment: str = "contiguous",
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if assignment not in _ASSIGNMENTS:
             raise ValueError(f"assignment must be one of {_ASSIGNMENTS}")
+        if new_id_assignment not in _NEW_ID_ASSIGNMENTS:
+            raise ValueError(
+                f"new_id_assignment must be one of {_NEW_ID_ASSIGNMENTS}"
+            )
         if rerank_depth is not None and rerank_depth <= 0:
             raise ValueError("rerank_depth must be positive")
         self.config = config
         self.metric = config.metric
         self.num_shards = int(num_shards)
         self.assignment = assignment
+        self.new_id_assignment = new_id_assignment
         self.num_workers = int(num_workers) if num_workers is not None else self.num_shards
         self.executor_spec = executor
         self.exact_rerank = bool(exact_rerank)
@@ -345,6 +369,7 @@ class ShardedJunoIndex:
         exact_rerank = config_overrides.pop("exact_rerank", False)
         rerank_depth = config_overrides.pop("rerank_depth", None)
         stage_cache = config_overrides.pop("stage_cache", False)
+        new_id_assignment = config_overrides.pop("new_id_assignment", "contiguous")
         config_overrides.setdefault("num_subspaces", dim // 2)
         return cls(
             JunoConfig(**config_overrides),
@@ -355,6 +380,7 @@ class ShardedJunoIndex:
             exact_rerank=exact_rerank,
             rerank_depth=rerank_depth,
             stage_cache=stage_cache,
+            new_id_assignment=new_id_assignment,
         )
 
     # ----------------------------------------------------------------- train
@@ -525,10 +551,13 @@ class ShardedJunoIndex:
     def _group_by_owner(self, ids: np.ndarray, assign_new: bool) -> dict[int, np.ndarray]:
         """Positions of ``ids`` grouped by owning shard.
 
-        Known ids go to the shard that holds (or held) them; unknown ids are
-        either assigned round-robin by id (``assign_new``, the upsert path --
-        the same ``global_id % num_shards`` deal the trainer used) or
-        rejected (the delete path).
+        Known ids go to the shard that holds (or held) them; unknown ids
+        are either homed by the router's ``new_id_assignment`` rule
+        (``assign_new``, the upsert path) or rejected (the delete path).
+        The default ``"contiguous"`` rule maps fixed-size id blocks to
+        shards in rotation -- a burst of consecutive fresh ids lands on one
+        shard, so the op fan-out of an upsert batch stays small; the legacy
+        ``"modulo"`` rule deals every consecutive id to a different shard.
         """
         owners = self._ensure_owner_map()
         out: dict[int, list[int]] = {}
@@ -540,7 +569,10 @@ class ShardedJunoIndex:
                 if not assign_new:
                     unknown.append(gid)
                     continue
-                owner = gid % self.num_shards
+                if self.new_id_assignment == "contiguous":
+                    owner = (gid // _NEW_ID_BLOCK) % self.num_shards
+                else:
+                    owner = gid % self.num_shards
                 owners[gid] = owner
             out.setdefault(owner, []).append(position)
         if unknown:
@@ -831,8 +863,14 @@ class ShardedJunoIndex:
         self.close()
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: str | Path) -> Path:
-        """Persist the router manifest plus one index bundle per shard."""
+    def save(self, path: str | Path, layout: str = "npz") -> Path:
+        """Persist the router manifest plus one index bundle per shard.
+
+        ``layout`` picks the per-shard array layout (immutable bundles
+        only): ``"npz"`` is the compact default, ``"npy"`` writes raw
+        uncompressed arrays so the resident runtime can memory-map them
+        read-only (``ReplicaPolicy.residency="mmap"``).
+        """
         if not self.is_trained:
             raise PersistenceError("cannot save an untrained ShardedJunoIndex")
         if any(isinstance(shard, ResidentShardHandle) for shard in self.shards):
@@ -850,6 +888,7 @@ class ShardedJunoIndex:
             "config": asdict(self.config),
             "num_shards": self.num_shards,
             "assignment": self.assignment,
+            "new_id_assignment": self.new_id_assignment,
             "dim": int(self.dim),
             "num_points": int(self.num_points),
             "exact_rerank": bool(self.exact_rerank and self._rerank_points is not None),
@@ -870,7 +909,7 @@ class ShardedJunoIndex:
             if self._mutable:
                 save_mutable_index(shard, shard_bundle_path(path, shard_id))
             else:
-                save_index(shard, shard_bundle_path(path, shard_id))
+                save_index(shard, shard_bundle_path(path, shard_id), layout=layout)
         return path
 
     @staticmethod
@@ -1002,6 +1041,8 @@ class ShardedJunoIndex:
                 mutable=mutable,
                 warm=replicas.warm,
                 affinity=replicas.affinity,
+                residency=replicas.residency,
+                backend=config.backend,
             )
             owns_executor = True
         try:
@@ -1011,6 +1052,9 @@ class ShardedJunoIndex:
                 assignment=manifest["assignment"],
                 num_workers=num_workers,
                 executor=executor,
+                # Bundles written before the contiguous rule existed homed
+                # new ids by modulo; keep doing so for them.
+                new_id_assignment=manifest.get("new_id_assignment", "modulo"),
             )
         except BaseException:
             # e.g. a manifest config key this version does not understand:
@@ -1113,8 +1157,11 @@ class ShardedJunoIndex:
             },
         )
         replicas = config.replicas if config is not None else ReplicaPolicy()
+        backend = config.backend if config is not None else None
         if persist:
-            self.save(path)
+            # mmap residency maps raw arrays straight off disk, so the
+            # bundle must be written in the uncompressed npy layout.
+            self.save(path, layout="npy" if replicas.residency == "mmap" else "npz")
         resident = ResidentProcessShardExecutor(
             path,
             num_shards=self.num_shards,
@@ -1123,6 +1170,8 @@ class ShardedJunoIndex:
             mutable=self._mutable,
             warm=replicas.warm,
             affinity=replicas.affinity,
+            residency=replicas.residency,
+            backend=backend,
         )
         if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
             self.executor_spec.close()

@@ -1,0 +1,238 @@
+"""Shared-memory residency for trained index arrays.
+
+The worker-resident runtime originally gave every worker process a private
+copy of its shard's trained arrays: N replicas of a shard meant N times the
+corpus-proportional RSS (PQ codes, IVF labels) on one host.  This module is
+the zero-copy alternative: the coordinator materialises each array exactly
+once into POSIX shared memory (:class:`ShmArraySet`), and workers *attach*
+read-only NumPy views over the same physical pages.  What crosses the
+process boundary at worker boot is a :class:`ShmArrayDescriptor` per array
+-- a (segment name, dtype, shape) triple whose pickled size is independent
+of the corpus -- instead of the arrays themselves.
+
+Lifecycle contract (the part tests pin):
+
+* the **creator** owns the segments: it must call :meth:`ShmArraySet.unlink`
+  exactly once when the deployment is torn down, after which the names are
+  gone from the OS (``/dev/shm`` on Linux);
+* **attachers** only ever :meth:`close` their mapping; a crashing attacher
+  cannot leak or destroy a segment because the creator still holds it;
+* attaching unregisters the segment from the process-local
+  ``resource_tracker`` so a worker exiting (cleanly or not) does not tear
+  down memory it does not own -- Python's tracker would otherwise unlink
+  segments it merely attached to.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Remove a merely-attached segment from this process's resource tracker.
+
+    The tracker assumes every ``SharedMemory`` the process touches is
+    process-owned and unlinks leftovers at interpreter exit; for an attached
+    view that would destroy the creator's segment out from under its other
+    attachers.  (Python 3.13 grew ``track=False`` for exactly this; this
+    shim keeps 3.10-3.12 working.)
+    """
+    try:  # pragma: no cover - defensive against tracker internals moving
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class ShmArrayDescriptor:
+    """Picklable handle to one array living in a shared-memory segment.
+
+    Attributes:
+        segment: OS-level shared-memory name to attach to.
+        dtype: array dtype as a string (``np.dtype`` round-trips it).
+        shape: array shape.
+    """
+
+    segment: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        count = 1
+        for extent in self.shape:
+            count *= int(extent)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class ShmArraySet:
+    """A named set of NumPy arrays resident in POSIX shared memory.
+
+    Create with :meth:`create` (coordinator side -- copies the arrays into
+    fresh segments it owns) or :meth:`attach` (worker side -- maps existing
+    segments read-only from their descriptors).  Access arrays with
+    ``arrays()`` or ``[]``; the set keeps the underlying segments alive for
+    as long as it is open, so views stay valid.
+
+    Args:
+        segments: the open ``SharedMemory`` objects, by array name.
+        descriptors: the matching :class:`ShmArrayDescriptor` per array.
+        owner: whether this process created (and must unlink) the segments.
+    """
+
+    def __init__(
+        self,
+        segments: dict[str, shared_memory.SharedMemory],
+        descriptors: dict[str, ShmArrayDescriptor],
+        owner: bool,
+    ) -> None:
+        self._segments = dict(segments)
+        self.descriptors = dict(descriptors)
+        self.owner = bool(owner)
+        self._closed = False
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray], prefix: str = "repro") -> "ShmArraySet":
+        """Copy ``arrays`` into fresh shared-memory segments (creator side).
+
+        Segment names are randomised (``<prefix>-<name>-<token>``) so
+        concurrent deployments on one host can never collide.  On any
+        failure the partially created segments are unlinked before the
+        error propagates -- creation is all-or-nothing.
+        """
+        segments: dict[str, shared_memory.SharedMemory] = {}
+        descriptors: dict[str, ShmArrayDescriptor] = {}
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(np.asarray(array))
+                token = secrets.token_hex(4)
+                segment = shared_memory.SharedMemory(
+                    name=f"{prefix}-{name}-{token}", create=True, size=max(array.nbytes, 1)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                segments[name] = segment
+                descriptors[name] = ShmArrayDescriptor(
+                    segment=segment.name, dtype=str(array.dtype), shape=tuple(array.shape)
+                )
+        except BaseException:
+            for segment in segments.values():
+                segment.close()
+                segment.unlink()
+            raise
+        return cls(segments, descriptors, owner=True)
+
+    @classmethod
+    def attach(cls, descriptors: dict[str, ShmArrayDescriptor]) -> "ShmArraySet":
+        """Map existing segments from their descriptors (attacher side).
+
+        The returned set does not own the segments: closing it releases
+        this process's mapping only, and the segments are explicitly
+        untracked so a worker crash cannot unlink the creator's memory.
+        On failure the already-attached segments are closed again.
+        """
+        segments: dict[str, shared_memory.SharedMemory] = {}
+        try:
+            for name, descriptor in descriptors.items():
+                segment = shared_memory.SharedMemory(name=descriptor.segment)
+                _untrack(segment)
+                segments[name] = segment
+        except BaseException:
+            for segment in segments.values():
+                segment.close()
+            raise
+        return cls(segments, dict(descriptors), owner=False)
+
+    # --------------------------------------------------------------- access
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Read-only NumPy views over every resident array, by name.
+
+        Views alias the shared pages directly -- no copy -- and are marked
+        non-writeable: the resident arrays are immutable serving state, and
+        a stray in-place write from one worker must fail loudly rather than
+        corrupt every co-resident process.
+        """
+        if self._closed:
+            raise RuntimeError("ShmArraySet is closed")
+        views = {}
+        for name, descriptor in self.descriptors.items():
+            view = np.ndarray(
+                descriptor.shape,
+                dtype=np.dtype(descriptor.dtype),
+                buffer=self._segments[name].buf,
+            )
+            view.flags.writeable = False
+            views[name] = view
+        return views
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays()[name]
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed size of the resident arrays (one physical copy)."""
+        return sum(descriptor.nbytes for descriptor in self.descriptors.values())
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release this process's mappings (idempotent).
+
+        Views handed out by :meth:`arrays` become invalid.  The segments
+        themselves survive until the owner unlinks them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segments (creator side; idempotent, implies close).
+
+        After this the segment names are gone from the OS; attachers that
+        are still mapped keep working until they close (POSIX semantics),
+        but no new attach can succeed.
+        """
+        if not self.owner:
+            raise RuntimeError("only the creating ShmArraySet may unlink its segments")
+        segments = self._segments
+        self.close()
+        self._segments = {}
+        for segment in segments.values():
+            # Attachers sharing this process tree's resource tracker removed
+            # the name from its cache when they untracked; re-register so the
+            # UNREGISTER that ``unlink`` emits always balances (a duplicate
+            # register is a set-add no-op).
+            try:  # pragma: no cover - tracker internals
+                resource_tracker.register(segment._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "ShmArraySet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self.owner else "attached"
+        return (
+            f"ShmArraySet({role}, {len(self.descriptors)} arrays, "
+            f"{self.total_bytes} bytes)"
+        )
+
+
+__all__ = ["ShmArrayDescriptor", "ShmArraySet"]

@@ -1,0 +1,307 @@
+"""Backend registry and kernel-parity property suite.
+
+Pins the PR-7 backend abstraction:
+
+* registry semantics -- default resolution, ``REPRO_BACKEND`` env
+  override, unknown names, instance pass-through, pickling by name, and
+  ``ServingConfig.backend`` validation;
+* kernel parity -- the NumPy-dense and CSR-fused score kernels are
+  bit-identical to the historical per-ray loop across JUNO-H/M/L on both
+  metrics, including the empty-cluster and all-miss edges and seeded
+  random query resamples (the property harness);
+* backend routing -- the NumPy backend primitives match raw NumPy
+  bit-for-bit, a non-exact backend is refused by the dense kernel and
+  held to its documented tolerance by the fused kernel (the same harness
+  the GPU lanes run), and the optional CuPy/torch lanes skip cleanly when
+  the libraries are absent.
+
+These tests run in the tier-1 CI matrix by path (no ``slow`` marker).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    KNOWN_BACKENDS,
+    REPRO_BACKEND_ENV,
+    ArrayBackend,
+    BackendError,
+    NumpyBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+)
+from repro.core.subspace_index import SubspaceInvertedIndex
+from repro.pipeline.pipeline import default_search_pipeline
+from repro.pipeline.stages import (
+    CoarseFilterStage,
+    LoopedScoreStage,
+    RTSelectStage,
+    ScoreStage,
+    ThresholdStage,
+    TopKStage,
+)
+from repro.pipeline.pipeline import QueryPipeline
+from repro.serving import ServingConfig
+
+MODES = ["juno-h", "juno-m", "juno-l"]
+
+
+def _looped_pipeline() -> QueryPipeline:
+    return QueryPipeline(
+        (
+            CoarseFilterStage(),
+            ThresholdStage(),
+            RTSelectStage(),
+            LoopedScoreStage(),
+            TopKStage(),
+        )
+    )
+
+
+def _assert_bit_identical(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.scores, b.scores)
+    assert a.work.adc_lookups == b.work.adc_lookups
+    assert a.work.adc_candidates == b.work.adc_candidates
+
+
+class _InexactNumpy(NumpyBackend):
+    """A NumPy-backed stand-in for a GPU backend: correct but not 'exact'.
+
+    Lets the tolerance half of the parity contract run in CPU-only CI: the
+    fused kernel must accept it and stay within ``tolerance`` of the
+    reference, the dense kernel must refuse it.
+    """
+
+    name = "inexact-test"
+    exact = False
+    tolerance = 1e-10
+
+
+# ----------------------------------------------------------------- registry
+class TestRegistry:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.exact and backend.tolerance == 0.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "numpy")
+        assert get_backend().name == "numpy"
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "not-a-backend")
+        with pytest.raises(BackendError, match="unknown array backend"):
+            get_backend()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError, match="known backends"):
+            get_backend("tpu")
+
+    def test_instance_passes_through(self):
+        instance = _InexactNumpy()
+        assert get_backend(instance) is instance
+
+    def test_known_backends_and_availability(self):
+        assert KNOWN_BACKENDS == ("numpy", "cupy", "torch")
+        assert "numpy" in available_backends()
+        for name in KNOWN_BACKENDS:
+            assert isinstance(backend_available(name), bool)
+
+    def test_fingerprint_names_library_version(self):
+        backend = get_backend("numpy")
+        assert backend.fingerprint == f"numpy:{np.__version__}:cpu"
+
+    def test_pickles_by_registry_name(self):
+        backend = get_backend("numpy")
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone is get_backend("numpy")
+
+    def test_serving_config_validates_backend(self):
+        config = ServingConfig(backend="numpy")
+        assert ServingConfig.from_dict(config.to_dict()) == config
+        assert ServingConfig(backend=None).backend is None
+        with pytest.raises(ValueError, match="backend must be one of"):
+            ServingConfig(backend="not-a-backend")
+
+
+# ----------------------------------------------------- numpy primitive parity
+class TestNumpyBackendPrimitives:
+    """The reference backend's primitives are the raw NumPy operations."""
+
+    def test_scatter_gather_reduce_roundtrip(self, rng):
+        backend = get_backend("numpy")
+        table = backend.full((6, 8), np.nan, np.float64)
+        flat = rng.choice(48, size=20, replace=False)
+        values = rng.normal(size=20)
+        backend.put(table, flat, values)
+        reference = np.full((6, 8), np.nan)
+        reference.reshape(-1)[flat] = values
+        assert np.array_equal(backend.to_numpy(table), reference, equal_nan=True)
+        assert np.array_equal(backend.take(table, flat), values)
+        rows = rng.integers(0, 6, size=4)
+        assert np.array_equal(
+            backend.take_rows(table, rows), reference[rows], equal_nan=True
+        )
+        assert np.array_equal(backend.isnan(table), np.isnan(reference))
+        masked = backend.where(backend.isnan(table), 0.0, table)
+        assert np.array_equal(backend.sum(masked, axis=1), np.nan_to_num(reference).sum(axis=1))
+
+    def test_last_write_wins_scatter(self):
+        backend = get_backend("numpy")
+        table = backend.zeros((2, 2), np.float64)
+        backend.put(table, np.array([3, 3, 3]), np.array([1.0, 2.0, 5.0]))
+        assert table[1, 1] == 5.0
+
+
+# -------------------------------------------------------------- kernel parity
+class TestKernelParity:
+    """dense == fused == looped, bit-for-bit, across modes and edges."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("kernel", ["dense", "fused"])
+    def test_l2_kernels_match_loop(self, juno_l2, l2_dataset, mode, kernel):
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=1.0)
+        looped = juno_l2.search(l2_dataset.queries, pipeline=_looped_pipeline(), **kwargs)
+        batched = juno_l2.search(
+            l2_dataset.queries,
+            pipeline=default_search_pipeline(score_kernel=kernel),
+            **kwargs,
+        )
+        _assert_bit_identical(batched, looped)
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("kernel", ["dense", "fused"])
+    def test_ip_kernels_match_loop(self, juno_ip, ip_dataset, mode, kernel):
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=1.0)
+        looped = juno_ip.search(ip_dataset.queries, pipeline=_looped_pipeline(), **kwargs)
+        batched = juno_ip.search(
+            ip_dataset.queries,
+            pipeline=default_search_pipeline(score_kernel=kernel),
+            **kwargs,
+        )
+        _assert_bit_identical(batched, looped)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_seeded_resamples_property(self, juno_l2, l2_dataset, mode, rng):
+        """Property harness: random query mixes keep all three kernels equal."""
+        for trial in range(3):
+            rows = rng.integers(0, l2_dataset.queries.shape[0], size=8)
+            jitter = rng.normal(scale=0.05, size=(8, l2_dataset.dim))
+            queries = l2_dataset.queries[rows] + jitter
+            scale = float(rng.uniform(0.5, 2.0))
+            kwargs = dict(k=10, nprobs=5, quality_mode=mode, threshold_scale=scale)
+            looped = juno_l2.search(queries, pipeline=_looped_pipeline(), **kwargs)
+            for kernel in ("dense", "fused"):
+                batched = juno_l2.search(
+                    queries,
+                    pipeline=default_search_pipeline(score_kernel=kernel),
+                    **kwargs,
+                )
+                _assert_bit_identical(batched, looped)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_empty_cluster_edge(self, juno_l2, l2_dataset, mode):
+        """An emptied posting list is skipped identically by every kernel."""
+        index = juno_l2
+        original = index.subspace_index
+        posting = [index.ivf.posting_lists[c] for c in range(index.config.num_clusters)]
+        victim = int(np.argmax([ids.size for ids in posting]))
+        posting[victim] = np.array([], dtype=np.int64)
+        index.subspace_index = SubspaceInvertedIndex(index.config.num_entries).build(
+            posting, index.codes
+        )
+        try:
+            kwargs = dict(
+                k=10,
+                nprobs=index.config.num_clusters,
+                quality_mode=mode,
+                threshold_scale=1.0,
+            )
+            looped = index.search(
+                l2_dataset.queries, pipeline=_looped_pipeline(), **kwargs
+            )
+            for kernel in ("dense", "fused"):
+                batched = index.search(
+                    l2_dataset.queries,
+                    pipeline=default_search_pipeline(score_kernel=kernel),
+                    **kwargs,
+                )
+                _assert_bit_identical(batched, looped)
+                assert not np.isin(
+                    batched.ids[batched.ids >= 0], original.cluster_members(victim)
+                ).any()
+        finally:
+            index.subspace_index = original
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_miss_edge(self, juno_l2, l2_dataset, mode):
+        """A vanishing threshold scale yields all-padded output on every kernel."""
+        kwargs = dict(k=10, nprobs=4, quality_mode=mode, threshold_scale=1e-6)
+        looped = juno_l2.search(l2_dataset.queries, pipeline=_looped_pipeline(), **kwargs)
+        for kernel in ("dense", "fused"):
+            batched = juno_l2.search(
+                l2_dataset.queries,
+                pipeline=default_search_pipeline(score_kernel=kernel),
+                **kwargs,
+            )
+            _assert_bit_identical(batched, looped)
+            assert (batched.ids == -1).all()
+
+
+# ---------------------------------------------------------- backend contract
+class TestBackendContract:
+    def test_dense_kernel_refuses_inexact_backend(self):
+        with pytest.raises(BackendError, match="bit-exact"):
+            ScoreStage(backend=_InexactNumpy(), kernel="dense")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_fused_kernel_holds_inexact_backend_to_tolerance(
+        self, juno_l2, l2_dataset, mode
+    ):
+        """The tolerance harness the GPU lanes reuse, run on a CPU stand-in."""
+        backend = _InexactNumpy()
+        kwargs = dict(k=10, nprobs=6, quality_mode=mode, threshold_scale=1.0)
+        reference = juno_l2.search(l2_dataset.queries, **kwargs)
+        routed = juno_l2.search(
+            l2_dataset.queries,
+            pipeline=default_search_pipeline(backend=backend),
+            **kwargs,
+        )
+        assert np.array_equal(reference.ids, routed.ids)
+        assert np.allclose(reference.scores, routed.scores, atol=backend.tolerance)
+
+    def test_backend_fingerprint_partitions_cache_keys(self):
+        assert _InexactNumpy().fingerprint != get_backend("numpy").fingerprint
+
+
+# ------------------------------------------------------- optional GPU lanes
+def _optional_backend_lane(name, juno, dataset):
+    if not backend_available(name):
+        pytest.skip(f"{name} backend unavailable in this environment")
+    backend = get_backend(name)
+    assert isinstance(backend, ArrayBackend)
+    kwargs = dict(k=10, nprobs=6, quality_mode="juno-h", threshold_scale=1.0)
+    reference = juno.search(dataset.queries, **kwargs)
+    routed = juno.search(
+        dataset.queries, pipeline=default_search_pipeline(backend=backend), **kwargs
+    )
+    assert np.array_equal(reference.ids, routed.ids)
+    if backend.exact:
+        assert np.array_equal(reference.scores, routed.scores)
+    else:
+        assert np.allclose(reference.scores, routed.scores, atol=backend.tolerance)
+
+
+class TestOptionalBackends:
+    """Skip cleanly when CuPy/torch are not installed (the CI optional lane)."""
+
+    def test_cupy_lane(self, juno_l2, l2_dataset):
+        _optional_backend_lane("cupy", juno_l2, l2_dataset)
+
+    def test_torch_lane(self, juno_l2, l2_dataset):
+        _optional_backend_lane("torch", juno_l2, l2_dataset)

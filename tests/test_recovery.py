@@ -366,7 +366,7 @@ class TestRespawnCatchUp:
             # the poisoned worker crashes applying 8304, the survivor
             # finishes the op, and the log retains it for replay.
             executor.inject_failure(0, replica_id=0)
-            write(8304)  # 8304 % 2 == 0: owned by shard 0
+            write(8304)  # contiguous block 8 -> owned by shard 0
             assert (0, 0) in executor.dead_replicas()
             assert executor.alive_replicas(0) == [1]
 
@@ -409,7 +409,8 @@ class TestRespawnCatchUp:
             executor = resident.resident_executor()
             resident.upsert([8400], corpus.queries[:1])
             executor.inject_failure(1, replica_id=0)
-            resident.upsert([8401], corpus.queries[1:2])  # shard 1 op: triggers the kill
+            # 9300 lives in contiguous block 9 -> shard 1: triggers the kill
+            resident.upsert([9300], corpus.queries[1:2])
             events = supervisor.scan()
             assert [e.shard_id for e in events] == [1]
             assert events[0].ops_replayed == executor.op_watermark(1)
@@ -473,7 +474,7 @@ class TestScheduledCompaction:
             router.enable_updates(points=corpus.points, policy=RebuildPolicy(delta_capacity=2))
             return router
 
-        ids = np.array([8700, 8702, 8704, 8706])  # even ids: all owned by shard 0
+        ids = np.array([8700, 8702, 8704, 8706])  # contiguous block 8: all owned by shard 0
         vectors = corpus.queries[:4]
 
         local = build()

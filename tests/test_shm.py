@@ -1,0 +1,284 @@
+"""Shared-memory residency: lifecycle, crash-safety and serving parity.
+
+Pins the zero-copy residency half of the PR-7 tentpole:
+
+* :class:`ShmArraySet` lifecycle -- create/attach round-trips, read-only
+  views, idempotent close, owner-only unlink, context-manager semantics,
+  and corpus-independent descriptor payloads;
+* crash-safety -- a dying worker (attacher) can neither destroy nor leak
+  the coordinator's segments; closing the deployment removes every
+  segment from the OS;
+* serving parity -- ``copy`` / ``mmap`` / ``shm`` residency serve
+  bit-identical results from the same trained router;
+* the boot-payload regression -- with shm residency the pickled worker
+  initargs stay flat as the corpus grows (descriptors cross the process
+  boundary, never arrays);
+* guard rails -- mutable deployments refuse zero-copy residency, and
+  ``mmap`` requires the uncompressed ``npy`` bundle layout.
+
+These tests run in the tier-1 CI matrix by path (no ``slow`` marker).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_clustered_dataset
+from repro.serving import (
+    ReplicaPolicy,
+    ResidentProcessShardExecutor,
+    ServingConfig,
+    ShardedJunoIndex,
+    search_results_equal,
+)
+from repro.serving.persistence import PersistenceError, load_index, shard_bundle_path
+from repro.serving.shm import ShmArrayDescriptor, ShmArraySet
+
+
+def _segment_paths(shm_set: ShmArraySet) -> list[Path]:
+    return [
+        Path("/dev/shm") / descriptor.segment
+        for descriptor in shm_set.descriptors.values()
+    ]
+
+
+def _settings():
+    return dict(
+        num_clusters=8,
+        num_entries=8,
+        num_threshold_samples=16,
+        threshold_top_k=20,
+        kmeans_iters=4,
+        density_grid=10,
+        seed=3,
+    )
+
+
+def _make_corpus(num_points=600, seed=5):
+    return make_clustered_dataset(
+        name=f"shm-{num_points}-{seed}",
+        num_points=num_points,
+        num_queries=8,
+        dim=8,
+        num_components=8,
+        query_jitter=0.2,
+        seed=seed,
+    )
+
+
+def _train_sharded(corpus, **kwargs):
+    sharded = ShardedJunoIndex.from_dim(
+        corpus.dim, num_shards=2, executor="sequential", **_settings(), **kwargs
+    )
+    return sharded.train(corpus.points)
+
+
+def _resident(residency, num_replicas=1):
+    return ServingConfig(
+        executor="resident",
+        replicas=ReplicaPolicy(num_replicas=num_replicas, residency=residency),
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _make_corpus()
+
+
+@pytest.fixture(scope="module")
+def router(corpus):
+    router = _train_sharded(corpus)
+    yield router
+    router.close()
+
+
+# ----------------------------------------------------------------- lifecycle
+class TestShmArraySetLifecycle:
+    def test_create_attach_roundtrip(self, rng):
+        arrays = {
+            "codes": rng.integers(0, 16, size=(50, 4)).astype(np.uint8),
+            "centres": rng.normal(size=(16, 8)),
+            "empty": np.zeros(0, dtype=np.int64),
+        }
+        owner = ShmArraySet.create(arrays)
+        attached = ShmArraySet.attach(owner.descriptors)
+        try:
+            for name, expected in arrays.items():
+                for view in (owner[name], attached[name]):
+                    assert np.array_equal(view, expected)
+                    assert view.dtype == expected.dtype
+            assert owner.total_bytes == attached.total_bytes
+            assert owner.owner and not attached.owner
+        finally:
+            attached.close()
+            owner.unlink()
+        for path in _segment_paths(owner):
+            assert not path.exists()
+
+    def test_views_are_read_only(self):
+        with ShmArraySet.create({"a": np.arange(4.0)}) as owner:
+            view = owner["a"]
+            with pytest.raises(ValueError):
+                view[0] = 99.0
+
+    def test_close_is_idempotent_and_invalidates_views(self):
+        owner = ShmArraySet.create({"a": np.arange(3)})
+        attached = ShmArraySet.attach(owner.descriptors)
+        attached.close()
+        attached.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            attached.arrays()
+        # the owner's segments survive an attacher closing
+        assert np.array_equal(owner["a"], np.arange(3))
+        owner.unlink()
+
+    def test_only_owner_may_unlink(self):
+        owner = ShmArraySet.create({"a": np.arange(3)})
+        attached = ShmArraySet.attach(owner.descriptors)
+        try:
+            with pytest.raises(RuntimeError, match="creating"):
+                attached.unlink()
+        finally:
+            attached.close()
+            owner.unlink()
+
+    def test_attach_after_unlink_fails(self):
+        owner = ShmArraySet.create({"a": np.arange(3)})
+        descriptors = dict(owner.descriptors)
+        owner.unlink()
+        with pytest.raises(FileNotFoundError):
+            ShmArraySet.attach(descriptors)
+
+    def test_failed_create_leaves_nothing_behind(self, monkeypatch):
+        # pin the randomised name token so the second segment collides with a
+        # pre-existing one: creation must unwind the first segment too
+        monkeypatch.setattr("repro.serving.shm.secrets.token_hex", lambda n: "cafef00d")
+        from multiprocessing import shared_memory
+
+        collider = shared_memory.SharedMemory(
+            name="repro-bad-cafef00d", create=True, size=8
+        )
+        try:
+            with pytest.raises(FileExistsError):
+                ShmArraySet.create({"good": np.arange(8.0), "bad": np.arange(3.0)})
+            assert not list(Path("/dev/shm").glob("repro-good-*"))
+        finally:
+            collider.close()
+            collider.unlink()
+
+    def test_descriptor_payload_is_shape_only(self):
+        small = ShmArraySet.create({"a": np.zeros(10)})
+        large = ShmArraySet.create({"a": np.zeros(100_000)})
+        try:
+            small_payload = len(pickle.dumps(small.descriptors))
+            large_payload = len(pickle.dumps(large.descriptors))
+            assert abs(large_payload - small_payload) < 32
+            descriptor = large.descriptors["a"]
+            assert isinstance(descriptor, ShmArrayDescriptor)
+            assert descriptor.nbytes == 800_000
+        finally:
+            small.unlink()
+            large.unlink()
+
+
+# --------------------------------------------------------------- crash-safety
+class TestCrashSafety:
+    def test_worker_crash_cannot_destroy_or_leak_segments(self, corpus, tmp_path):
+        """An attacher dying hard leaves the owner's segments intact; closing
+        the deployment then removes them all -- no /dev/shm litter either way.
+        """
+        router = _train_sharded(corpus)
+        router.make_resident(tmp_path / "dep", _resident("shm", num_replicas=2))
+        executor = router.executor_spec
+        assert isinstance(executor, ResidentProcessShardExecutor)
+        segments = [
+            path
+            for shm_set in executor._shm_sets.values()
+            for path in _segment_paths(shm_set)
+        ]
+        assert segments and all(path.exists() for path in segments)
+
+        baseline = router.search(corpus.queries, 5, nprobs=4)
+        executor.inject_failure(0)
+        failover = router.search(corpus.queries, 5, nprobs=4)
+        assert search_results_equal(baseline, failover)
+        assert executor.dead_replicas()
+        # the crashed attacher destroyed nothing
+        assert all(path.exists() for path in segments)
+        # ... and a respawned replica re-attaches the same segments
+        shard_id, replica_id = executor.dead_replicas()[0]
+        executor.respawn_replica(shard_id, replica_id)
+        assert search_results_equal(baseline, router.search(corpus.queries, 5, nprobs=4))
+
+        router.close()
+        assert all(not path.exists() for path in segments)
+
+
+# ------------------------------------------------------------- serving parity
+class TestResidencyParity:
+    def test_all_residencies_serve_bit_identically(self, corpus, router, tmp_path):
+        results = {}
+        payloads = {}
+        for residency in ("copy", "mmap", "shm"):
+            router.make_resident(tmp_path / residency, _resident(residency))
+            executor = router.executor_spec
+            results[residency] = router.search(corpus.queries, 5, nprobs=4)
+            payloads[residency] = executor.boot_payload_bytes()
+            if residency == "shm":
+                assert executor.resident_bytes() > 0
+            else:
+                assert executor.resident_bytes() == 0
+        assert search_results_equal(results["copy"], results["mmap"])
+        assert search_results_equal(results["copy"], results["shm"])
+        assert all(payload > 0 for payload in payloads.values())
+
+    def test_mmap_bundle_uses_npy_layout(self, router, tmp_path):
+        """make_resident writes the memory-mappable layout for mmap residency."""
+        bundle = tmp_path / "mmap-dep"
+        router.make_resident(bundle, _resident("mmap"))
+        router.executor_spec.close()
+        shard0 = shard_bundle_path(bundle, 0)
+        assert (shard0 / "arrays").is_dir()
+        mapped = load_index(shard0, mmap=True)
+        assert mapped.is_trained
+
+    def test_mmap_refuses_compressed_bundles(self, router, tmp_path):
+        bundle = tmp_path / "npz-dep"
+        router.save(bundle)  # default npz layout
+        with pytest.raises(PersistenceError, match="npy"):
+            load_index(shard_bundle_path(bundle, 0), mmap=True)
+
+    def test_zero_copy_refuses_mutable_deployments(self, tmp_path):
+        corpus = _make_corpus(seed=11)
+        router = _train_sharded(corpus)
+        router.enable_updates(points=corpus.points)
+        for residency in ("mmap", "shm"):
+            with pytest.raises(ValueError, match="immutable"):
+                router.make_resident(tmp_path / residency, _resident(residency))
+        router.close()
+
+    def test_residency_survives_config_roundtrip(self):
+        config = _resident("shm")
+        assert ServingConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="residency"):
+            ReplicaPolicy(residency="ramdisk")
+
+
+# --------------------------------------------------------- payload regression
+class TestBootPayloadRegression:
+    def test_boot_payload_is_corpus_independent_under_shm(self, tmp_path):
+        payloads = {}
+        for num_points in (600, 2400):
+            corpus = _make_corpus(num_points=num_points)
+            router = _train_sharded(corpus)
+            router.make_resident(tmp_path / f"shm-{num_points}", _resident("shm"))
+            payloads[num_points] = router.executor_spec.boot_payload_bytes()
+            assert router.executor_spec.resident_bytes() > 0
+            router.close()
+        # 4x the corpus must not move the boot payload by more than noise
+        # (segment-name tokens vary by a few bytes)
+        assert abs(payloads[2400] - payloads[600]) < 200

@@ -69,9 +69,19 @@ def corpus():
     )
 
 
-def _train_mutable_router(corpus, num_shards=2, executor="sequential", **update_kwargs):
+def _train_mutable_router(
+    corpus,
+    num_shards=2,
+    executor="sequential",
+    new_id_assignment="contiguous",
+    **update_kwargs,
+):
     router = ShardedJunoIndex.from_dim(
-        corpus.dim, num_shards=num_shards, executor=executor, **_settings()
+        corpus.dim,
+        num_shards=num_shards,
+        executor=executor,
+        new_id_assignment=new_id_assignment,
+        **_settings(),
     )
     router.train(corpus.points)
     router.enable_updates(points=corpus.points, **update_kwargs)
@@ -82,10 +92,14 @@ class TestShardedUpdates:
     def test_upsert_and_delete_route_to_owning_shard(self, corpus):
         router = _train_mutable_router(corpus)
         assert router.mutable
-        new_ids = np.array([5000, 5001])  # round-robin: shard 0 and shard 1
+        assert router.new_id_assignment == "contiguous"
+        # Contiguous homing: both fresh ids fall in id block 4 -> shard 0,
+        # so the burst of consecutive new ids lands on a single shard.
+        new_ids = np.array([5000, 5001])
         router.upsert(new_ids, corpus.queries[:2])
-        for shard_id, gid in ((0, 5000), (1, 5001)):
-            assert gid in router.shards[shard_id].delta
+        for gid in (5000, 5001):
+            assert gid in router.shards[0].delta
+            assert gid not in router.shards[1].delta
         result = router.search(corpus.queries[:2], 5, nprobs=4)
         assert result.ids[0, 0] == 5000 and result.ids[1, 0] == 5001
         assert router.num_points == corpus.num_points + 2
@@ -96,6 +110,27 @@ class TestShardedUpdates:
         assert not np.isin(after.ids, [victim, 5000, 5001]).any()
         assert router.num_points == corpus.num_points - 1
         router.close()
+
+    def test_legacy_modulo_homing_behind_flag(self, corpus):
+        """The pre-contiguous rule survives behind ``new_id_assignment``.
+
+        Parity: the legacy router homes consecutive fresh ids round-robin
+        (5000 -> shard 0, 5001 -> shard 1), and search results match the
+        contiguous router's bit-for-bit -- homing changes op fan-out, never
+        scores.
+        """
+        legacy = _train_mutable_router(corpus, new_id_assignment="modulo")
+        contiguous = _train_mutable_router(corpus)
+        new_ids = np.array([5000, 5001])
+        for router in (legacy, contiguous):
+            router.upsert(new_ids, corpus.queries[:2])
+        for shard_id, gid in ((0, 5000), (1, 5001)):
+            assert gid in legacy.shards[shard_id].delta
+        legacy_result = legacy.search(corpus.queries, 5, nprobs=4)
+        contiguous_result = contiguous.search(corpus.queries, 5, nprobs=4)
+        assert search_results_equal(legacy_result, contiguous_result)
+        legacy.close()
+        contiguous.close()
 
     def test_merged_scores_share_one_exact_scale(self, corpus):
         router = _train_mutable_router(corpus)
