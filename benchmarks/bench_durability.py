@@ -1,0 +1,195 @@
+"""Durability benchmark: fsync-mode QPS cost, crash injection, recovery time.
+
+Three measurements per run, all landing in the ``durability`` section of
+``BENCH_serving.json``:
+
+* **fsync-mode cost** -- the mixed read/write closed loop against one
+  mutable deployment per :class:`~repro.updates.wal.DurabilityPolicy` fsync
+  mode (``never`` / ``batch`` / ``always``), so the QPS price of each
+  durability level is a tracked number, together with the fsync counts that
+  explain it (group commit must coalesce: ``batch`` fsyncs far fewer times
+  than it appends).
+* **recovery** -- after each loop the deployment is recovered the honest
+  way (epoch-0 snapshot + full WAL replay through
+  :func:`~repro.serving.persistence.load_mutable_index`), timed, and the
+  recovered state must be **bit-identical** to the live writer
+  (``state_digest`` match).
+* **crash injection** -- the
+  :func:`~repro.bench.harness.run_durability_crash_injection` harness cuts
+  the captured log at every record boundary and at every byte offset of the
+  tail record, recovers each cut and asserts digest-identical state with
+  zero stale reads; :func:`~repro.bench.harness.run_wal_kill9` additionally
+  SIGKILLs a real writer process per fsync mode and proves the surviving
+  log replays and accepts appends.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import (
+    run_durability_crash_injection,
+    run_mixed_closed_loop,
+    run_wal_kill9,
+)
+from repro.bench.report import emit, format_table, update_bench_json
+from repro.core.index import JunoIndex
+from repro.serving import ServingEngine, load_mutable_index, save_mutable_index
+from repro.updates import DurabilityPolicy, MutableJunoIndex, RebuildPolicy, WriteAheadLog
+
+FSYNC_MODES = ("never", "batch", "always")
+NUM_READERS = 4
+NUM_WRITERS = 2
+READS_PER_CLIENT = 6
+WRITES_PER_WRITER = 5
+K = 10
+MAX_WAIT_S = 0.002
+
+
+def test_durability_fsync_modes_and_crash_injection(deep_workload, tmp_path, benchmark):
+    dataset = deep_workload.dataset
+    config = deep_workload.juno.config
+    id_start = dataset.num_points + 1_000
+
+    # One dedicated trained base shared across the three fsync-mode runs:
+    # the loop's write volume stays under the delta capacity, so no
+    # compaction mutates the shared base and the runs differ *only* in WAL
+    # durability.
+    base = JunoIndex(config).train(dataset.points)
+
+    mode_rows = []
+    for mode in FSYNC_MODES:
+        wal_dir = tmp_path / f"fsync-{mode}"
+        wal = WriteAheadLog(wal_dir / "engine.wal", DurabilityPolicy(fsync=mode))
+        mutable = MutableJunoIndex(
+            base,
+            vectors=dataset.points,
+            wal=wal,
+            policy=RebuildPolicy(delta_capacity=256),
+        )
+        snapshot = wal_dir / "snapshot-epoch0"
+        save_mutable_index(mutable, snapshot)
+        engine = ServingEngine(mutable, label=f"JUNO mutable fsync={mode}")
+        runner = (
+            (lambda *a, **kw: benchmark.pedantic(
+                run_mixed_closed_loop, args=a, kwargs=kw, rounds=1, iterations=1
+            ))
+            if mode == "batch"
+            else run_mixed_closed_loop
+        )
+        report = runner(
+            engine,
+            dataset.queries,
+            id_start,
+            k=K,
+            num_readers=NUM_READERS,
+            num_writers=NUM_WRITERS,
+            reads_per_client=READS_PER_CLIENT,
+            writes_per_writer=WRITES_PER_WRITER,
+            max_wait_s=MAX_WAIT_S,
+            nprobs=8,
+        )
+        wal.close()
+        # Recovery: epoch-0 snapshot + full WAL replay must rebuild the live
+        # writer's state bit for bit, and its wall-clock is the number a
+        # restart budget cares about.
+        started = time.perf_counter()
+        recovered = load_mutable_index(snapshot, wal=WriteAheadLog(wal.path))
+        recovery_s = time.perf_counter() - started
+        bit_identical = recovered.state_digest() == mutable.state_digest()
+        recovered.wal.close()
+        mode_rows.append(
+            {
+                "fsync": mode,
+                "read_qps": report.read_qps,
+                "write_ops_per_s": report.write_ops_per_s,
+                "latency_p50_ms": report.latency_p50_s * 1e3,
+                "stale_reads": report.stale_reads,
+                "visible_fraction": report.visible_fraction,
+                "appends": wal.append_count,
+                "fsyncs": wal.fsync_count,
+                "recovery_s": recovery_s,
+                "recovered_bit_identical": bit_identical,
+            }
+        )
+
+    # Crash injection over a dedicated small deployment whose tight delta
+    # capacity makes compaction records flow through the injected log too.
+    crash_dir = tmp_path / "crash-injection"
+    crash_report = run_durability_crash_injection(
+        lambda wal: MutableJunoIndex(
+            JunoIndex(config).train(dataset.points),
+            vectors=dataset.points,
+            wal=wal,
+            policy=RebuildPolicy(delta_capacity=6),
+            exact_scores=True,
+        ),
+        crash_dir,
+        dataset.queries,
+        dataset.queries[:3],
+        id_start=id_start,
+        num_steps=16,
+        k=K,
+        nprobs=8,
+        label=f"crash injection [{dataset.name}]",
+    )
+
+    kill9_rows = [
+        run_wal_kill9(tmp_path / f"kill9-{mode}" / "writer.wal", fsync=mode)
+        for mode in FSYNC_MODES
+    ]
+
+    emit()
+    emit(
+        format_table(
+            mode_rows,
+            title=f"Durability fsync modes [{dataset.name}]: "
+            f"{NUM_READERS} readers + {NUM_WRITERS} writers",
+        )
+    )
+    emit(
+        format_table(
+            [
+                {
+                    "cuts": crash_report.injection_points,
+                    "torn": crash_report.torn_points,
+                    "digest_mismatches": crash_report.digest_mismatches,
+                    "stale_reads": crash_report.stale_reads,
+                    "recovery_mean_ms": crash_report.recovery_mean_s * 1e3,
+                    "recovery_max_ms": crash_report.recovery_max_s * 1e3,
+                }
+            ],
+            title="Crash injection (every boundary + every tail-record byte offset)",
+        )
+    )
+    update_bench_json(
+        "durability",
+        {
+            "dataset": dataset.name,
+            "num_readers": NUM_READERS,
+            "num_writers": NUM_WRITERS,
+            "reads_per_client": READS_PER_CLIENT,
+            "writes_per_writer": WRITES_PER_WRITER,
+            "fsync_modes": mode_rows,
+            "crash_injection": crash_report.to_json_dict(),
+            "kill9": kill9_rows,
+        },
+    )
+
+    for row in mode_rows:
+        assert row["read_qps"] > 0
+        assert row["stale_reads"] == 0
+        assert row["recovered_bit_identical"]
+        if row["fsync"] == "always":
+            # durable-on-ack: coalescing may cover several appends per
+            # fsync, and close() spends one final unconditional fsync
+            assert 0 < row["fsyncs"] <= row["appends"] + 1
+        if row["fsync"] == "batch":
+            # group commit must coalesce, not degenerate to always-mode
+            assert row["fsyncs"] < row["appends"]
+        if row["fsync"] == "never":
+            assert row["fsyncs"] == 0
+    assert crash_report.healthy, crash_report.to_json_dict()
+    for row in kill9_rows:
+        assert row["records_survived"] > 0
+        assert row["replayable_after_continue"]

@@ -22,7 +22,8 @@ for their lifetime).
 Deployments are described by a typed, frozen
 :class:`~repro.serving.config.ServingConfig` (with nested
 :class:`~repro.serving.config.ReplicaPolicy` and
-:class:`~repro.serving.config.AdmissionPolicy`); the kwargs they replaced
+:class:`~repro.serving.config.AdmissionPolicy`, plus the WAL
+:class:`~repro.updates.wal.DurabilityPolicy`); the kwargs they replaced
 survive as deprecated shims.  Failures share one exception hierarchy rooted
 at :class:`~repro.errors.ServingError`, and the self-healing loop --
 dead-replica detection, respawn from bundle, op-log catch-up, re-admission
@@ -31,7 +32,12 @@ dead-replica detection, respawn from bundle, op-log catch-up, re-admission
 
 from repro.errors import OverloadError, RecoveryError, ServingError
 from repro.serving.async_scheduler import AsyncBatchingScheduler
-from repro.serving.config import AdmissionPolicy, ReplicaPolicy, ServingConfig
+from repro.serving.config import (
+    AdmissionPolicy,
+    DurabilityPolicy,
+    ReplicaPolicy,
+    ServingConfig,
+)
 from repro.serving.engine import EngineResult, ServingEngine
 from repro.serving.executors import (
     ProcessShardExecutor,
@@ -50,7 +56,7 @@ from repro.serving.persistence import (
     search_results_equal,
     shard_bundle_path,
 )
-from repro.serving.recovery import RecoveryEvent, ReplicaSupervisor
+from repro.serving.recovery import CompactionWorker, RecoveryEvent, ReplicaSupervisor
 from repro.serving.routing import (
     ResidentProcessShardExecutor,
     WorkerFailoverError,
@@ -74,6 +80,8 @@ __all__ = [
     "AsyncBatchingScheduler",
     "BatchRecord",
     "BatchingScheduler",
+    "CompactionWorker",
+    "DurabilityPolicy",
     "EngineResult",
     "FORMAT_VERSION",
     "OverloadError",

@@ -14,6 +14,11 @@ module consolidates them into three frozen dataclasses:
 * :class:`AdmissionPolicy` -- the async front-end's overload story (bounded
   pending queue, reject vs shed-oldest).
 
+:class:`~repro.updates.wal.DurabilityPolicy` (defined next to the
+write-ahead log it governs, re-exported here) nests under
+:attr:`ServingConfig.durability` so a deployment's crash-consistency story
+travels with the rest of its shape.
+
 All three round-trip through ``to_dict`` / ``from_dict`` (nested), so a
 deployment's shape can live in a JSON config file next to its bundle.  The
 legacy keyword arguments survive as deprecated shims on the entry points
@@ -23,6 +28,8 @@ themselves, parity-tested against this path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+
+from repro.updates.wal import DurabilityPolicy
 
 #: Sentinel distinguishing "legacy kwarg not passed" from any real value, so
 #: the deprecation shims only warn when a caller actually used the old API.
@@ -140,6 +147,11 @@ class ServingConfig:
         replicas: the :class:`ReplicaPolicy` (resident executor only).
         admission: the :class:`AdmissionPolicy` applied by
             :meth:`~repro.serving.engine.ServingEngine.serve_async`.
+        durability: the :class:`~repro.updates.wal.DurabilityPolicy` every
+            write-ahead log of the deployment opens with (fsync mode,
+            group-commit window, segment rotation).  Consumed by
+            :meth:`~repro.serving.shard.ShardedJunoIndex.enable_updates`
+            when the deployment turns mutable.
         label: display name for engines built over the deployment.
         backend: array-backend name (:mod:`repro.backend`) the deployment's
             score kernels run on; ``None`` keeps the
@@ -151,6 +163,7 @@ class ServingConfig:
     load_shards: bool | None = None
     replicas: ReplicaPolicy = field(default_factory=ReplicaPolicy)
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
     label: str | None = None
     backend: str | None = None
 
@@ -182,6 +195,7 @@ class ServingConfig:
             "load_shards": self.load_shards,
             "replicas": self.replicas.to_dict(),
             "admission": self.admission.to_dict(),
+            "durability": self.durability.to_dict(),
             "label": self.label,
             "backend": self.backend,
         }
@@ -194,6 +208,8 @@ class ServingConfig:
             data["replicas"] = ReplicaPolicy.from_dict(data["replicas"])
         if "admission" in data:
             data["admission"] = AdmissionPolicy.from_dict(data["admission"])
+        if "durability" in data:
+            data["durability"] = DurabilityPolicy.from_dict(data["durability"])
         return cls(**data)
 
 
@@ -206,4 +222,4 @@ def _checked(cls, data: dict) -> dict:
     return dict(data)
 
 
-__all__ = ["AdmissionPolicy", "ReplicaPolicy", "ServingConfig"]
+__all__ = ["AdmissionPolicy", "DurabilityPolicy", "ReplicaPolicy", "ServingConfig"]

@@ -29,11 +29,19 @@ snapshot** (the base bundle, the raw vectors, the delta buffer and the
 tombstones, stamped with the last applied write-ahead-log sequence number);
 loading replays any newer records from the WAL through the same op code
 paths, reproducing the mutated index bit-identically.
+
+All writes are crash-consistent: every file is staged to a temporary
+sibling and atomically published via the :mod:`repro.storage` recipe
+(fsync + ``os.replace`` + directory fsync), payload arrays land before the
+manifest that references them, and mutable snapshots write each epoch as a
+fresh generation -- so a writer killed at any instant leaves either the
+previous complete snapshot or the new one, never a torn bundle.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from dataclasses import asdict
 from pathlib import Path
 
@@ -47,6 +55,7 @@ from repro.core.threshold import ThresholdModel
 from repro.errors import ServingError
 from repro.quantization.codebook import SubspaceCodebook
 from repro.quantization.product_quantizer import ProductQuantizer
+from repro.storage import atomic_write_text, staged
 
 FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
@@ -139,14 +148,24 @@ def save_index(
     for s, codebook in enumerate(index.pq.codebooks):
         arrays[f"codebook_{s}"] = codebook.entries
 
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    # Arrays first, manifest last, every file staged then atomically
+    # published: the manifest is the bundle's commit point, so a loader that
+    # finds one never sees half-written arrays -- a crash mid-save leaves
+    # either the previous bundle or no manifest at all, never a torn one.
     if layout == "npy":
         arrays_dir = path / ARRAYS_DIR_NAME
         arrays_dir.mkdir(exist_ok=True)
         for name, array in arrays.items():
-            np.save(arrays_dir / f"{name}.npy", np.ascontiguousarray(array))
+            with staged(arrays_dir / f"{name}.npy") as tmp:
+                with tmp.open("wb") as handle:
+                    np.save(handle, np.ascontiguousarray(array))
     else:
-        np.savez_compressed(path / ARRAYS_NAME, **arrays)
+        with staged(path / ARRAYS_NAME) as tmp:
+            # np.savez_compressed appends ".npz" to bare path names; an open
+            # handle keeps the staged name intact.
+            with tmp.open("wb") as handle:
+                np.savez_compressed(handle, **arrays)
+    atomic_write_text(path / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
 
     if validate_queries is not None:
         reloaded = load_index(path)
@@ -347,7 +366,7 @@ def load_index(path: str | Path, mmap: bool = False) -> JunoIndex:
     return index_from_arrays(manifest, arrays)
 
 
-def save_mutable_index(index, path: str | Path) -> Path:
+def save_mutable_index(index, path: str | Path, gc_wal: bool = False) -> Path:
     """Persist a :class:`~repro.updates.mutable.MutableJunoIndex` snapshot.
 
     The snapshot is **epoch-stamped**: its manifest records ``last_seq``,
@@ -358,11 +377,27 @@ def save_mutable_index(index, path: str | Path) -> Path:
     no matter how many mutations, compactions or retrains happened between
     snapshot and crash.
 
-    Layout: ``manifest.json`` (kind, epoch, drift counters, policy),
-    ``base/`` (the trained base index as a normal :func:`save_index` bundle
-    of its *current* -- possibly compacted -- state), and ``updates.npz``
-    (global-id map, raw base vectors, the delta buffer in insertion order
-    and the sorted tombstone ids).
+    Layout: ``manifest.json`` (kind, epoch, drift counters, policy, and the
+    names of the payload files), ``base-<epoch>/`` (the trained base index
+    as a normal :func:`save_index` bundle of its *current* -- possibly
+    compacted -- state), and ``updates-<epoch>.npz`` (global-id map, raw
+    base vectors, the delta buffer in insertion order and the sorted
+    tombstone ids).
+
+    Saving is crash-consistent end to end: payload files are written first
+    under epoch-suffixed generation names (never overwriting the generation
+    the current manifest references), and the manifest is atomically
+    replaced *last*.  A crash anywhere mid-save leaves the previous
+    snapshot fully loadable; only after the new manifest is published are
+    superseded generations garbage-collected.
+
+    Args:
+        index: the mutable index to snapshot.
+        path: bundle directory; created (including parents) if missing.
+        gc_wal: after the snapshot is durably published, call
+            ``index.wal.truncate_through(epoch)`` so log files fully covered
+            by this snapshot are garbage-collected -- the on-disk log then
+            stays proportional to the un-snapshotted tail.
     """
     if not index.is_trained:
         raise PersistenceError("cannot save an untrained MutableJunoIndex")
@@ -371,12 +406,27 @@ def save_mutable_index(index, path: str | Path) -> Path:
         path.mkdir(parents=True, exist_ok=True)
     except (FileExistsError, NotADirectoryError) as exc:
         raise PersistenceError(f"bundle path {path} is not a directory: {exc}") from exc
-    save_index(index.base, path / _BASE_BUNDLE_NAME)
+    epoch = int(index.wal.last_seq) if index.wal is not None else int(index.ops_applied)
+    base_name = f"{_BASE_BUNDLE_NAME}-{epoch:020d}"
+    updates_name = f"updates-{epoch:020d}.npz"
+    save_index(index.base, path / base_name)
     delta_ids, delta_vectors = index.delta.snapshot()
+    with staged(path / updates_name) as tmp:
+        with tmp.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                global_ids=index._global_ids,
+                vectors=index._vectors,
+                delta_ids=delta_ids,
+                delta_vectors=delta_vectors,
+                tombstone_ids=index.tombstones.to_array(),
+            )
     manifest = {
         "format_version": FORMAT_VERSION,
         "kind": MUTABLE_KIND,
-        "last_seq": int(index.wal.last_seq) if index.wal is not None else int(index.ops_applied),
+        "last_seq": epoch,
+        "base": base_name,
+        "updates": updates_name,
         "ops_applied": int(index.ops_applied),
         "trained_points": int(index._trained_points),
         "mutated_since_train": int(index._mutated_since_train),
@@ -387,16 +437,31 @@ def save_mutable_index(index, path: str | Path) -> Path:
             "auto_compact": index.policy.auto_compact,
         },
     }
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
-    np.savez_compressed(
-        path / _UPDATES_NAME,
-        global_ids=index._global_ids,
-        vectors=index._vectors,
-        delta_ids=delta_ids,
-        delta_vectors=delta_vectors,
-        tombstone_ids=index.tombstones.to_array(),
-    )
+    atomic_write_text(path / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
+    _gc_stale_snapshot_files(path, keep={base_name, updates_name})
+    if gc_wal and index.wal is not None:
+        index.wal.truncate_through(epoch)
     return path
+
+
+def _gc_stale_snapshot_files(path: Path, keep: set) -> None:
+    """Remove snapshot generations superseded by a just-published manifest.
+
+    Runs only *after* the new manifest is atomically in place, so a crash
+    during (or before) GC merely leaves extra files behind -- the published
+    snapshot never references them.  Staging leftovers of crashed writers
+    (dot-prefixed ``.tmp-`` siblings) are swept here too.
+    """
+    for entry in path.iterdir():
+        name = entry.name
+        if name in keep or name == MANIFEST_NAME:
+            continue
+        if name == _BASE_BUNDLE_NAME or name.startswith(f"{_BASE_BUNDLE_NAME}-"):
+            shutil.rmtree(entry, ignore_errors=True)
+        elif name == _UPDATES_NAME or (name.startswith("updates-") and name.endswith(".npz")):
+            entry.unlink(missing_ok=True)
+        elif name.startswith(".") and ".tmp-" in name:
+            entry.unlink(missing_ok=True)
 
 
 def load_mutable_index(path: str | Path, wal=None, policy=None):
@@ -417,10 +482,14 @@ def load_mutable_index(path: str | Path, wal=None, policy=None):
 
     path = Path(path)
     manifest = read_manifest(path, MUTABLE_KIND)
-    base = load_index(path / _BASE_BUNDLE_NAME)
-    updates_path = path / _UPDATES_NAME
+    # Payload names come from the manifest (epoch-suffixed generations);
+    # pre-durability bundles without them fall back to the legacy names.
+    base_name = manifest.get("base", _BASE_BUNDLE_NAME)
+    updates_name = manifest.get("updates", _UPDATES_NAME)
+    base = load_index(path / base_name)
+    updates_path = path / updates_name
     if not updates_path.is_file():
-        raise PersistenceError(f"mutable bundle at {path} is missing {_UPDATES_NAME}")
+        raise PersistenceError(f"mutable bundle at {path} is missing {updates_name}")
     try:
         with np.load(updates_path) as arrays:
             global_ids = arrays["global_ids"]
@@ -429,7 +498,7 @@ def load_mutable_index(path: str | Path, wal=None, policy=None):
             delta_vectors = arrays["delta_vectors"]
             tombstone_ids = arrays["tombstone_ids"]
     except Exception as exc:
-        raise PersistenceError(f"corrupt {_UPDATES_NAME} in {path}: {exc}") from exc
+        raise PersistenceError(f"corrupt {updates_name} in {path}: {exc}") from exc
     if policy is None:
         policy = RebuildPolicy(**manifest["policy"])
     index = MutableJunoIndex(
@@ -448,11 +517,17 @@ def load_mutable_index(path: str | Path, wal=None, policy=None):
     index.ops_applied = int(manifest["ops_applied"])
     if wal is not None:
         wal = WriteAheadLog(wal) if isinstance(wal, (str, Path)) else wal
+        epoch = int(manifest["last_seq"])
         try:
-            for record in wal.replay(after_seq=int(manifest["last_seq"])):
+            for record in wal.replay(after_seq=epoch):
                 index.apply_record(record)
         except WalError as exc:
             raise PersistenceError(f"WAL replay failed for {path}: {exc}") from exc
+        # A fully garbage-collected log (every segment covered by this
+        # snapshot) knows no sequence floor of its own; re-seed it from the
+        # epoch so post-recovery appends continue the sequence instead of
+        # reusing covered numbers.
+        wal.last_seq = max(wal.last_seq, epoch)
         index.wal = wal
     return index
 

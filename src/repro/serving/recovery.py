@@ -20,14 +20,18 @@ deliberately moved out of the request path:
   explicit ``maybe_compact()`` step, so delta buffers drain between batches
   instead of inside some unlucky client's upsert.
 
-Everything here is coordinator-side and synchronous: one supervisor per
-executor, driven from whatever loop owns the deployment (the chaos harness
-calls it once per writer cycle; a real deployment would tick it from a
-timer).
+Everything on the supervisor is coordinator-side and synchronous: one
+supervisor per executor, driven from whatever loop owns the deployment (the
+chaos harness calls it once per writer cycle; a real deployment would tick
+it from a timer).  :class:`CompactionWorker` is the asynchronous variant of
+the compaction duty: a daemon thread that ticks ``maybe_compact()`` at an
+interval, keeping delta-buffer drains entirely off the serving path while
+the resulting op still flows through the replicated op log.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -211,4 +215,108 @@ class ReplicaSupervisor:
         return True
 
 
-__all__ = ["RecoveryEvent", "ReplicaSupervisor"]
+class CompactionWorker:
+    """Runs ``maybe_compact()`` on a background thread, off the serving path.
+
+    Compaction (delta-buffer drain, drift-triggered retrain) was already an
+    *explicit* maintenance step rather than an inline side effect of some
+    unlucky upsert; this worker moves it off the caller's thread entirely.
+    A daemon thread ticks at a fixed interval, calling the target's
+    ``maybe_compact()`` -- for a mutable router the resulting compact op is
+    still broadcast through the replicated op log (and therefore serialised
+    against concurrent writer ops by the executor's apply lock), so every
+    replica observes it at the same point in the op order and replica
+    bit-identity is preserved.
+
+    Args:
+        target: anything exposing a callable ``maybe_compact()`` -- a
+            :class:`~repro.updates.mutable.MutableJunoIndex`, a mutable
+            :class:`~repro.serving.shard.ShardedJunoIndex` (local or
+            resident), or a :class:`~repro.serving.engine.ServingEngine`
+            built over one (unwrapped via its ``index`` attribute).
+        interval_s: seconds between ticks; the worker wakes early on
+            :meth:`stop`.
+        clock: monotonic time source for compaction timing (injectable).
+
+    Attributes:
+        compactions: ``(result, duration_s)`` per tick that compacted
+            something (a truthy/-non-empty ``maybe_compact()`` return).
+        errors: exceptions raised by ``maybe_compact()`` ticks; the worker
+            keeps ticking (a transient failover mid-compaction must not
+            silently end maintenance forever).
+    """
+
+    def __init__(self, target, interval_s: float = 0.05, clock=time.perf_counter) -> None:
+        target = getattr(target, "index", target)  # unwrap a ServingEngine
+        if not callable(getattr(target, "maybe_compact", None)):
+            raise TypeError(
+                "CompactionWorker needs a target with maybe_compact() -- a "
+                "mutable index, a mutable router, or an engine over one; got "
+                f"{type(target).__name__}"
+            )
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.target = target
+        self.interval_s = float(interval_s)
+        self.clock = clock
+        self.compactions: list[tuple[object, float]] = []
+        self.errors: list[Exception] = []
+        self.ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "CompactionWorker":
+        """Start the background thread (idempotent); returns ``self``."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="compaction-worker", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def tick(self) -> object:
+        """One maintenance pass: call ``maybe_compact()`` and record it.
+
+        Public so tests and synchronous maintenance loops can drive the
+        same code path the background thread runs.  Returns the
+        ``maybe_compact()`` result (``False``/``[]``/``None`` when nothing
+        was due), or ``None`` when it raised (the exception is recorded in
+        :attr:`errors`).
+        """
+        self.ticks += 1
+        started = self.clock()
+        try:
+            result = self.target.maybe_compact()
+        except Exception as exc:
+            self.errors.append(exc)
+            return None
+        compacted = bool(result) if not isinstance(result, (list, tuple)) else bool(len(result))
+        if compacted:
+            self.compactions.append((result, max(self.clock() - started, 0.0)))
+        return result
+
+    def stop(self) -> None:
+        """Stop the background thread and wait for the in-flight tick."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "CompactionWorker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = ["CompactionWorker", "RecoveryEvent", "ReplicaSupervisor"]

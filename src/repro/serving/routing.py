@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 from concurrent.futures import BrokenExecutor, Future
 from pathlib import Path
 
@@ -177,6 +178,11 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.replicas_respawned = 0
         self.ops_replayed = 0
         self._op_logs: dict[int, list[dict]] = {}
+        # Serialises op broadcasts across threads: a writer thread and a
+        # background CompactionWorker submitting concurrently could reach
+        # replicas in different interleavings, and identical op *order* per
+        # replica is what keeps their states bit-identical.
+        self._apply_lock = threading.Lock()
         self._injected_failures: set[tuple[int, int]] = set()
         self._closed = False
         self._replica_sets: list[_ReplicaSet] = []
@@ -483,6 +489,13 @@ class ResidentProcessShardExecutor(ShardExecutor):
 
         Returns the last surviving replica's report (``live`` point count,
         ``ops_applied``, ``state_token``).
+
+        Thread-safe: broadcasts are serialised under an internal lock, so a
+        writer thread and a background
+        :class:`~repro.serving.recovery.CompactionWorker` can mutate the
+        same deployment concurrently and every replica still observes the
+        ops in one global order (op order is what makes replicas
+        bit-identical).
         """
         if self._closed:
             raise RuntimeError("ResidentProcessShardExecutor is closed")
@@ -494,31 +507,34 @@ class ResidentProcessShardExecutor(ShardExecutor):
                 "save a mutable bundle to serve streaming updates"
             )
         ops = list(ops)
-        replica_set = self._replica_sets[shard_id]
-        submitted: list[tuple[ResidentWorker, Future]] = []
-        for worker in replica_set.alive():
-            if self._pop_injected_failure(shard_id, worker.replica_id):
+        with self._apply_lock:
+            replica_set = self._replica_sets[shard_id]
+            submitted: list[tuple[ResidentWorker, Future]] = []
+            for worker in replica_set.alive():
+                if self._pop_injected_failure(shard_id, worker.replica_id):
+                    try:
+                        worker.submit_die()
+                    except BrokenExecutor:  # pragma: no cover - already gone
+                        pass
                 try:
-                    worker.submit_die()
-                except BrokenExecutor:  # pragma: no cover - already gone
-                    pass
-            try:
-                submitted.append((worker, worker.submit_apply(shard_id, ops)))
-            except BrokenExecutor:
-                worker.mark_dead()
-                worker.close()
-        report = None
-        for worker, future in submitted:
-            try:
-                report = future.result()
-            except BrokenExecutor:
-                worker.mark_dead()
-                worker.close()
-        if report is None:
-            raise WorkerFailoverError(f"no surviving replica could apply ops to shard {shard_id}")
-        self._op_logs.setdefault(shard_id, []).extend(ops)
-        self.ops_broadcast += len(ops)
-        return report
+                    submitted.append((worker, worker.submit_apply(shard_id, ops)))
+                except BrokenExecutor:
+                    worker.mark_dead()
+                    worker.close()
+            report = None
+            for worker, future in submitted:
+                try:
+                    report = future.result()
+                except BrokenExecutor:
+                    worker.mark_dead()
+                    worker.close()
+            if report is None:
+                raise WorkerFailoverError(
+                    f"no surviving replica could apply ops to shard {shard_id}"
+                )
+            self._op_logs.setdefault(shard_id, []).extend(ops)
+            self.ops_broadcast += len(ops)
+            return report
 
     def op_log(self, shard_id: int) -> list:
         """The ops broadcast to one shard so far (replicated op log)."""

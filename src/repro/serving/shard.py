@@ -59,6 +59,7 @@ from repro.serving.persistence import (
     save_mutable_index,
     shard_bundle_path,
 )
+from repro.storage import atomic_write_text, staged
 
 SHARDED_KIND = "sharded-juno-index"
 _SHARDED_KIND = SHARDED_KIND  # backwards-compatible alias
@@ -335,6 +336,9 @@ class ShardedJunoIndex:
         # return global ids natively, and upsert/delete route ops by owner.
         self._mutable = False
         self._owner_map: dict[int, int] | None = None
+        # Deployment-level WAL durability policy (from ServingConfig); the
+        # default every enable_updates() WAL opens with unless overridden.
+        self._durability = None
         self._resident_live: dict[int, int] = {}
         # Latest per-shard maintenance signal from resident apply reports,
         # consumed by the explicit maybe_compact() scheduling step.
@@ -464,7 +468,11 @@ class ShardedJunoIndex:
         return self._mutable
 
     def enable_updates(
-        self, points: np.ndarray | None = None, wal_dir: "str | Path | None" = None, policy=None
+        self,
+        points: np.ndarray | None = None,
+        wal_dir: "str | Path | None" = None,
+        policy=None,
+        durability=None,
     ) -> "ShardedJunoIndex":
         """Wrap every local shard in a mutable-index layer (:mod:`repro.updates`).
 
@@ -483,6 +491,11 @@ class ShardedJunoIndex:
             wal_dir: when given, each shard appends its ops to
                 ``wal_dir/shard_XXX.wal`` (write-ahead durability).
             policy: per-shard :class:`~repro.updates.mutable.RebuildPolicy`.
+            durability: :class:`~repro.updates.wal.DurabilityPolicy` every
+                shard WAL opens with (fsync mode, group-commit window,
+                segment rotation); defaults to the deployment policy of the
+                :class:`~repro.serving.config.ServingConfig` the router was
+                loaded with, else ``fsync="never"``.
         """
         from repro.updates.mutable import MutableJunoIndex
         from repro.updates.wal import WriteAheadLog
@@ -510,10 +523,12 @@ class ShardedJunoIndex:
                 f"corpus has {points.shape[0]} points but the router was "
                 f"trained on {self.num_points}"
             )
+        if durability is None:
+            durability = self._durability
         wrapped = []
         for shard_id, (shard, global_ids) in enumerate(zip(self.shards, self.shard_global_ids)):
             wal = (
-                WriteAheadLog(Path(wal_dir) / f"shard_{shard_id:03d}.wal")
+                WriteAheadLog(Path(wal_dir) / f"shard_{shard_id:03d}.wal", durability=durability)
                 if wal_dir is not None
                 else None
             )
@@ -895,21 +910,29 @@ class ShardedJunoIndex:
             "rerank_depth": self.rerank_depth,
             "mutable": bool(self._mutable),
         }
-        (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        # Payload files first, the router manifest last: every file is
+        # staged and atomically published (repro.storage), and the per-shard
+        # bundles each commit via their own manifest, so the router manifest
+        # only becomes readable once everything it references is complete.
         if self._mutable:
             # Live (base + buffered) ids per shard; feeds the owner map and
             # the merge diagnostics of a reloaded mutable deployment.
             id_arrays = {f"shard_{s}": shard.live_ids() for s, shard in enumerate(self.shards)}
         else:
             id_arrays = {f"shard_{s}": ids for s, ids in enumerate(self.shard_global_ids)}
-        np.savez_compressed(path / _SHARD_IDS_NAME, **id_arrays)
+        with staged(path / _SHARD_IDS_NAME) as tmp:
+            with tmp.open("wb") as handle:
+                np.savez_compressed(handle, **id_arrays)
         if manifest["exact_rerank"]:
-            np.savez_compressed(path / _RERANK_CORPUS_NAME, points=self._rerank_points)
+            with staged(path / _RERANK_CORPUS_NAME) as tmp:
+                with tmp.open("wb") as handle:
+                    np.savez_compressed(handle, points=self._rerank_points)
         for shard_id, shard in enumerate(self.shards):
             if self._mutable:
                 save_mutable_index(shard, shard_bundle_path(path, shard_id))
             else:
                 save_index(shard, shard_bundle_path(path, shard_id), layout=layout)
+        atomic_write_text(path / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
         return path
 
     @staticmethod
@@ -1063,6 +1086,7 @@ class ShardedJunoIndex:
                 executor.close()
             raise
         sharded._owns_spec_executor = owns_executor
+        sharded._durability = config.durability
         sharded.dim = int(manifest["dim"])
         sharded.num_points = int(manifest["num_points"])
         try:

@@ -1,0 +1,127 @@
+"""Crash-consistent filesystem primitives shared by the durable layers.
+
+Every on-disk artifact this project publishes -- WAL segments, snapshot
+bundles, manifests -- must be *atomic*: a reader (or a restarted process)
+either sees the complete previous version or the complete new one, never a
+half-written file.  The recipe is the classic one:
+
+1. write the content to a temporary sibling name in the same directory,
+2. flush and ``os.fsync`` the temporary file so its bytes are durable,
+3. ``os.replace`` it onto the final name (atomic within a filesystem),
+4. ``os.fsync`` the parent directory so the rename itself is durable.
+
+This module is the single home of that recipe so the write-ahead log
+(:mod:`repro.updates.wal`) and the bundle persistence layer
+(:mod:`repro.serving.persistence`) cannot drift apart.  It lives at the
+package root -- like :mod:`repro.errors` -- because both the updates and the
+serving packages need it and neither may import the other's package.
+
+Durability syscalls degrade gracefully: on platforms without directory file
+descriptors (Windows) the directory fsync is skipped, which weakens the
+crash-ordering guarantee but never the atomicity of the rename.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+#: Distinguishes temp names staged by concurrent processes; the per-process
+#: counter distinguishes concurrent stagings inside one process.
+_STAGE_COUNTER = itertools.count()
+
+
+def fsync_file(handle: IO) -> None:
+    """Flush a writable handle and fsync its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_path(path: str | Path) -> None:
+    """fsync an already-written file by path (read-only open + fsync)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-published rename/unlink inside it is durable.
+
+    A best-effort no-op where directories cannot be opened for fsync
+    (Windows); atomicity of ``os.replace`` is unaffected, only the
+    crash-ordering guarantee weakens.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def staging_name(path: Path) -> Path:
+    """A temporary sibling name for staging ``path`` before publication.
+
+    Dot-prefixed so half-staged leftovers of a crashed writer are ignored by
+    every loader (they look for exact final names) and easy to spot by eye.
+    """
+    return path.with_name(f".{path.name}.tmp-{os.getpid()}-{next(_STAGE_COUNTER)}")
+
+
+@contextmanager
+def staged(path: str | Path, durable: bool = True) -> Iterator[Path]:
+    """Stage a file for atomic publication at ``path``.
+
+    Yields the temporary path the caller should write; on clean exit the
+    temporary file is fsynced (when ``durable``), atomically renamed onto
+    ``path`` and the parent directory fsynced.  On an exception the
+    temporary file is removed and nothing is published -- a crash mid-write
+    leaves the previous version of ``path`` (or its absence) intact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = staging_name(path)
+    try:
+        yield tmp
+        if durable:
+            fsync_path(tmp)
+        os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, durable: bool = True) -> Path:
+    """Atomically publish ``data`` at ``path`` (stage + fsync + replace)."""
+    path = Path(path)
+    with staged(path, durable=durable) as tmp:
+        tmp.write_bytes(data)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, durable: bool = True) -> Path:
+    """Atomically publish ``text`` (UTF-8) at ``path``."""
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "fsync_file",
+    "fsync_path",
+    "staged",
+    "staging_name",
+]

@@ -11,7 +11,10 @@ that workload class without re-running training per mutation:
 * :class:`~repro.updates.tombstones.TombstoneSet` -- logical deletes,
   filtered out of every result before they can surface;
 * :class:`~repro.updates.wal.WriteAheadLog` -- append-only op records; a
-  snapshot plus a log replay reproduces the mutated index bit-identically;
+  snapshot plus a log replay reproduces the mutated index bit-identically,
+  with a :class:`~repro.updates.wal.DurabilityPolicy` choosing how hard an
+  acknowledged append tries to survive a crash (fsync mode, group-commit
+  window, segment rotation);
 * :class:`~repro.updates.mutable.MutableJunoIndex` -- the serving wrapper
   tying them together, with an online compactor that drains the buffer into
   the trained structures retrain-free and a
@@ -30,10 +33,11 @@ trade-off.
 from repro.updates.delta import DeltaIndex
 from repro.updates.mutable import MutableJunoIndex, RebuildPolicy
 from repro.updates.tombstones import TombstoneSet
-from repro.updates.wal import WalError, WriteAheadLog
+from repro.updates.wal import DurabilityPolicy, WalError, WriteAheadLog
 
 __all__ = [
     "DeltaIndex",
+    "DurabilityPolicy",
     "MutableJunoIndex",
     "RebuildPolicy",
     "TombstoneSet",

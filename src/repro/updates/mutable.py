@@ -482,16 +482,18 @@ class MutableJunoIndex:
         )
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, gc_wal: bool = False) -> Path:
         """Write an epoch-stamped snapshot bundle of the mutated state.
 
         See :func:`repro.serving.persistence.save_mutable_index`; load with
         :func:`repro.serving.persistence.load_mutable_index`, which replays
-        any WAL records newer than the snapshot's epoch.
+        any WAL records newer than the snapshot's epoch.  ``gc_wal=True``
+        additionally truncates the attached write-ahead log through the
+        snapshot's epoch once it is durably published.
         """
         from repro.serving.persistence import save_mutable_index
 
-        return save_mutable_index(self, path)
+        return save_mutable_index(self, path, gc_wal=gc_wal)
 
     @classmethod
     def load(

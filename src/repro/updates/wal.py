@@ -19,96 +19,463 @@ snapshot.
 Floats survive the JSON round trip exactly (Python serialises ``float64``
 with shortest-repr semantics), so replayed vectors are the same bits the
 caller upserted.  A torn final line -- the classic crash-mid-append shape --
-is tolerated and replay stops before it; corruption anywhere earlier raises
-a typed :class:`WalError`.
+is tolerated: replay stops before it, and the first append after reopening
+*repairs* it (truncating the torn bytes) so a crash-then-continue log stays
+replayable.  Corruption anywhere earlier raises a typed :class:`WalError`.
+
+How durable an *acknowledged* append is, is the :class:`DurabilityPolicy`'s
+call:
+
+* ``fsync="never"`` -- flush to the OS and move on; a process crash loses
+  nothing (the page cache survives), a machine crash can lose the tail.
+* ``fsync="always"`` -- every append returns only after ``os.fsync``;
+  concurrent appends still coalesce (one fsync can cover several flushed
+  records, and covered appenders skip their own).
+* ``fsync="batch"`` -- group commit: at most one ``os.fsync`` per
+  ``group_window_s`` window, shared by every record flushed inside it.  An
+  append may return before its record is durable, but the *durable
+  watermark* (:attr:`WriteAheadLog.durable_seq`) always advances to a
+  sequence prefix: no record is ever durable before an earlier one, and a
+  machine crash loses at most the current window (``close`` /
+  :meth:`WriteAheadLog.sync` drain it).
+
+The log can also be **segmented**: :meth:`WriteAheadLog.rotate` seals the
+active file as an immutable ``<name>.<last_seq>.seg`` segment via an atomic
+rename (``DurabilityPolicy.segment_records`` rotates automatically), and
+:meth:`WriteAheadLog.truncate_through` garbage-collects every segment fully
+covered by an epoch snapshot -- the on-disk log stays proportional to the
+un-snapshotted tail instead of growing forever.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterator
 
 from repro.errors import ServingError
+from repro.storage import fsync_dir, fsync_file
+
+#: Valid :attr:`DurabilityPolicy.fsync` modes.
+FSYNC_MODES = ("never", "batch", "always")
+
+_SEGMENT_SUFFIX = ".seg"
+#: ``"seq"`` sorts between ``"op"`` and ``"vectors"``, and records are
+#: serialised with ``sort_keys=True`` and default separators, so this exact
+#: byte pattern appears in every record line.  Used by the open-time scan to
+#: learn ``last_seq`` without materialising record objects.
+_SEQ_PATTERN = re.compile(rb'"seq": (\d+)')
 
 
 class WalError(ServingError):
     """Raised when a write-ahead log is corrupt or misused."""
 
 
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How hard the write-ahead log tries to survive a crash.
+
+    Attributes:
+        fsync: ``"never"`` flushes to the OS only (a *process* crash loses
+            nothing, a machine crash can lose the tail), ``"always"`` fsyncs
+            before every append returns (durable-on-ack), and ``"batch"``
+            group-commits: one fsync per ``group_window_s`` window covers
+            every record flushed inside it, so concurrent appends coalesce
+            into one ``os.fsync`` at a bounded staleness.
+        group_window_s: the group-commit window for ``fsync="batch"`` --
+            the maximum age of a flushed-but-not-yet-durable record (and
+            the minimum spacing between fsyncs).
+        segment_records: rotate the active log file into an immutable
+            sealed segment once it holds this many records (``None``
+            disables automatic rotation; :meth:`WriteAheadLog.rotate` stays
+            available).  Sealed segments are what
+            :meth:`WriteAheadLog.truncate_through` can garbage-collect once
+            an epoch snapshot covers them.
+    """
+
+    fsync: str = "never"
+    group_window_s: float = 0.002
+    segment_records: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_MODES:
+            raise ValueError(f"fsync must be one of {FSYNC_MODES}")
+        if self.group_window_s < 0:
+            raise ValueError("group_window_s must be non-negative")
+        if self.segment_records is not None and self.segment_records <= 0:
+            raise ValueError("segment_records must be positive (or None to disable)")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "fsync": self.fsync,
+            "group_window_s": self.group_window_s,
+            "segment_records": self.segment_records,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DurabilityPolicy":
+        """Rebuild from :meth:`to_dict` output; unknown keys raise."""
+        unknown = sorted(set(data) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise ValueError(f"DurabilityPolicy does not understand keys {unknown}")
+        return cls(**data)
+
+
 class WriteAheadLog:
-    """An append-only JSON-lines operation log.
+    """An append-only JSON-lines operation log with pluggable durability.
 
     Args:
-        path: log file; created (including parents) on first append.
+        path: the *active* log file; created (including parents) on first
+            append.  Sealed segments live alongside it as
+            ``<name>.<last_seq:020d>.seg`` files and replay before it.
+        durability: the :class:`DurabilityPolicy`; defaults to
+            ``fsync="never"`` (the pre-durability behaviour).
 
     The instance tracks :attr:`last_seq`, the highest sequence number it has
     appended or observed on disk at open time, so appends after a reload
-    continue the sequence instead of restarting it.  Pickling keeps only the
-    path (a process-pool copy re-opens lazily and never shares the handle).
+    continue the sequence instead of restarting it.  The open-time scan is
+    streaming and cheap: sealed segments contribute their name-encoded last
+    sequence without being read, and the active file is scanned line by line
+    for its tail state without materialising records (corruption in the
+    middle surfaces as a typed :class:`WalError` at :meth:`replay`).
+
+    Appends are thread-safe; the durable watermark :attr:`durable_seq` only
+    ever advances to a flushed *prefix* of the sequence, so no record is
+    acknowledged durable before an earlier one.  Pickling keeps only the
+    path, policy and sequence state (a process-pool copy re-opens lazily and
+    never shares the handle).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, durability: DurabilityPolicy | None = None
+    ) -> None:
         self.path = Path(path)
+        self.durability = durability if durability is not None else DurabilityPolicy()
         self._handle: IO[str] | None = None
+        self._lock = threading.Lock()
+        self._commit_lock = threading.Lock()
+        self._last_fsync = float("-inf")
+        self._durable_seq = 0
+        self._flushed_seq = 0
+        self.fsync_count = 0
+        self.append_count = 0
+        self.tail_repairs = 0
         self.last_seq = 0
-        if self.path.is_file():
-            for record in self.replay():
-                self.last_seq = max(self.last_seq, int(record["seq"]))
+        self._scan()
+
+    # ------------------------------------------------------------- open scan
+    def _segments(self) -> list[Path]:
+        """Sealed segment files, oldest first (zero-padded names sort)."""
+        pattern = f"{self.path.name}.*{_SEGMENT_SUFFIX}"
+        return sorted(self.path.parent.glob(pattern)) if self.path.parent.is_dir() else []
+
+    def _segment_last_seq(self, segment: Path) -> int:
+        """The last sequence number a sealed segment holds (name-encoded)."""
+        stem = segment.name[len(self.path.name) + 1 : -len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError as exc:
+            raise WalError(f"unparseable WAL segment name {segment.name!r}") from exc
+
+    def _scan(self) -> None:
+        """Learn ``last_seq`` and the tail state of the active file.
+
+        Streams the active file line by line (O(longest line) memory) and
+        extracts sequence numbers with a byte-pattern match instead of
+        decoding records; only the *final* line is fully parsed, to classify
+        it as complete, complete-but-unterminated (crash after the record,
+        before the newline) or torn (crash mid-record).
+        """
+        segments = self._segments()
+        self.last_seq = self._segment_last_seq(segments[-1]) if segments else 0
+        self._active_records = 0
+        self._valid_bytes = 0
+        self._tail = "clean"
+        if not self.path.is_file():
+            return
+        pending: bytes | None = None
+        offset = 0
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                if pending is not None:
+                    offset += len(pending)
+                    self._active_records += 1
+                    match = _SEQ_PATTERN.search(pending)
+                    if match and int(match.group(1)) > self.last_seq:
+                        self.last_seq = int(match.group(1))
+                pending = raw
+        if pending is None:
+            return
+        self._valid_bytes = offset
+        try:
+            record = json.loads(pending)
+            seq = int(record["seq"])
+            record["op"]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._tail = "torn"  # repaired (truncated) by the first append
+            return
+        self.last_seq = max(self.last_seq, seq)
+        self._active_records += 1
+        self._valid_bytes = offset + len(pending)
+        if not pending.endswith(b"\n"):
+            self._tail = "unterminated"
 
     # -------------------------------------------------------------- append
+    def _ensure_open(self) -> None:
+        """Open the append handle, repairing a torn tail first (under lock)."""
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail == "torn" and self.path.is_file():
+            # Crash-then-continue repair: drop the torn bytes of the final
+            # record *before* writing, otherwise the fresh record would be
+            # concatenated onto the partial line and corrupt the log
+            # mid-file -- unreplayable instead of merely truncated.
+            with self.path.open("rb+") as repair:
+                repair.truncate(self._valid_bytes)
+                if self.durability.fsync != "never":
+                    fsync_file(repair)
+            self.tail_repairs += 1
+            self._tail = "clean"
+        self._handle = self.path.open("a", encoding="utf-8")
+        if self._tail == "unterminated":
+            # The final record is complete JSON that lost only its newline;
+            # finish the line so the next record starts fresh.
+            self._handle.write("\n")
+            self._handle.flush()
+            self.tail_repairs += 1
+            self._tail = "clean"
+
     def append(self, op: str, **fields) -> int:
-        """Append one op record and flush it; returns its sequence number."""
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a", encoding="utf-8")
-        self.last_seq += 1
-        record = {"seq": self.last_seq, "op": str(op), **fields}
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        return self.last_seq
+        """Append one op record and flush it; returns its sequence number.
+
+        Durability of the acknowledgement follows the policy: ``"always"``
+        returns fsynced, ``"batch"`` shares one fsync per group-commit
+        window, ``"never"`` only flushes.  Rotates the active file into a
+        sealed segment afterwards when ``segment_records`` says so.
+        """
+        with self._lock:
+            self._ensure_open()
+            self.last_seq += 1
+            seq = self.last_seq
+            record = {"seq": seq, "op": str(op), **fields}
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            self._flushed_seq = seq
+            self._active_records += 1
+            self.append_count += 1
+            rotate_due = (
+                self.durability.segment_records is not None
+                and self._active_records >= self.durability.segment_records
+            )
+        self._commit(seq)
+        if rotate_due:
+            self.rotate()
+        return seq
+
+    def _commit(self, seq: int) -> None:
+        """Make ``seq`` durable per the policy (group commit lives here)."""
+        mode = self.durability.fsync
+        if mode == "never" or seq <= self._durable_seq:
+            return
+        with self._commit_lock:
+            if seq <= self._durable_seq:
+                return  # a concurrent committer's fsync already covered it
+            if mode == "batch" and (
+                time.monotonic() - self._last_fsync < self.durability.group_window_s
+            ):
+                return  # pending: the window's next fsync (or sync()) covers it
+            self._fsync_flushed()
+
+    def _fsync_flushed(self) -> None:
+        """fsync the open handle; advances the durable watermark to the
+        flushed prefix.  Caller holds ``_commit_lock``."""
+        with self._lock:
+            handle = self._handle
+            target = self._flushed_seq
+        if handle is None:
+            return
+        try:
+            os.fsync(handle.fileno())
+        except (ValueError, OSError):
+            return  # racing a rotate/close that sealed (and fsynced) the file
+        self.fsync_count += 1
+        self._last_fsync = time.monotonic()
+        # ``target`` was the flushed watermark -- a contiguous prefix of the
+        # sequence -- when the fsync started, so durability never skips a
+        # record: an acked-durable seq implies every earlier seq is durable.
+        self._durable_seq = max(self._durable_seq, target)
+
+    def sync(self) -> int:
+        """Force everything flushed so far durable; returns the durable seq.
+
+        The explicit drain for ``fsync="batch"`` pending windows (and an
+        escape hatch under ``"never"``): unconditionally fsyncs the open
+        handle.
+        """
+        with self._commit_lock:
+            self._fsync_flushed()
+        return self._durable_seq
+
+    @property
+    def durable_seq(self) -> int:
+        """Highest sequence number known fsynced (0 under ``fsync="never"``)."""
+        return self._durable_seq
+
+    @property
+    def flushed_seq(self) -> int:
+        """Highest sequence number flushed to the OS by this instance."""
+        return self._flushed_seq
+
+    # ------------------------------------------------------------- segments
+    def rotate(self) -> Path | None:
+        """Seal the active file as an immutable segment; atomic publication.
+
+        The active file is fsynced (unless the policy is ``"never"``),
+        atomically renamed to ``<name>.<last_seq:020d>.seg`` and the
+        directory fsynced, so a crash leaves either the old active file or
+        the published segment -- never a half-sealed hybrid.  Returns the
+        segment path, or ``None`` when there is nothing to seal.  The next
+        append starts a fresh active file; replay spans segments then the
+        active file in order.
+        """
+        with self._commit_lock:
+            with self._lock:
+                if self._active_records == 0 or not self.path.is_file():
+                    return None
+                if self._handle is None:
+                    self._ensure_open()  # repairs a torn tail before sealing
+                durable = self.durability.fsync != "never"
+                if durable:
+                    fsync_file(self._handle)
+                    self.fsync_count += 1
+                    self._last_fsync = time.monotonic()
+                    self._durable_seq = max(self._durable_seq, self._flushed_seq)
+                self._handle.close()
+                self._handle = None
+                segment = self.path.with_name(
+                    f"{self.path.name}.{self.last_seq:020d}{_SEGMENT_SUFFIX}"
+                )
+                os.replace(self.path, segment)
+                if durable:
+                    fsync_dir(self.path.parent)
+                self._active_records = 0
+                self._valid_bytes = 0
+                self._tail = "clean"
+                return segment
+
+    def truncate_through(self, seq: int) -> list[Path]:
+        """Garbage-collect log files fully covered by an epoch snapshot.
+
+        Once a snapshot's manifest records ``last_seq >= seq``, every record
+        with a sequence number ``<= seq`` is redundant: recovery restores
+        the snapshot and replays only newer records.  This removes every
+        sealed segment whose (name-encoded) last sequence is covered --
+        sealing the active file first when the epoch covers *all* of it --
+        and returns the removed paths.
+
+        The live instance keeps its :attr:`last_seq` across full GC; a
+        *fresh* ``WriteAheadLog`` over a fully-collected log knows no
+        sequence floor, which is why
+        :func:`repro.serving.persistence.load_mutable_index` re-seeds the
+        attached log's ``last_seq`` from the snapshot epoch.
+        """
+        seq = int(seq)
+        with self._lock:
+            covered_active = self._active_records > 0 and self.last_seq <= seq
+        if covered_active:
+            self.rotate()
+        removed = []
+        for segment in self._segments():
+            if self._segment_last_seq(segment) <= seq:
+                segment.unlink(missing_ok=True)
+                removed.append(segment)
+        if removed:
+            fsync_dir(self.path.parent)
+        return removed
 
     # -------------------------------------------------------------- replay
     def replay(self, after_seq: int = 0) -> Iterator[dict]:
-        """Yield records with ``seq > after_seq`` in log order.
+        """Yield records with ``seq > after_seq`` in log order, streaming.
 
-        A truncated *final* line (torn write) ends the iteration silently;
-        a malformed record anywhere else, or a sequence number that is not
-        strictly increasing, raises :class:`WalError`.
+        Spans sealed segments (oldest first) then the active file, reading
+        line by line -- memory stays O(longest record), not O(log).  A
+        truncated *final* line of the *final* file (torn write) ends the
+        iteration silently; a malformed record anywhere else, or a sequence
+        number that is not strictly increasing, raises :class:`WalError`.
         """
-        if not self.path.is_file():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
+        files = self._segments()
+        if self.path.is_file():
+            files.append(self.path)
         previous_seq = 0
-        for line_no, line in enumerate(lines):
-            try:
-                record = json.loads(line)
-                seq = int(record["seq"])
-                record["op"]
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-                if line_no == len(lines) - 1:
-                    return  # torn final record: everything before it is durable
-                raise WalError(
-                    f"corrupt WAL record at {self.path}:{line_no + 1}: {exc}"
-                ) from exc
-            if seq <= previous_seq:
-                raise WalError(
-                    f"non-monotonic WAL sequence at {self.path}:{line_no + 1} "
-                    f"({seq} after {previous_seq})"
+        for file_index, path in enumerate(files):
+            tail_file = file_index == len(files) - 1
+            previous_seq = yield from self._replay_file(
+                path, after_seq, previous_seq, tail_file
+            )
+
+    def _replay_file(
+        self, path: Path, after_seq: int, previous_seq: int, tail_file: bool
+    ):
+        with path.open("rb") as handle:
+            pending: bytes | None = None
+            line_no = 0
+            for raw in handle:
+                if pending is not None:
+                    line_no += 1
+                    record, previous_seq = self._parse(
+                        path, line_no, pending, previous_seq, torn_ok=False
+                    )
+                    if record["seq"] > after_seq:
+                        yield record
+                pending = raw
+            if pending is not None:
+                line_no += 1
+                record, previous_seq = self._parse(
+                    path, line_no, pending, previous_seq, torn_ok=tail_file
                 )
-            previous_seq = seq
-            if seq > after_seq:
-                yield record
+                if record is not None and record["seq"] > after_seq:
+                    yield record
+        return previous_seq
+
+    def _parse(
+        self, path: Path, line_no: int, raw: bytes, previous_seq: int, torn_ok: bool
+    ) -> tuple[dict | None, int]:
+        try:
+            record = json.loads(raw)
+            seq = int(record["seq"])
+            record["op"]
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if torn_ok:
+                return None, previous_seq  # torn final record: prefix is durable
+            raise WalError(f"corrupt WAL record at {path}:{line_no}: {exc}") from exc
+        if seq <= previous_seq:
+            raise WalError(
+                f"non-monotonic WAL sequence at {path}:{line_no} "
+                f"({seq} after {previous_seq})"
+            )
+        return record, seq
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Close the append handle (idempotent); replay still works."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Close the append handle (idempotent); replay still works.
+
+        Under ``fsync="batch"`` / ``"always"`` a pending group-commit
+        window is drained first, so a cleanly closed log is durable through
+        its last acknowledged record.
+        """
+        if self._handle is not None and self.durability.fsync != "never":
+            self.sync()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -118,10 +485,29 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------ pickling
     def __getstate__(self) -> dict:
-        """Pickle as (path, last_seq): file handles never cross processes."""
-        return {"path": str(self.path), "last_seq": self.last_seq}
+        """Pickle as (path, policy, last_seq): handles never cross processes."""
+        return {
+            "path": str(self.path),
+            "durability": self.durability,
+            "last_seq": self.last_seq,
+        }
 
     def __setstate__(self, state: dict) -> None:
         self.path = Path(state["path"])
+        self.durability = state.get("durability") or DurabilityPolicy()
         self._handle = None
+        self._lock = threading.Lock()
+        self._commit_lock = threading.Lock()
+        self._last_fsync = float("-inf")
+        self._durable_seq = 0
+        self._flushed_seq = 0
+        self.fsync_count = 0
+        self.append_count = 0
+        self.tail_repairs = 0
         self.last_seq = int(state["last_seq"])
+        self._active_records = 0
+        self._valid_bytes = 0
+        self._tail = "clean"
+
+
+__all__ = ["FSYNC_MODES", "DurabilityPolicy", "WalError", "WriteAheadLog"]
