@@ -13,7 +13,12 @@ from repro.bench.harness import (
     run_juno_sweep,
     speedup_summary,
 )
-from repro.bench.report import format_records_table, format_table
+from repro.bench.report import (
+    format_records_table,
+    format_table,
+    provenance_stamp,
+    update_bench_json,
+)
 
 __all__ = [
     "QPSRecallSweep",
@@ -23,4 +28,6 @@ __all__ = [
     "speedup_summary",
     "format_table",
     "format_records_table",
+    "provenance_stamp",
+    "update_bench_json",
 ]

@@ -99,17 +99,63 @@ def bench_json_path(path: "str | Path | None" = None) -> Path:
     return Path(os.environ.get("REPRO_BENCH_JSON", BENCH_JSON_NAME))
 
 
+def _git_sha() -> str:
+    """The commit the benchmark ran at, best effort.
+
+    CI exposes it as ``GITHUB_SHA``; locally we ask git.  ``"unknown"`` when
+    neither works (e.g. an exported tree) -- provenance must never crash a
+    benchmark.
+    """
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def provenance_stamp() -> dict:
+    """Provenance fields stamped into every bench JSON section.
+
+    Records the git commit and the ``REPRO_BENCH_SCALE`` factor the numbers
+    were measured under, so a committed ``BENCH_serving.json`` is
+    self-describing: a diff across PRs shows whether a change is a real
+    regression or a different measurement scale.
+    """
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    except ValueError:
+        scale = 1.0
+    return {"git_sha": _git_sha(), "bench_scale": scale}
+
+
 def update_bench_json(section: str, payload, path: "str | Path | None" = None) -> Path:
     """Merge one benchmark's results into the machine-readable output file.
 
     The file maps section names to JSON payloads; each benchmark owns its
     section(s) and updates them in place, so running benchmarks in any order
     (or one at a time) accumulates one tracking file whose values can be
-    diffed across PRs.  An unreadable existing file is replaced rather than
-    crashing the benchmark that found it.
+    diffed across PRs.  Dict payloads are stamped with
+    :func:`provenance_stamp` (git SHA + bench scale); payload keys win on
+    collision.  An unreadable existing file is replaced rather than crashing
+    the benchmark that found it.
 
     Returns the path written.
     """
+    if isinstance(payload, dict):
+        payload = {**provenance_stamp(), **payload}
     target = bench_json_path(path)
     data: dict = {}
     if target.is_file():

@@ -1,0 +1,41 @@
+"""Data-parallel, checkpointed index building over chunked corpora.
+
+The offline phase (Alg. 1) as a resumable multi-process pipeline instead of
+one in-memory ``train()`` call:
+
+``sample`` -> ``train`` -> ``assign`` -> ``encode`` -> ``emit``
+
+Each step publishes its artifacts atomically via :mod:`repro.storage` and
+commits itself into an epoch-stamped build manifest, so a build killed at
+any instant restarts idempotently from the last completed step.  The
+``assign``/``encode`` (and per-shard ``sample``/``train``/``emit``) work
+fans out over a ``ProcessPoolExecutor`` across memory-mapped corpus chunks
+(:class:`~repro.datasets.registry.ChunkedCorpus`), and the emitted bundle is
+byte-compatible with :meth:`~repro.serving.shard.ShardedJunoIndex.save` --
+``ShardedJunoIndex.load`` and the worker-resident runtime consume it
+unchanged.  In parity mode (the default ``train_sample_size=None``) the
+output is bit-identical to the in-memory trainer; see ``docs/build.md``.
+"""
+
+from repro.build.digest import bundle_state_digest
+from repro.build.pipeline import (
+    BUILD_MANIFEST_NAME,
+    STEP_ORDER,
+    BuildReport,
+    load_build_manifest,
+    run_build,
+)
+from repro.build.plan import BuildError, BuildInterrupted, BuildPlan, shard_of_ids
+
+__all__ = [
+    "BUILD_MANIFEST_NAME",
+    "STEP_ORDER",
+    "BuildError",
+    "BuildInterrupted",
+    "BuildPlan",
+    "BuildReport",
+    "bundle_state_digest",
+    "load_build_manifest",
+    "run_build",
+    "shard_of_ids",
+]

@@ -1,0 +1,62 @@
+"""Content digest of a sharded deployment bundle.
+
+The parity oracle's measuring stick: a blake2b digest over a bundle's
+*logical state* -- the canonicalised manifests plus the name, dtype, shape
+and bytes of every trained array -- rather than its file bytes.  Raw file
+bytes are not reproducible (``np.savez`` zip members carry timestamps), but
+the logical state is, so two builds of the same corpus/config digest equal
+iff they produced bit-identical indexes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.serving.persistence import read_bundle_arrays, read_manifest
+from repro.serving.shard import SHARDED_KIND
+
+_INDEX_KIND = "juno-index"
+
+
+def _feed_manifest(digest: "hashlib._Hash", manifest: dict) -> None:
+    digest.update(json.dumps(manifest, sort_keys=True, default=str).encode())
+
+
+def _feed_array(digest: "hashlib._Hash", name: str, array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    digest.update(name.encode())
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+
+
+def bundle_state_digest(path: str | Path) -> str:
+    """Digest the logical state of a sharded deployment bundle at ``path``.
+
+    Covers the router manifest, the per-shard global-id arrays and, for
+    every shard, its bundle manifest and all trained arrays.  Used by the
+    parity oracle to pin pipeline-emitted bundles bit-identical to
+    ``ShardedJunoIndex.train(...).save(...)`` output, and by the resume
+    tests to pin interrupted-then-resumed builds to uninterrupted ones.
+    """
+    path = Path(path)
+    digest = hashlib.blake2b(digest_size=16)
+    manifest = read_manifest(path, SHARDED_KIND)
+    _feed_manifest(digest, manifest)
+    num_shards = int(manifest["num_shards"])
+    with np.load(path / "shard_ids.npz") as id_arrays:
+        for shard_id in range(num_shards):
+            name = f"shard_{shard_id}"
+            _feed_array(digest, name, id_arrays[name])
+    for shard_id in range(num_shards):
+        shard_path = path / f"shard_{shard_id:03d}"
+        shard_manifest = read_manifest(shard_path, _INDEX_KIND)
+        _feed_manifest(digest, shard_manifest)
+        arrays = read_bundle_arrays(shard_path, shard_manifest)
+        for name in sorted(arrays):
+            _feed_array(digest, name, np.asarray(arrays[name]))
+    return digest.hexdigest()

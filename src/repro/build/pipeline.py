@@ -1,0 +1,284 @@
+"""The checkpointed build driver: step DAG, manifest, resume, fan-out.
+
+``run_build`` decomposes offline training into five steps --
+
+``sample`` -> ``train`` -> ``assign`` -> ``encode`` -> ``emit``
+
+-- and commits each completed step into an epoch-stamped
+``build_manifest.json`` (published atomically, manifest-last, via
+:mod:`repro.storage`).  A killed build re-invoked with the same plan skips
+every committed step and, within the step it died in, every task whose
+artifact was already published; the ``attempts`` counters in the manifest
+record how many times each step's body has started, so tests can assert
+completed steps are never re-executed.
+
+The ``assign``/``encode`` steps (and the per-shard ``sample``/``train``/
+``emit`` steps) fan out over a ``ProcessPoolExecutor``; workers receive
+small path/scalar payloads and memory-map corpus chunks read-only, keeping
+per-task transfer corpus-size independent.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.build import steps as build_steps
+from repro.build.plan import BuildError, BuildInterrupted, BuildPlan, plan_fingerprint, shard_of_ids
+from repro.datasets.registry import ChunkedCorpus
+from repro.serving.persistence import MANIFEST_NAME
+from repro.serving.shard import router_manifest_dict
+from repro.storage import atomic_write_text, staged
+
+BUILD_MANIFEST_NAME = "build_manifest.json"
+BUILD_KIND = "juno-build"
+BUILD_FORMAT_VERSION = 1
+
+#: The step DAG, in execution order.  Linear on purpose: every step consumes
+#: only artifacts of earlier steps, so "resume from the last committed step"
+#: is always a correct restart point.
+STEP_ORDER = ("sample", "train", "assign", "encode", "emit")
+
+_STEP_DIRS = ("samples", "trained", "assign", "encode", "bundle")
+
+
+@dataclass
+class BuildReport:
+    """What one ``run_build`` invocation did."""
+
+    bundle: Path
+    epoch: int
+    fingerprint: str
+    num_workers: int
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    steps: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def step_seconds(self, name: str) -> float:
+        return float(self.steps[name]["seconds"])
+
+
+def load_build_manifest(out: str | Path) -> dict | None:
+    """The build manifest at ``out``, or ``None`` if no build started there."""
+    path = Path(out) / BUILD_MANIFEST_NAME
+    if not path.is_file():
+        return None
+    manifest = json.loads(path.read_text())
+    if manifest.get("kind") != BUILD_KIND:
+        raise BuildError(f"{path} is not a {BUILD_KIND} manifest")
+    return manifest
+
+
+def _publish_manifest(out: Path, manifest: dict) -> None:
+    atomic_write_text(out / BUILD_MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def _wipe_build(out: Path) -> None:
+    for name in _STEP_DIRS:
+        shutil.rmtree(out / name, ignore_errors=True)
+    (out / BUILD_MANIFEST_NAME).unlink(missing_ok=True)
+
+
+def _has_artifacts(out: Path) -> bool:
+    return any((out / name).exists() for name in _STEP_DIRS)
+
+
+def _run_tasks(fn, payloads: list[dict], pool: ProcessPoolExecutor | None) -> dict:
+    if pool is None:
+        results = [fn(payload) for payload in payloads]
+    else:
+        results = list(pool.map(fn, payloads))
+    return {
+        "tasks": len(results),
+        "reused": sum(1 for result in results if result.get("reused")),
+    }
+
+
+def _base_payload(plan: BuildPlan, corpus: ChunkedCorpus) -> dict:
+    return {
+        "corpus": plan.corpus_path,
+        "out": plan.out_path,
+        "config": plan.config,
+        "num_shards": plan.num_shards,
+        "assignment": plan.assignment,
+        "num_points": corpus.num_points,
+    }
+
+
+def _shard_payloads(plan: BuildPlan, corpus: ChunkedCorpus, **extra) -> list[dict]:
+    base = _base_payload(plan, corpus)
+    return [{**base, **extra, "shard_id": shard_id} for shard_id in range(plan.num_shards)]
+
+
+def _chunk_payloads(plan: BuildPlan, corpus: ChunkedCorpus) -> list[dict]:
+    base = _base_payload(plan, corpus)
+    return [{**base, "chunk_id": chunk_id} for chunk_id in range(corpus.num_chunks)]
+
+
+def _step_sample(plan: BuildPlan, corpus: ChunkedCorpus, pool) -> dict:
+    payloads = _shard_payloads(plan, corpus, train_sample_size=plan.train_sample_size)
+    return _run_tasks(build_steps.sample_shard_task, payloads, pool)
+
+
+def _step_train(plan: BuildPlan, corpus: ChunkedCorpus, pool) -> dict:
+    return _run_tasks(build_steps.train_shard_task, _shard_payloads(plan, corpus), pool)
+
+
+def _step_assign(plan: BuildPlan, corpus: ChunkedCorpus, pool) -> dict:
+    return _run_tasks(build_steps.assign_chunk_task, _chunk_payloads(plan, corpus), pool)
+
+
+def _step_encode(plan: BuildPlan, corpus: ChunkedCorpus, pool) -> dict:
+    return _run_tasks(build_steps.encode_chunk_task, _chunk_payloads(plan, corpus), pool)
+
+
+def _step_emit(plan: BuildPlan, corpus: ChunkedCorpus, pool) -> dict:
+    stats = _run_tasks(
+        build_steps.emit_shard_task, _shard_payloads(plan, corpus, layout=plan.layout), pool
+    )
+    # Finish the deployment bundle driver-side: the shard-ids sidecar and the
+    # router manifest, written last -- the same commit order and bytes as
+    # ``ShardedJunoIndex.save``.
+    bundle = build_steps.bundle_root(plan.out_path)
+    all_ids = np.arange(corpus.num_points, dtype=np.int64)
+    owners = shard_of_ids(all_ids, plan.num_shards, plan.assignment, corpus.num_points)
+    id_arrays = {
+        f"shard_{s}": np.flatnonzero(owners == s).astype(np.int64) for s in range(plan.num_shards)
+    }
+    with staged(bundle / "shard_ids.npz") as tmp:
+        with tmp.open("wb") as handle:
+            np.savez_compressed(handle, **id_arrays)
+    manifest = router_manifest_dict(
+        plan.config,
+        num_shards=plan.num_shards,
+        assignment=plan.assignment,
+        new_id_assignment=plan.new_id_assignment,
+        dim=corpus.dim,
+        num_points=corpus.num_points,
+    )
+    atomic_write_text(bundle / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
+    return stats
+
+
+_STEP_FNS = {
+    "sample": _step_sample,
+    "train": _step_train,
+    "assign": _step_assign,
+    "encode": _step_encode,
+    "emit": _step_emit,
+}
+
+
+def run_build(
+    plan: BuildPlan, stop_after: str | None = None, fresh: bool = False
+) -> BuildReport:
+    """Run (or resume) a checkpointed build and return its report.
+
+    Args:
+        plan: the :class:`BuildPlan` to execute.  Re-invoking with a plan
+            whose fingerprint matches the checkpointed one resumes; a
+            mismatch raises unless ``fresh=True``.
+        stop_after: failure-injection hook -- commit the named step's
+            checkpoint, then raise :class:`BuildInterrupted` at the step
+            boundary (emulates a build process killed between steps).
+        fresh: discard any existing checkpoint state under ``plan.out``
+            and start from scratch.
+    """
+    started = time.perf_counter()
+    if stop_after is not None and stop_after not in STEP_ORDER:
+        raise BuildError(f"stop_after must be one of {STEP_ORDER}, got {stop_after!r}")
+    corpus = ChunkedCorpus.open(plan.corpus_path)
+    required_dim = plan.config.required_dim()
+    if corpus.dim != required_dim:
+        raise BuildError(
+            f"corpus dim {corpus.dim} does not match the config's required dim "
+            f"{required_dim} ({plan.config.num_subspaces} subspaces x "
+            f"{plan.config.subspace_dim})"
+        )
+    if corpus.num_points < plan.num_shards:
+        raise BuildError(
+            f"cannot split {corpus.num_points} points across {plan.num_shards} shards"
+        )
+    out = plan.out_path
+    out.mkdir(parents=True, exist_ok=True)
+    if fresh:
+        _wipe_build(out)
+    fingerprint = plan_fingerprint(plan, corpus.content_digest())
+    manifest = load_build_manifest(out)
+    if manifest is None:
+        if _has_artifacts(out):
+            raise BuildError(
+                f"{out} holds build artifacts but no {BUILD_MANIFEST_NAME}; "
+                "refusing to reuse unattributed state -- pass fresh=True to rebuild"
+            )
+        manifest = {
+            "format_version": BUILD_FORMAT_VERSION,
+            "kind": BUILD_KIND,
+            "fingerprint": fingerprint,
+            "epoch": 0,
+            "plan": {
+                "corpus": str(plan.corpus_path),
+                "num_shards": plan.num_shards,
+                "assignment": plan.assignment,
+                "new_id_assignment": plan.new_id_assignment,
+                "layout": plan.layout,
+                "train_sample_size": plan.train_sample_size,
+            },
+            "attempts": {},
+            "steps": {},
+        }
+    elif manifest["fingerprint"] != fingerprint:
+        raise BuildError(
+            f"checkpointed build at {out} was produced by a different plan/corpus "
+            f"(fingerprint {manifest['fingerprint']} != {fingerprint}); "
+            "pass fresh=True to discard it and rebuild"
+        )
+    epoch = int(manifest["epoch"]) + 1
+    manifest["epoch"] = epoch
+    _publish_manifest(out, manifest)
+
+    report = BuildReport(
+        bundle=build_steps.bundle_root(out),
+        epoch=epoch,
+        fingerprint=fingerprint,
+        num_workers=plan.num_workers,
+    )
+    pool = ProcessPoolExecutor(max_workers=plan.num_workers) if plan.num_workers > 1 else None
+    try:
+        for name in STEP_ORDER:
+            if name in manifest["steps"]:
+                report.skipped.append(name)
+                report.steps[name] = manifest["steps"][name]
+                continue
+            # Record the attempt *before* running, so a step that executes
+            # twice (a bug resume-idempotency tests exist to catch) is
+            # visible in the checkpoint even if the second run also dies.
+            manifest["attempts"][name] = int(manifest["attempts"].get(name, 0)) + 1
+            _publish_manifest(out, manifest)
+            step_started = time.perf_counter()
+            stats = _STEP_FNS[name](plan, corpus, pool)
+            record = {
+                "epoch": epoch,
+                "seconds": time.perf_counter() - step_started,
+                **stats,
+            }
+            manifest["steps"][name] = record
+            _publish_manifest(out, manifest)  # <- the step-boundary commit point
+            report.executed.append(name)
+            report.steps[name] = record
+            if name == stop_after:
+                raise BuildInterrupted(
+                    f"build stopped after committing step {name!r} (stop_after injection)"
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,144 @@
+"""The build plan: what to build, from which corpus, into which bundle.
+
+A :class:`BuildPlan` is the complete, picklable description of one index
+build.  Its :func:`plan_fingerprint` -- covering the JUNO config, the
+sharding rules and the *content identity* of the chunked corpus -- is
+stamped into the build manifest: a resumed build only continues when the
+fingerprint matches, so checkpoints can never be silently combined with a
+different corpus or configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import JunoConfig
+
+_ASSIGNMENTS = ("round_robin", "contiguous")
+_NEW_ID_ASSIGNMENTS = ("contiguous", "modulo")
+_LAYOUTS = ("npz", "npy")
+
+
+class BuildError(RuntimeError):
+    """Raised when a build cannot start, resume or complete."""
+
+
+class BuildInterrupted(BuildError):
+    """Raised by the ``stop_after`` failure injection of :func:`run_build`.
+
+    The crash-harness hook: the driver commits the named step's checkpoint
+    and then dies at the step boundary, exactly like a build process killed
+    between steps.  Tests re-run the build and assert it resumes to a
+    bit-identical bundle without redoing completed work.
+    """
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """Everything one checkpointed build needs, as picklable values.
+
+    Args:
+        corpus: root directory of the chunked corpus
+            (:func:`repro.datasets.registry.write_chunked_corpus`).
+        out: build root; holds the step artifacts, the build manifest and
+            the final ``bundle/`` deployment directory.
+        config: per-shard :class:`JunoConfig` (same semantics as
+            :class:`~repro.serving.shard.ShardedJunoIndex`: each shard's
+            seed is shifted by ``101 * shard_id``, matching the in-memory
+            trainer bit for bit).
+        num_shards: corpus partitions / emitted shard bundles.
+        assignment: ``"round_robin"`` or ``"contiguous"`` -- must match the
+            router's rule so global ids land on the same shards.
+        new_id_assignment: homing rule recorded in the emitted router
+            manifest for later streaming upserts.
+        layout: per-shard array layout (``"npz"`` compact, ``"npy"``
+            memory-mappable for mmap/shm residency).
+        train_sample_size: per-shard training-sample cap for the coarse
+            k-means and PQ codebooks.  ``None`` (default) trains on the full
+            partition -- the parity mode, bit-identical to in-memory
+            ``train()``.  A cap keeps the ``train`` step's memory flat as
+            the corpus grows, at the cost of exact parity (centroids are
+            fitted on a subset; assignment/encoding still cover every row).
+        num_workers: process fan-out for the per-shard and per-chunk steps;
+            ``1`` runs everything inline in the driver.
+    """
+
+    corpus: str | Path
+    out: str | Path
+    config: JunoConfig = field(default_factory=JunoConfig)
+    num_shards: int = 1
+    assignment: str = "round_robin"
+    new_id_assignment: str = "contiguous"
+    layout: str = "npz"
+    train_sample_size: int | None = None
+    num_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise BuildError("num_shards must be positive")
+        if self.assignment not in _ASSIGNMENTS:
+            raise BuildError(f"assignment must be one of {_ASSIGNMENTS}")
+        if self.new_id_assignment not in _NEW_ID_ASSIGNMENTS:
+            raise BuildError(f"new_id_assignment must be one of {_NEW_ID_ASSIGNMENTS}")
+        if self.layout not in _LAYOUTS:
+            raise BuildError(f"layout must be one of {_LAYOUTS}")
+        if self.train_sample_size is not None and self.train_sample_size <= 0:
+            raise BuildError("train_sample_size must be positive (or None for the full partition)")
+        if self.num_workers <= 0:
+            raise BuildError("num_workers must be positive")
+
+    @property
+    def corpus_path(self) -> Path:
+        return Path(self.corpus)
+
+    @property
+    def out_path(self) -> Path:
+        return Path(self.out)
+
+
+def shard_of_ids(ids: np.ndarray, num_shards: int, assignment: str, num_points: int) -> np.ndarray:
+    """Owning shard of each global id under the router's partition rule.
+
+    Must stay in lockstep with ``ShardedJunoIndex._assign`` -- the build
+    pipeline partitions corpus chunks with this function and the parity
+    oracle pins the resulting bundles bit-identical to the router's own
+    training, so any drift fails the oracle immediately.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    if assignment == "round_robin":
+        return ids % int(num_shards)
+    if assignment == "contiguous":
+        return (ids * int(num_shards)) // max(int(num_points), 1)
+    raise BuildError(f"assignment must be one of {_ASSIGNMENTS}")
+
+
+def plan_fingerprint(plan: BuildPlan, corpus_digest: str) -> str:
+    """Identity of a build: the plan's outputs-determining fields + corpus.
+
+    ``num_workers`` is deliberately excluded -- the worker count changes
+    wall-clock, never results, so a build may resume with a different
+    parallelism.  The corpus enters through its content digest
+    (:meth:`~repro.datasets.registry.ChunkedCorpus.content_digest`), so
+    swapping chunk data under a checkpointed build changes the fingerprint
+    and forces a fresh start.
+    """
+    config = asdict(plan.config)
+    config["metric"] = plan.config.metric.value
+    config["quality_mode"] = plan.config.quality_mode.value
+    config["threshold_strategy"] = plan.config.threshold_strategy.value
+    identity = {
+        "config": config,
+        "num_shards": plan.num_shards,
+        "assignment": plan.assignment,
+        "new_id_assignment": plan.new_id_assignment,
+        "layout": plan.layout,
+        "train_sample_size": plan.train_sample_size,
+        "corpus_digest": corpus_digest,
+    }
+    encoded = json.dumps(identity, sort_keys=True, default=str).encode()
+    return hashlib.blake2b(encoded, digest_size=16).hexdigest()

@@ -1,0 +1,241 @@
+"""Worker-side tasks of the checkpointed build pipeline.
+
+Every function here is a module-level, picklable task executed either inline
+(``num_workers=1``) or in a ``ProcessPoolExecutor``.  Payloads carry paths
+and scalar plan fields only -- workers open corpus chunks read-only via
+``np.load(..., mmap_mode="r")``, so the bytes crossing the process boundary
+are corpus-size independent.
+
+Each task is **idempotent by artifact**: it first checks whether its output
+already exists (artifacts are only ever published atomically, so existence
+implies completeness) and reports ``reused`` instead of recomputing.  The
+driver only trusts artifacts under a build manifest whose plan fingerprint
+matches, so reuse can never mix corpora or configurations.
+
+Bit-parity with the in-memory trainer rests on two facts: (1) the sample /
+train tasks run the very same ``InvertedFileIndex.train`` /
+``ProductQuantizer.train`` code on a byte-identical partition array, and
+(2) the chunk-wise assign/encode tasks produce *argmin* outputs (nearest
+centroid, nearest codebook entry), which are stable under row batching even
+though raw BLAS distance matrices are not.  The parity oracle in
+``tests/test_build.py`` pins both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.build.plan import shard_of_ids
+from repro.core.index import JunoIndex
+from repro.datasets.registry import ChunkedCorpus
+from repro.ivf.inverted_file import InvertedFileIndex
+from repro.quantization.codebook import SubspaceCodebook
+from repro.quantization.kmeans import assign_labels
+from repro.quantization.product_quantizer import ProductQuantizer
+from repro.serving.persistence import MANIFEST_NAME, save_index, shard_bundle_path
+from repro.storage import staged
+
+
+def sample_path(out: Path, shard_id: int) -> Path:
+    return Path(out) / "samples" / f"sample_{int(shard_id):03d}.npy"
+
+
+def trained_path(out: Path, shard_id: int) -> Path:
+    return Path(out) / "trained" / f"shard_{int(shard_id):03d}.npz"
+
+
+def assign_path(out: Path, chunk_id: int) -> Path:
+    return Path(out) / "assign" / f"chunk_{int(chunk_id):05d}.npy"
+
+
+def encode_path(out: Path, chunk_id: int) -> Path:
+    return Path(out) / "encode" / f"chunk_{int(chunk_id):05d}.npy"
+
+
+def bundle_root(out: Path) -> Path:
+    return Path(out) / "bundle"
+
+
+def _publish_array(path: Path, array: np.ndarray) -> None:
+    with staged(path) as tmp:
+        with tmp.open("wb") as handle:
+            np.save(handle, np.ascontiguousarray(array))
+
+
+def _chunk_owners(start: int, stop: int, payload: dict) -> np.ndarray:
+    ids = np.arange(start, stop, dtype=np.int64)
+    return shard_of_ids(ids, payload["num_shards"], payload["assignment"], payload["num_points"])
+
+
+def _gather_partition(corpus: ChunkedCorpus, payload: dict, shard_id: int) -> np.ndarray:
+    """This shard's corpus rows, ascending global-id order, stored dtype.
+
+    Chunk iteration is ascending and masks preserve order, so the
+    concatenation equals ``points[global_ids]`` of the in-memory trainer
+    bit for bit (the float64 cast happens later and commutes with the
+    gather).
+    """
+    parts = []
+    for start, stop, rows in corpus.iter_chunks():
+        mask = _chunk_owners(start, stop, payload) == shard_id
+        if mask.any():
+            parts.append(np.asarray(rows[mask]))
+    return np.concatenate(parts, axis=0)
+
+
+# ------------------------------------------------------------------- sample
+def sample_shard_task(payload: dict) -> dict:
+    """Gather one shard's training sample and publish it as a ``.npy``."""
+    shard_id = payload["shard_id"]
+    target = sample_path(payload["out"], shard_id)
+    if target.is_file():
+        return {"shard_id": shard_id, "reused": True}
+    corpus = ChunkedCorpus.open(payload["corpus"])
+    partition = _gather_partition(corpus, payload, shard_id)
+    sample_size = payload["train_sample_size"]
+    if sample_size is not None and sample_size < partition.shape[0]:
+        # Sampled (non-parity) mode: a deterministic subset keeps the train
+        # step's memory flat as partitions grow.  Sorted so the sample stays
+        # in global-id order.
+        rng = np.random.default_rng(payload["config"].seed + 131 * shard_id + 17)
+        pick = np.sort(rng.choice(partition.shape[0], size=int(sample_size), replace=False))
+        partition = partition[pick]
+    _publish_array(target, partition)
+    return {"shard_id": shard_id, "rows": int(partition.shape[0])}
+
+
+# -------------------------------------------------------------------- train
+def train_shard_task(payload: dict) -> dict:
+    """Fit one shard's coarse centroids and PQ codebooks on its sample.
+
+    Runs the exact constructor arguments and training calls
+    ``JunoIndex.train`` uses (with the router's per-shard seed shift), so in
+    parity mode -- sample == full partition -- the fitted centroids and
+    codebooks are bit-identical to the in-memory trainer's.
+    """
+    shard_id = payload["shard_id"]
+    target = trained_path(payload["out"], shard_id)
+    if target.is_file():
+        return {"shard_id": shard_id, "reused": True}
+    sample = np.load(sample_path(payload["out"], shard_id))
+    config = payload["config"].with_updates(seed=payload["config"].seed + 101 * shard_id)
+    ivf = InvertedFileIndex(
+        config.num_clusters,
+        metric=config.metric,
+        seed=config.seed,
+        kmeans_iters=config.kmeans_iters,
+    )
+    ivf.train(sample)
+    residuals = ivf.point_residuals(sample)
+    pq = ProductQuantizer(
+        dim=int(sample.shape[1]),
+        num_subspaces=config.num_subspaces,
+        num_entries=config.num_entries,
+        seed=config.seed,
+        kmeans_iters=config.kmeans_iters,
+    ).train(residuals)
+    arrays = {"centroids": ivf.centroids}
+    for s, codebook in enumerate(pq.codebooks):
+        arrays[f"codebook_{s}"] = codebook.entries
+    with staged(target) as tmp:
+        with tmp.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+    return {
+        "shard_id": shard_id,
+        "rows": int(sample.shape[0]),
+        "clusters": int(ivf.num_clusters),
+    }
+
+
+def _load_trained(out: Path, shard_id: int, num_subspaces: int):
+    with np.load(trained_path(out, shard_id)) as trained:
+        centroids = np.asarray(trained["centroids"])
+        entries = [np.asarray(trained[f"codebook_{s}"]) for s in range(num_subspaces)]
+    return centroids, entries
+
+
+# ------------------------------------------------------------------- assign
+def assign_chunk_task(payload: dict) -> dict:
+    """Label one memory-mapped corpus chunk against its shards' centroids."""
+    chunk_id = payload["chunk_id"]
+    target = assign_path(payload["out"], chunk_id)
+    if target.is_file():
+        return {"chunk_id": chunk_id, "reused": True}
+    corpus = ChunkedCorpus.open(payload["corpus"])
+    start, stop = corpus.chunk_bounds(chunk_id)
+    chunk = corpus.open_chunk(chunk_id)
+    owners = _chunk_owners(start, stop, payload)
+    labels = np.empty(stop - start, dtype=np.int64)
+    for shard_id in np.unique(owners):
+        with np.load(trained_path(payload["out"], shard_id)) as trained:
+            centroids = np.asarray(trained["centroids"])
+        mask = owners == shard_id
+        rows = np.asarray(chunk[mask], dtype=np.float64)
+        labels[mask], _ = assign_labels(rows, centroids)
+    _publish_array(target, labels)
+    return {"chunk_id": chunk_id, "rows": int(stop - start)}
+
+
+# ------------------------------------------------------------------- encode
+def encode_chunk_task(payload: dict) -> dict:
+    """PQ-encode one chunk's residuals against its shards' codebooks."""
+    chunk_id = payload["chunk_id"]
+    target = encode_path(payload["out"], chunk_id)
+    if target.is_file():
+        return {"chunk_id": chunk_id, "reused": True}
+    config = payload["config"]
+    corpus = ChunkedCorpus.open(payload["corpus"])
+    start, stop = corpus.chunk_bounds(chunk_id)
+    chunk = corpus.open_chunk(chunk_id)
+    owners = _chunk_owners(start, stop, payload)
+    labels = np.load(assign_path(payload["out"], chunk_id))
+    subspace_dim = config.subspace_dim
+    codes = np.empty((stop - start, config.num_subspaces), dtype=np.int32)
+    for shard_id in np.unique(owners):
+        centroids, entries = _load_trained(payload["out"], shard_id, config.num_subspaces)
+        mask = owners == shard_id
+        rows = np.asarray(chunk[mask], dtype=np.float64)
+        residuals = rows - centroids[labels[mask]]
+        for s, entry_matrix in enumerate(entries):
+            projection = residuals[:, s * subspace_dim : (s + 1) * subspace_dim]
+            codes[mask, s] = SubspaceCodebook(entry_matrix, subspace_id=s).encode(projection)
+    _publish_array(target, codes)
+    return {"chunk_id": chunk_id, "rows": int(stop - start)}
+
+
+# --------------------------------------------------------------------- emit
+def emit_shard_task(payload: dict) -> dict:
+    """Assemble one shard index from the step artifacts and save its bundle.
+
+    Gathers the shard's partition rows, labels and codes from the chunk
+    artifacts, installs them via :meth:`JunoIndex.assemble` -- which runs
+    the remaining training stages (density maps, threshold regressor, RT
+    scene) through the same code as ``train()`` -- and publishes a normal
+    per-shard bundle (``save_index``); the bundle manifest is the task's
+    atomic commit point.
+    """
+    shard_id = payload["shard_id"]
+    target = shard_bundle_path(bundle_root(payload["out"]), shard_id)
+    if (target / MANIFEST_NAME).is_file():
+        return {"shard_id": shard_id, "reused": True}
+    config = payload["config"]
+    corpus = ChunkedCorpus.open(payload["corpus"])
+    point_parts, label_parts, code_parts = [], [], []
+    for chunk_id in range(corpus.num_chunks):
+        start, stop = corpus.chunk_bounds(chunk_id)
+        mask = _chunk_owners(start, stop, payload) == shard_id
+        if not mask.any():
+            continue
+        point_parts.append(np.asarray(corpus.open_chunk(chunk_id)[mask]))
+        label_parts.append(np.load(assign_path(payload["out"], chunk_id))[mask])
+        code_parts.append(np.load(encode_path(payload["out"], chunk_id))[mask])
+    points = np.concatenate(point_parts, axis=0)
+    labels = np.concatenate(label_parts, axis=0)
+    codes = np.concatenate(code_parts, axis=0)
+    centroids, entries = _load_trained(payload["out"], shard_id, config.num_subspaces)
+    shard_config = config.with_updates(seed=config.seed + 101 * shard_id)
+    index = JunoIndex(shard_config).assemble(points, centroids, labels, entries, codes)
+    save_index(index, target, layout=payload["layout"])
+    return {"shard_id": shard_id, "rows": int(points.shape[0])}

@@ -155,6 +155,95 @@ class JunoIndex:
         ).train(residuals)
         self.codes = self.pq.encode(residuals)
 
+        return self._finalize_training(points, residuals)
+
+    def assemble(
+        self,
+        points: np.ndarray,
+        centroids: np.ndarray,
+        labels: np.ndarray,
+        codebooks,
+        codes: np.ndarray,
+    ) -> "JunoIndex":
+        """Install precomputed clustering/codes and finish the offline phase.
+
+        The distributed build pipeline (:mod:`repro.build`) computes the
+        expensive k-means outputs out of process -- centroids and codebooks
+        fitted on samples, labels and codes assigned chunk by chunk over a
+        memory-mapped corpus.  This entry point installs those artifacts and
+        then runs the remaining training stages (subspace inverted indices,
+        density maps, threshold regressor, RT scene) through the very same
+        code path :meth:`train` uses, so a pipeline-built index is
+        bit-identical to an in-memory ``train()`` given identical inputs.
+
+        Args:
+            points: ``(N, D)`` corpus partition this index serves.
+            centroids: ``(C, D)`` coarse IVF centroids.
+            labels: ``(N,)`` nearest-centroid assignment of every point.
+            codebooks: per-subspace codebooks -- ``(E, 2)`` entry arrays or
+                ready :class:`~repro.quantization.codebook.SubspaceCodebook`
+                instances, one per subspace.
+            codes: ``(N, num_subspaces)`` PQ codes of the residuals.
+        """
+        from repro.quantization.codebook import SubspaceCodebook
+
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.dim = points.shape[1]
+        self.num_points = points.shape[0]
+        expected_dim = self.config.required_dim()
+        if self.dim != expected_dim:
+            raise ValueError(
+                f"config expects dim {expected_dim} (num_subspaces * 2) but corpus has dim {self.dim}"
+            )
+        centroids = np.asarray(centroids, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.int32)
+        if centroids.ndim != 2 or centroids.shape[1] != self.dim:
+            raise ValueError(f"centroids must have shape (C, {self.dim}), got {centroids.shape}")
+        if labels.shape != (self.num_points,):
+            raise ValueError(f"{labels.shape[0]} labels for {self.num_points} points")
+        if codes.shape != (self.num_points, self.config.num_subspaces):
+            expected_shape = (self.num_points, self.config.num_subspaces)
+            raise ValueError(f"codes must have shape {expected_shape}, got {codes.shape}")
+        if len(codebooks) != self.config.num_subspaces:
+            raise ValueError(
+                f"{len(codebooks)} codebooks for {self.config.num_subspaces} subspaces"
+            )
+
+        self.ivf.centroids = centroids
+        self.ivf.labels = labels
+        self.ivf.num_clusters = int(centroids.shape[0])
+        self.ivf.posting_lists = [
+            np.flatnonzero(labels == cluster_id).astype(np.int64)
+            for cluster_id in range(self.ivf.num_clusters)
+        ]
+        pq = ProductQuantizer(
+            dim=self.dim,
+            num_subspaces=self.config.num_subspaces,
+            num_entries=self.config.num_entries,
+            seed=self.config.seed,
+            kmeans_iters=self.config.kmeans_iters,
+        )
+        pq.codebooks = [
+            codebook
+            if isinstance(codebook, SubspaceCodebook)
+            else SubspaceCodebook(np.asarray(codebook, dtype=np.float64), subspace_id=s)
+            for s, codebook in enumerate(codebooks)
+        ]
+        self.pq = pq
+        self.codes = codes
+
+        residuals = self.ivf.point_residuals(points)
+        return self._finalize_training(points, residuals)
+
+    def _finalize_training(self, points: np.ndarray, residuals: np.ndarray) -> "JunoIndex":
+        """Training stages 2-5: everything after clustering and encoding.
+
+        Shared verbatim by :meth:`train` and :meth:`assemble` so the
+        in-memory and pipeline-built paths can never drift: given identical
+        ``points``/``residuals`` (and installed IVF/PQ state) the outputs
+        are bit-identical.
+        """
         # 2. Subspace-level inverted indices (Alg. 1, 12-14).
         self.subspace_index = SubspaceInvertedIndex(self.config.num_entries).build(
             self.ivf.posting_lists, self.codes

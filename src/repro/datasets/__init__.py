@@ -9,7 +9,14 @@ substitution rationale.
 """
 
 from repro.datasets.ground_truth import compute_ground_truth
-from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    ChunkedCorpus,
+    CorpusError,
+    load_dataset,
+    scaled_default,
+    write_chunked_corpus,
+)
 from repro.datasets.synthetic import (
     Dataset,
     make_clustered_dataset,
@@ -26,5 +33,9 @@ __all__ = [
     "make_tti_like",
     "compute_ground_truth",
     "load_dataset",
+    "scaled_default",
     "DATASET_BUILDERS",
+    "ChunkedCorpus",
+    "CorpusError",
+    "write_chunked_corpus",
 ]

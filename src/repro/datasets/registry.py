@@ -1,26 +1,70 @@
-"""Dataset registry used by the examples and benchmark harness.
+"""Dataset registry and the chunked on-disk corpus layout.
 
 The registry maps short names like ``"sift1m"`` or ``"deep100m"`` onto
 surrogate builders whose default sizes are *scaled down* from the paper's
 sizes so the pure-Python pipeline stays tractable; the mapping to the paper's
 datasets is recorded in DESIGN.md.  All sizes can be overridden by the
-caller.
+caller, and every registered default respects the ``REPRO_BENCH_SCALE``
+environment variable (the same knob the benchmark harness uses), so CI smoke
+jobs and full-scale runs pull proportionally sized corpora from one place.
+
+The second half of this module is the **chunked corpus layout** consumed by
+the data-parallel build pipeline (:mod:`repro.build`): a corpus is stored as
+fixed-size row slabs (``chunks/chunk_00000.npy``, ...) under a JSON manifest
+recording the row ranges and a content digest per chunk.  Workers open
+chunks read-only via ``np.load(..., mmap_mode="r")``, so a build task's
+payload is paths plus row offsets -- corpus-size independent, the same
+discipline the zero-copy residency modes of :mod:`repro.serving.runtime`
+follow for trained arrays.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import hashlib
+import json
+import os
+from collections.abc import Callable, Iterator
+from pathlib import Path
 
+import numpy as np
+
+from repro.metrics.distances import Metric
 from repro.datasets.synthetic import Dataset, make_deep_like, make_sift_like, make_tti_like
+from repro.storage import atomic_write_text, staged
+
+CORPUS_MANIFEST_NAME = "corpus_manifest.json"
+CORPUS_FORMAT_VERSION = 1
+_CHUNKS_DIR = "chunks"
+_QUERIES_NAME = "queries.npy"
+
+
+def scaled_default(num_points: int, minimum: int = 1_000) -> int:
+    """Apply the ``REPRO_BENCH_SCALE`` factor to a default corpus size.
+
+    The same convention as the benchmark harness: CI smoke jobs set
+    ``REPRO_BENCH_SCALE`` (e.g. ``0.25``) to shrink every default workload
+    proportionally, with a floor so clustering stays meaningful.  Explicit
+    ``num_points=`` overrides are never scaled -- the caller asked for an
+    exact size.
+    """
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(int(num_points * factor), minimum)
+
 
 # Scaled default sizes: "1M" datasets become 20k surrogates and "100M"
 # datasets become 100k surrogates; both keep the paper's dimensionality.
+# Defaults go through scaled_default() at call time so REPRO_BENCH_SCALE is
+# honoured consistently across every registered dataset.
 DATASET_BUILDERS: dict[str, Callable[..., Dataset]] = {
-    "sift1m": lambda **kw: make_sift_like(**{"num_points": 20_000, **kw}),
-    "deep1m": lambda **kw: make_deep_like(**{"num_points": 20_000, **kw}),
-    "tti1m": lambda **kw: make_tti_like(**{"num_points": 20_000, **kw}),
-    "sift100m": lambda **kw: make_sift_like(**{"num_points": 100_000, "seed": 11, **kw}),
-    "deep100m": lambda **kw: make_deep_like(**{"num_points": 100_000, "seed": 12, **kw}),
+    "sift1m": lambda **kw: make_sift_like(**{"num_points": scaled_default(20_000), **kw}),
+    "deep1m": lambda **kw: make_deep_like(**{"num_points": scaled_default(20_000), **kw}),
+    "tti1m": lambda **kw: make_tti_like(**{"num_points": scaled_default(20_000), **kw}),
+    "sift100m": lambda **kw: make_sift_like(
+        **{"num_points": scaled_default(100_000), "seed": 11, **kw}
+    ),
+    "deep100m": lambda **kw: make_deep_like(
+        **{"num_points": scaled_default(100_000), "seed": 12, **kw}
+    ),
 }
 
 
@@ -40,3 +84,192 @@ def load_dataset(name: str, **overrides) -> Dataset:
         available = ", ".join(sorted(DATASET_BUILDERS))
         raise KeyError(f"unknown dataset {name!r}; available: {available}")
     return DATASET_BUILDERS[key](**overrides)
+
+
+# --------------------------------------------------------------------------
+# Chunked corpus layout
+# --------------------------------------------------------------------------
+
+
+class CorpusError(RuntimeError):
+    """Raised when a chunked corpus is missing, corrupt or inconsistent."""
+
+
+def _array_digest(array: np.ndarray) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def write_chunked_corpus(
+    points: np.ndarray,
+    root: str | Path,
+    chunk_size: int = 4096,
+    name: str = "corpus",
+    metric: Metric = Metric.L2,
+    queries: np.ndarray | None = None,
+) -> "ChunkedCorpus":
+    """Shard a corpus into fixed-size ``.npy`` chunks under a manifest.
+
+    Chunks keep the input dtype (a float32 corpus stays float32 on disk;
+    consumers cast rows exactly like the in-memory trainer casts the whole
+    array, so the split commutes with the cast bit for bit).  Every file is
+    staged and atomically published via :mod:`repro.storage`, and the
+    manifest -- which records each chunk's row range and content digest --
+    is written last as the commit point: a writer killed at any instant
+    leaves either a complete previous corpus or no manifest at all.
+
+    Args:
+        points: ``(N, D)`` corpus rows, in global id order.
+        root: corpus directory; created (including parents) if missing.
+        chunk_size: rows per chunk (the last chunk may be shorter).
+        name: corpus identifier recorded in the manifest.
+        metric: intended search metric, recorded for consumers.
+        queries: optional ``(Q, D)`` query set stored alongside the chunks
+            (benchmark convenience; not part of the build inputs).
+
+    Returns:
+        A :class:`ChunkedCorpus` opened on the just-written layout.
+    """
+    points = np.atleast_2d(np.asarray(points))
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise CorpusError("points must be a non-empty (N, D) array")
+    if chunk_size <= 0:
+        raise CorpusError("chunk_size must be positive")
+    root = Path(root)
+    chunks_dir = root / _CHUNKS_DIR
+    chunks_dir.mkdir(parents=True, exist_ok=True)
+    num_points = int(points.shape[0])
+    chunks = []
+    for chunk_id, start in enumerate(range(0, num_points, int(chunk_size))):
+        stop = min(start + int(chunk_size), num_points)
+        slab = np.ascontiguousarray(points[start:stop])
+        chunk_name = f"{_CHUNKS_DIR}/chunk_{chunk_id:05d}.npy"
+        with staged(root / chunk_name) as tmp:
+            with tmp.open("wb") as handle:
+                np.save(handle, slab)
+        chunks.append(
+            {
+                "name": chunk_name,
+                "start": start,
+                "stop": stop,
+                "digest": _array_digest(slab),
+            }
+        )
+    manifest = {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "kind": "chunked-corpus",
+        "name": str(name),
+        "dtype": str(points.dtype),
+        "num_points": num_points,
+        "dim": int(points.shape[1]),
+        "chunk_size": int(chunk_size),
+        "metric": Metric(metric).value,
+        "chunks": chunks,
+    }
+    if queries is not None:
+        queries = np.atleast_2d(np.asarray(queries))
+        with staged(root / _QUERIES_NAME) as tmp:
+            with tmp.open("wb") as handle:
+                np.save(handle, np.ascontiguousarray(queries))
+        manifest["num_queries"] = int(queries.shape[0])
+    atomic_write_text(root / CORPUS_MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True))
+    return ChunkedCorpus(root, manifest)
+
+
+class ChunkedCorpus:
+    """Read-only view over a corpus written by :func:`write_chunked_corpus`.
+
+    Rows live in fixed-size ``.npy`` slabs; :meth:`open_chunk` maps one
+    read-only (``mmap_mode="r"``), so N concurrent build workers on one host
+    share a single physical copy of every slab through the page cache.
+    """
+
+    def __init__(self, root: str | Path, manifest: dict) -> None:
+        self.root = Path(root)
+        self.manifest = manifest
+        self.name = str(manifest["name"])
+        self.num_points = int(manifest["num_points"])
+        self.dim = int(manifest["dim"])
+        self.dtype = np.dtype(manifest["dtype"])
+        self.chunk_size = int(manifest["chunk_size"])
+        self.metric = Metric(manifest["metric"])
+        self.chunks = list(manifest["chunks"])
+
+    @classmethod
+    def open(cls, root: str | Path) -> "ChunkedCorpus":
+        """Open a chunked corpus directory, validating its manifest."""
+        root = Path(root)
+        manifest_path = root / CORPUS_MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise CorpusError(f"no chunked corpus at {root} (missing {CORPUS_MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorpusError(f"corrupt corpus manifest in {root}: {exc}") from exc
+        if manifest.get("format_version") != CORPUS_FORMAT_VERSION:
+            raise CorpusError(
+                f"unsupported corpus format version {manifest.get('format_version')!r}"
+            )
+        if manifest.get("kind") != "chunked-corpus":
+            raise CorpusError(f"directory at {root} is not a chunked corpus")
+        return cls(root, manifest)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of row slabs."""
+        return len(self.chunks)
+
+    def chunk_bounds(self, chunk_id: int) -> tuple[int, int]:
+        """Global ``(start, stop)`` row range of chunk ``chunk_id``."""
+        record = self.chunks[int(chunk_id)]
+        return int(record["start"]), int(record["stop"])
+
+    def chunk_path(self, chunk_id: int) -> Path:
+        """On-disk path of chunk ``chunk_id``."""
+        return self.root / self.chunks[int(chunk_id)]["name"]
+
+    def open_chunk(self, chunk_id: int, mmap: bool = True) -> np.ndarray:
+        """Open one row slab, memory-mapped read-only by default."""
+        path = self.chunk_path(chunk_id)
+        try:
+            return np.load(path, mmap_mode="r" if mmap else None)
+        except Exception as exc:
+            raise CorpusError(f"cannot open corpus chunk {path}: {exc}") from exc
+
+    def iter_chunks(self, mmap: bool = True) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, rows)`` for every chunk in row order."""
+        for chunk_id in range(self.num_chunks):
+            start, stop = self.chunk_bounds(chunk_id)
+            yield start, stop, self.open_chunk(chunk_id, mmap=mmap)
+
+    def load_queries(self) -> np.ndarray:
+        """Load the optional query set stored alongside the corpus."""
+        path = self.root / _QUERIES_NAME
+        if "num_queries" not in self.manifest or not path.is_file():
+            raise CorpusError(f"corpus at {self.root} stores no query set")
+        return np.load(path)
+
+    def content_digest(self) -> str:
+        """Digest of the corpus identity (header fields + per-chunk digests).
+
+        Cheap (no chunk reads): chunk digests were computed at write time.
+        The build pipeline folds this into its plan fingerprint, so a resumed
+        build refuses to continue over a swapped corpus.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        header = (
+            self.name,
+            str(self.dtype),
+            self.num_points,
+            self.dim,
+            self.chunk_size,
+            self.metric.value,
+        )
+        digest.update(repr(header).encode())
+        for record in self.chunks:
+            digest.update(str(record["digest"]).encode())
+        return digest.hexdigest()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics.distances import Metric, pairwise_distance, top_k
-from repro.quantization.kmeans import KMeans
+from repro.quantization.kmeans import KMeans, assign_labels
 
 
 class InvertedFileIndex:
@@ -67,6 +67,21 @@ class InvertedFileIndex:
             for cluster_id in range(self.num_clusters)
         ]
         return self
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Nearest-centroid labels for corpus rows against trained centroids.
+
+        The assign-on-chunk half of the fit-on-sample / assign-on-chunk
+        split used by the data-parallel build pipeline: :meth:`train` fits
+        the coarse k-means on a (sampled) partition, and this method labels
+        any further rows -- e.g. one memory-mapped corpus chunk at a time --
+        against the frozen centroids.  Assignment is always L2 (Lloyd's
+        objective), matching the labels :meth:`train` itself produces.
+        """
+        self._require_trained()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        labels, _ = assign_labels(points, self.centroids)
+        return labels
 
     # ----------------------------------------------------------------- query
     def select_clusters(self, queries: np.ndarray, nprobs: int) -> np.ndarray:

@@ -20,6 +20,41 @@ import numpy as np
 from repro.metrics.distances import l2_squared_matrix
 
 
+def assign_labels(
+    points: np.ndarray, centroids: np.ndarray, batch_size: int = 4096
+) -> tuple[np.ndarray, float]:
+    """Nearest-centroid assignment in fixed-size batches.
+
+    The assignment half of Lloyd's algorithm, shared by :class:`KMeans` and
+    the out-of-core build pipeline (:mod:`repro.build`): build workers
+    assign memory-mapped corpus chunks against centroids fitted on a sample
+    without constructing a :class:`KMeans` instance.  Batching bounds the
+    distance matrix at ``batch_size x k`` rows; the resulting argmin labels
+    are independent of how callers group the rows.
+
+    Args:
+        points: ``(N, D)`` rows to assign.
+        centroids: ``(k, D)`` cluster centres.
+        batch_size: rows of the distance matrix per batch.
+
+    Returns:
+        ``(labels, inertia)``: ``(N,)`` int64 nearest-centroid ids and the
+        summed squared distance to the assigned centroids.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centroids = np.asarray(centroids, dtype=np.float64)
+    n = points.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    inertia = 0.0
+    for start in range(0, n, int(batch_size)):
+        batch = points[start : start + int(batch_size)]
+        dist = l2_squared_matrix(batch, centroids)
+        batch_labels = np.argmin(dist, axis=1)
+        labels[start : start + batch.shape[0]] = batch_labels
+        inertia += float(dist[np.arange(batch.shape[0]), batch_labels].sum())
+    return labels, inertia
+
+
 @dataclass
 class KMeansResult:
     """Outcome of a k-means fit.
@@ -143,16 +178,7 @@ class KMeans:
     def _assign(
         self, points: np.ndarray, centroids: np.ndarray
     ) -> tuple[np.ndarray, float]:
-        n = points.shape[0]
-        labels = np.empty(n, dtype=np.int64)
-        inertia = 0.0
-        for start in range(0, n, self.batch_size):
-            batch = points[start : start + self.batch_size]
-            dist = l2_squared_matrix(batch, centroids)
-            batch_labels = np.argmin(dist, axis=1)
-            labels[start : start + batch.shape[0]] = batch_labels
-            inertia += float(dist[np.arange(batch.shape[0]), batch_labels].sum())
-        return labels, inertia
+        return assign_labels(points, centroids, batch_size=self.batch_size)
 
     def _update(
         self,

@@ -218,6 +218,10 @@ def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
         # scheduling: mutations never compact inline in the worker either.
         "maintenance_due": index.maintenance_due(),
         "auto_compact": bool(index.policy.auto_compact),
+        # Buffer sizes feed the coordinator's shard_stats() balance
+        # measurement without an extra round trip per shard.
+        "delta": int(len(index.delta)),
+        "tombstones": int(len(index.tombstones)),
     }
 
 
@@ -273,6 +277,8 @@ def resident_state_task(shard_id: int) -> dict:
         report["state_token"] = index.state_token
         report["ops_applied"] = int(index.ops_applied)
         report["maintenance_due"] = index.maintenance_due()
+        report["delta"] = int(len(index.delta))
+        report["tombstones"] = int(len(index.tombstones))
     return report
 
 

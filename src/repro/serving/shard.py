@@ -105,6 +105,47 @@ _NEW_ID_ASSIGNMENTS = ("contiguous", "modulo")
 _NEW_ID_BLOCK = 1024
 _RERANK_CORPUS_NAME = "rerank_corpus.npz"
 
+#: Delta-imbalance warning rule of :meth:`ShardedJunoIndex.shard_stats`: warn
+#: when the largest per-shard delta buffer exceeds FACTOR times the mean of
+#: the other shards' buffers and is at least MIN entries (tiny buffers are
+#: noise, not skew).
+_DELTA_IMBALANCE_FACTOR = 4.0
+_DELTA_IMBALANCE_MIN = 32
+
+
+def router_manifest_dict(
+    config: JunoConfig,
+    num_shards: int,
+    assignment: str,
+    new_id_assignment: str,
+    dim: int,
+    num_points: int,
+    exact_rerank: bool = False,
+    rerank_depth: int | None = None,
+    mutable: bool = False,
+) -> dict:
+    """The top-level manifest of a sharded deployment bundle.
+
+    One canonical constructor shared by :meth:`ShardedJunoIndex.save` and
+    the data-parallel build pipeline (:mod:`repro.build`), so a
+    pipeline-emitted bundle is byte-compatible with a router-saved one and
+    :meth:`ShardedJunoIndex.load` (including the worker-resident runtime)
+    consumes both unchanged.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": SHARDED_KIND,
+        "config": asdict(config),
+        "num_shards": int(num_shards),
+        "assignment": assignment,
+        "new_id_assignment": new_id_assignment,
+        "dim": int(dim),
+        "num_points": int(num_points),
+        "exact_rerank": bool(exact_rerank),
+        "rerank_depth": rerank_depth,
+        "mutable": bool(mutable),
+    }
+
 
 def merge_shard_results(
     results: Sequence[JunoSearchResult],
@@ -397,6 +438,74 @@ class ShardedJunoIndex:
         """Number of points per shard (balance diagnostics)."""
         return [int(ids.shape[0]) for ids in self.shard_global_ids]
 
+    def shard_stats(self, warn_imbalance: bool = True) -> list[dict]:
+        """Per-shard live/delta/tombstone sizes -- the balance measurement.
+
+        One dict per shard with keys ``shard_id``, ``points`` (live count),
+        ``delta`` (buffered upserts awaiting compaction) and ``tombstones``.
+        Immutable shards report zero delta/tombstones; for a bundle-backed
+        resident deployment the delta/tombstone sizes come from the latest
+        apply/state report of that shard's workers and are ``None`` until a
+        report has been seen (the coordinator holds no shard state of its
+        own).
+
+        When ``warn_imbalance`` is set (the default), a
+        :class:`RuntimeWarning` is emitted if one shard's delta buffer has
+        grown to more than ``4x`` the mean of the *other* shards' buffers
+        (and is at least 32 entries -- tiny buffers are noise, not skew):
+        skewed write traffic concentrates compaction cost and
+        drift on that shard, and rebalancing -- moving the shard boundary or
+        re-homing new ids -- is the fix this measurement motivates.
+        """
+        stats: list[dict] = []
+        for shard_id, shard in enumerate(self.shards):
+            base_points = int(self.shard_global_ids[shard_id].shape[0])
+            if isinstance(shard, ResidentShardHandle):
+                report = self._resident_maintenance.get(shard_id, {})
+                stats.append(
+                    {
+                        "shard_id": shard_id,
+                        "points": int(self._resident_live.get(shard_id, base_points)),
+                        "delta": report.get("delta"),
+                        "tombstones": report.get("tombstones"),
+                    }
+                )
+                continue
+            delta = getattr(shard, "delta", None)
+            tombstones = getattr(shard, "tombstones", None)
+            stats.append(
+                {
+                    "shard_id": shard_id,
+                    "points": int(shard.num_points) if shard.num_points else base_points,
+                    "delta": len(delta) if delta is not None else 0,
+                    "tombstones": len(tombstones) if tombstones is not None else 0,
+                }
+            )
+        if warn_imbalance:
+            deltas = [s["delta"] for s in stats if s["delta"] is not None]
+            if len(deltas) > 1:
+                largest = max(deltas)
+                rest = [d for i, d in enumerate(deltas) if i != deltas.index(largest)]
+                mean = sum(rest) / len(rest)
+                if (
+                    largest >= _DELTA_IMBALANCE_MIN
+                    and largest > _DELTA_IMBALANCE_FACTOR * max(mean, 1.0)
+                ):
+                    worst = max(
+                        (s for s in stats if s["delta"] == largest),
+                        key=lambda s: s["shard_id"],
+                    )
+                    warnings.warn(
+                        f"shard delta-size imbalance: shard {worst['shard_id']} buffers "
+                        f"{largest} upserts vs a mean of {mean:.1f} across "
+                        f"{self.num_shards} shards; skewed write traffic concentrates "
+                        "compaction cost there (consider re-homing new ids or "
+                        "splitting the shard)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        return stats
+
     def _assign(self, num_points: int) -> np.ndarray:
         ids = np.arange(num_points, dtype=np.int64)
         if self.assignment == "round_robin":
@@ -611,6 +720,10 @@ class ShardedJunoIndex:
         self._resident_maintenance[shard_id] = {
             "maintenance_due": report.get("maintenance_due", "none"),
             "auto_compact": bool(report.get("auto_compact", True)),
+            # Delta/tombstone sizes feed shard_stats(); older workers that
+            # do not report them leave the stats entry at None (unknown).
+            "delta": report.get("delta"),
+            "tombstones": report.get("tombstones"),
         }
 
     def _refresh_live_count(self) -> None:
@@ -897,19 +1010,17 @@ class ShardedJunoIndex:
             )
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
-        manifest = {
-            "format_version": FORMAT_VERSION,
-            "kind": _SHARDED_KIND,
-            "config": asdict(self.config),
-            "num_shards": self.num_shards,
-            "assignment": self.assignment,
-            "new_id_assignment": self.new_id_assignment,
-            "dim": int(self.dim),
-            "num_points": int(self.num_points),
-            "exact_rerank": bool(self.exact_rerank and self._rerank_points is not None),
-            "rerank_depth": self.rerank_depth,
-            "mutable": bool(self._mutable),
-        }
+        manifest = router_manifest_dict(
+            self.config,
+            num_shards=self.num_shards,
+            assignment=self.assignment,
+            new_id_assignment=self.new_id_assignment,
+            dim=self.dim,
+            num_points=self.num_points,
+            exact_rerank=bool(self.exact_rerank and self._rerank_points is not None),
+            rerank_depth=self.rerank_depth,
+            mutable=self._mutable,
+        )
         # Payload files first, the router manifest last: every file is
         # staged and atomically published (repro.storage), and the per-shard
         # bundles each commit via their own manifest, so the router manifest

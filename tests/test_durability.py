@@ -443,9 +443,13 @@ class TestCompactionWorker:
         router.close()
         config = ServingConfig(executor="resident", replicas=ReplicaPolicy(num_replicas=2))
         with ShardedJunoIndex.load(bundle, config) as resident:
-            with CompactionWorker(resident, interval_s=0.002):
+            with CompactionWorker(resident, interval_s=0.002) as worker:
                 for i in range(6):
                     resident.upsert([8700 + 2 * i], corpus.queries[i][None, :])
+                # The background thread may be starved on a loaded single-core
+                # box; one explicit tick makes the compact op deterministic
+                # without waiting on the scheduler.
+                worker.tick()
             executor = resident.resident_executor()
             ops = [record["op"] for record in executor.op_log(0)]
             assert "compact" in ops  # the worker's op reached the log

@@ -280,7 +280,10 @@ class TestClosedLoopHarness:
         update_bench_json("other_section", {"qps": 1.0}, path=target)
         data = json.loads(target.read_text())
         assert data["closed_loop_echo"]["num_requests"] == 4
-        assert data["other_section"] == {"qps": 1.0}
+        assert data["other_section"]["qps"] == 1.0
+        # every dict section carries the provenance stamp
+        assert "git_sha" in data["other_section"]
+        assert "bench_scale" in data["other_section"]
 
     def test_rejects_invalid_configuration(self):
         queries = np.zeros((2, 2))
