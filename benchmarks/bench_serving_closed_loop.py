@@ -13,17 +13,26 @@ request latency for three deployments of the same corpus:
 
 Results land in ``BENCH_serving.json`` (section ``closed_loop``) so the
 serving-performance trajectory is tracked across PRs alongside the Fig. 12
-sweep sections.
+sweep sections.  The resident deployment additionally runs with the live
+metrics exporter enabled: the benchmark fetches ``/metrics`` (Prometheus
+text) and ``/metrics.json`` over HTTP mid-run, writes the final merged
+registry snapshot into the ``observability`` section, and drops the raw
+snapshot next to the bench JSON as ``metrics_snapshot.json`` for the CI
+artifact upload.
 """
 
 from __future__ import annotations
 
+import json
+import urllib.request
+
 from repro.baselines.exact import ExactSearch
 from repro.bench.harness import run_closed_loop
-from repro.bench.report import emit, format_table, update_bench_json
+from repro.bench.report import bench_json_path, emit, format_table, update_bench_json
+from repro.obs import ObservabilityConfig, snapshot_summary
 from repro.pipeline.cache import StageCache
 from repro.pipeline.pipeline import default_search_pipeline
-from repro.serving import ServingEngine, ShardedJunoIndex
+from repro.serving import ReplicaPolicy, ServingConfig, ServingEngine, ShardedJunoIndex
 
 NUM_CLIENTS = 8
 REQUESTS_PER_CLIENT = 8
@@ -76,8 +85,14 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
         seed=7,
     )
     sharded.train(dataset.points)
-    sharded.make_resident(tmp_path / "resident-deployment")
-    with sharded, ServingEngine(sharded, label="JUNO x2 resident") as resident_engine:
+    serving_config = ServingConfig(
+        executor="resident",
+        replicas=ReplicaPolicy(num_replicas=2),
+        observability=ObservabilityConfig(exporter=True),
+        label="JUNO x2 resident",
+    )
+    sharded.make_resident(tmp_path / "resident-deployment", serving_config)
+    with sharded, ServingEngine(sharded, config=serving_config) as resident_engine:
         resident_report = run_closed_loop(
             resident_engine,
             queries,
@@ -87,6 +102,17 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
             max_wait_s=MAX_WAIT_S,
             nprobs=8,
         )
+        # Live exposition: hit the exporter over real HTTP while the
+        # deployment is still up, exactly like the CI smoke job's curl.
+        exporter_url = resident_engine.metrics_exporter.url
+        with urllib.request.urlopen(f"{exporter_url}/metrics", timeout=10) as response:
+            prometheus_text = response.read().decode("utf-8")
+        with urllib.request.urlopen(f"{exporter_url}/metrics.json", timeout=10) as response:
+            live_snapshot = json.loads(response.read().decode("utf-8"))
+        final_snapshot = resident_engine.metrics_snapshot()
+        worker_pids = {
+            pid for _shard, _replica, pid in sharded.resident_executor().worker_snapshots()
+        }
 
     exact_engine = ServingEngine(
         ExactSearch(metric=dataset.metric).add(dataset.points), label="exact"
@@ -118,6 +144,18 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
             "systems": [report.to_json_dict() for report in reports],
         },
     )
+    update_bench_json(
+        "observability",
+        {
+            "dataset": dataset.name,
+            "deployment": "2 shards x 2 replicas (resident)",
+            "exporter_endpoints": ["/metrics", "/metrics.json", "/healthz"],
+            "summary": snapshot_summary(final_snapshot),
+        },
+    )
+    snapshot_path = bench_json_path().parent / "metrics_snapshot.json"
+    snapshot_path.write_text(json.dumps(final_snapshot, indent=2, sort_keys=True) + "\n")
+    emit(f"metrics snapshot -> {snapshot_path} (live exporter at {exporter_url})")
 
     expected = NUM_CLIENTS * REQUESTS_PER_CLIENT
     for report in reports:
@@ -131,3 +169,7 @@ def test_closed_loop_serving(deep_workload, tmp_path, benchmark):
     assert resident_report.num_batches >= 1
     # the cached single-process pipeline must actually report cache traffic
     assert juno_report.cache_hit_rates()
+    # the live exporter must have served real cross-process per-stage data
+    assert "# TYPE repro_stage_seconds histogram" in prometheus_text
+    assert any(h["name"] == "repro_stage_seconds" for h in live_snapshot["histograms"])
+    assert len(worker_pids) >= 2, "expected snapshots from multiple worker processes"

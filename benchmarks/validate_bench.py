@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Check the machine-readable bench output file for structural drift.
+
+``BENCH_serving.json`` accumulates one section per benchmark and is
+committed, so its values can be diffed across PRs; this checker keeps the
+*shape* of that file honest in CI:
+
+* the file is a JSON object mapping section names to dict payloads;
+* provenance fields, where present, are well-typed -- ``schema_version``
+  matches :data:`repro.bench.report.SCHEMA_VERSION`, ``git_sha`` is a
+  non-empty string, ``bench_scale`` is a positive number;
+* with ``--strict``, every section must carry the full provenance stamp
+  (the mode for freshly regenerated files; the committed baseline still
+  contains sections written before stamping existed, which plain mode
+  accepts with a warning).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/validate_bench.py [--strict] [path ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.report import SCHEMA_VERSION, bench_json_path
+
+
+def validate_section(name: str, payload, strict: bool) -> tuple[list[str], list[str]]:
+    """Problems with one section; returns ``(errors, warnings)``."""
+    errors: list[str] = []
+    warnings: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"section {name!r}: payload must be a dict, got {type(payload).__name__}"], []
+    if "schema_version" in payload:
+        if payload["schema_version"] != SCHEMA_VERSION:
+            errors.append(
+                f"section {name!r}: schema_version {payload['schema_version']!r} "
+                f"!= current {SCHEMA_VERSION}"
+            )
+    elif strict:
+        errors.append(f"section {name!r}: missing schema_version (strict mode)")
+    else:
+        warnings.append(f"section {name!r}: legacy section without schema_version")
+    if "git_sha" in payload:
+        if not isinstance(payload["git_sha"], str) or not payload["git_sha"]:
+            errors.append(f"section {name!r}: git_sha must be a non-empty string")
+    elif strict:
+        errors.append(f"section {name!r}: missing git_sha (strict mode)")
+    if "bench_scale" in payload:
+        scale = payload["bench_scale"]
+        if isinstance(scale, bool) or not isinstance(scale, (int, float)) or scale <= 0:
+            errors.append(f"section {name!r}: bench_scale must be a positive number")
+    elif strict:
+        errors.append(f"section {name!r}: missing bench_scale (strict mode)")
+    return errors, warnings
+
+
+def validate_file(path: Path, strict: bool) -> tuple[list[str], list[str]]:
+    """Problems with one bench JSON file; returns ``(errors, warnings)``."""
+    if not path.is_file():
+        return [f"{path}: no such file"], []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable JSON: {exc}"], []
+    if not isinstance(data, dict):
+        return [f"{path}: top level must be an object of sections"], []
+    if not data:
+        return [f"{path}: no sections at all"], []
+    errors: list[str] = []
+    warnings: list[str] = []
+    for name in sorted(data):
+        section_errors, section_warnings = validate_section(name, data[name], strict)
+        errors.extend(f"{path}: {message}" for message in section_errors)
+        warnings.extend(f"{path}: {message}" for message in section_warnings)
+    return errors, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="bench JSON files to check (default: the resolved BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="require the full provenance stamp on every section",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or [bench_json_path()]
+    failed = False
+    for path in paths:
+        errors, warnings = validate_file(path, args.strict)
+        for message in warnings:
+            print(f"warning: {message}")
+        for message in errors:
+            print(f"error: {message}")
+        if errors:
+            failed = True
+        else:
+            print(f"ok: {path} ({'strict' if args.strict else 'plain'} mode)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

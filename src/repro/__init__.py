@@ -31,6 +31,14 @@ from repro.datasets import (
 )
 from repro.gpu import CostModel, GPUDevice, PipelineModel, SearchWork, get_device
 from repro.metrics import Metric, recall_1_at_100, recall_100_at_1000, recall_at
+from repro.obs import (
+    MetricsExporter,
+    MetricsRegistry,
+    ObservabilityConfig,
+    Trace,
+    configure_logging,
+    get_registry,
+)
 from repro.pipeline import (
     ExactRerankStage,
     QueryContext,
@@ -86,6 +94,12 @@ __all__ = [
     "QueryContext",
     "QueryPipeline",
     "default_search_pipeline",
+    "MetricsExporter",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "Trace",
+    "configure_logging",
+    "get_registry",
     "AdmissionPolicy",
     "AsyncBatchingScheduler",
     "BatchingScheduler",

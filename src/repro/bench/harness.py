@@ -24,6 +24,7 @@ from repro.errors import OverloadError
 from repro.gpu.cost_model import CostModel
 from repro.metrics.qps import ThroughputRecord, pareto_frontier
 from repro.metrics.recall import recall_k_at_n
+from repro.obs.clock import resolve as resolve_clock
 from repro.pipeline.cache import StageCache
 from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
 from repro.serving.async_scheduler import AsyncBatchingScheduler
@@ -354,7 +355,7 @@ def run_closed_loop(
     max_batch_size: int | None = None,
     max_wait_s: float = 0.002,
     label: str | None = None,
-    clock=time.perf_counter,
+    clock=None,
     admission: AdmissionPolicy | None = None,
     **search_params,
 ) -> ClosedLoopReport:
@@ -380,6 +381,7 @@ def run_closed_loop(
     client counts it and moves on, and the report carries the scheduler's
     admission counters.
     """
+    clock = resolve_clock(clock)
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")
     if requests_per_client <= 0:
@@ -531,7 +533,7 @@ def run_mixed_closed_loop(
     max_wait_s: float = 0.002,
     visibility_probes: int = 8,
     label: str | None = None,
-    clock=time.perf_counter,
+    clock=None,
     seed: int = 0,
     admission: AdmissionPolicy | None = None,
     **search_params,
@@ -560,6 +562,7 @@ def run_mixed_closed_loop(
         id_start: first global id the writers may allocate; must be outside
             the live id range.
     """
+    clock = resolve_clock(clock)
     if num_readers <= 0 or num_writers <= 0:
         raise ValueError("num_readers and num_writers must be positive")
     if writes_per_writer <= 0 or reads_per_client <= 0:
@@ -770,7 +773,7 @@ def run_chaos_recovery(
     max_wait_s: float = 0.002,
     visibility_probes: int = 8,
     label: str | None = None,
-    clock=time.perf_counter,
+    clock=None,
     seed: int = 0,
     admission: AdmissionPolicy | None = None,
     **search_params,
@@ -809,6 +812,7 @@ def run_chaos_recovery(
         kill_before_write: write-cycle indexes that start with a kill.
         recovery_bound_s: recovery-time bound the report is judged against.
     """
+    clock = resolve_clock(clock)
     if num_readers <= 0 or reads_per_client <= 0:
         raise ValueError("num_readers and reads_per_client must be positive")
     if num_writes <= 0:
@@ -1036,7 +1040,7 @@ def run_durability_crash_injection(
     delete_every: int = 4,
     k: int = 10,
     label: str | None = None,
-    clock=time.perf_counter,
+    clock=None,
     **search_params,
 ) -> DurabilityReport:
     """Cut the writer's durable state at every crash point and recover each.
@@ -1073,6 +1077,7 @@ def run_durability_crash_injection(
     from repro.serving.persistence import load_mutable_index, save_mutable_index
     from repro.updates.wal import WriteAheadLog
 
+    clock = resolve_clock(clock)
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     wal_path = workdir / "reference.wal"

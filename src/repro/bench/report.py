@@ -18,6 +18,11 @@ from repro.metrics.qps import ThroughputRecord
 #: ``REPRO_BENCH_JSON`` environment variable.
 BENCH_JSON_NAME = "BENCH_serving.json"
 
+#: Version of the per-section bench JSON schema.  Bump when the stamped
+#: provenance fields change shape; ``benchmarks/validate_bench.py`` checks
+#: that freshly written sections carry the current version.
+SCHEMA_VERSION = 1
+
 
 def _format_value(value) -> str:
     if isinstance(value, float):
@@ -129,16 +134,17 @@ def _git_sha() -> str:
 def provenance_stamp() -> dict:
     """Provenance fields stamped into every bench JSON section.
 
-    Records the git commit and the ``REPRO_BENCH_SCALE`` factor the numbers
-    were measured under, so a committed ``BENCH_serving.json`` is
-    self-describing: a diff across PRs shows whether a change is a real
-    regression or a different measurement scale.
+    Records the section schema version, the git commit and the
+    ``REPRO_BENCH_SCALE`` factor the numbers were measured under, so a
+    committed ``BENCH_serving.json`` is self-describing: a diff across PRs
+    shows whether a change is a real regression or a different measurement
+    scale, and ``benchmarks/validate_bench.py`` can type-check the file.
     """
     try:
         scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
     except ValueError:
         scale = 1.0
-    return {"git_sha": _git_sha(), "bench_scale": scale}
+    return {"schema_version": SCHEMA_VERSION, "git_sha": _git_sha(), "bench_scale": scale}
 
 
 def update_bench_json(section: str, payload, path: "str | Path | None" = None) -> Path:

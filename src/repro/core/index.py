@@ -402,6 +402,7 @@ class JunoIndex:
         quality_mode: QualityMode | str | None = None,
         threshold_scale: float | None = None,
         pipeline: "QueryPipeline | None" = None,
+        trace=None,
     ) -> JunoSearchResult:
         """The online pipeline (Alg. 2 plus the distance-calculation stage).
 
@@ -414,12 +415,19 @@ class JunoIndex:
                 factor (< 1 trades recall for throughput).
             pipeline: custom :class:`~repro.pipeline.pipeline.QueryPipeline`;
                 defaults to :meth:`default_pipeline`.
+            trace: optional :class:`~repro.obs.trace.Trace` or propagated
+                context dict (``{"trace_id", "parent_span_id"}``, the shape
+                that rides in resident-worker search params); when set, the
+                pipeline records per-stage spans and the result carries the
+                finished trace in ``extra["trace"]``.  ``None`` (the
+                default) keeps the bare search span-free.
 
         Returns:
             A :class:`JunoSearchResult`.  ``extra["stage_seconds"]`` and
             ``extra["stage_work"]`` carry the per-stage breakdowns recorded
             by the pipeline.
         """
+        from repro.obs.trace import Trace
         from repro.pipeline.context import QueryContext
 
         self._require_trained()
@@ -442,6 +450,7 @@ class JunoIndex:
             threshold_scale=scale,
             metric=self.metric,
             work=SearchWork(num_queries=queries.shape[0], lut_pairwise_dims=2.0),
+            trace=Trace.ensure(trace) if trace is not None else None,
         )
         active = pipeline if pipeline is not None else self.default_pipeline()
         active.run(ctx)

@@ -1,0 +1,62 @@
+"""The one timing source for stage, harness, and recovery measurements.
+
+Every latency measured in this repository -- pipeline stage wall-clock,
+closed-loop harness request latency, recovery detect/restore gaps, batch
+scheduler queue waits -- should come from the same monotonic clock so the
+numbers are comparable across layers.  Historically the code mixed
+``time.perf_counter()`` (pipeline, harness, recovery) and
+``time.monotonic()`` (schedulers); this module standardizes on
+``time.perf_counter`` while keeping the scheduler's injectable-clock
+pattern: tests (or callers) can swap the source process-wide with
+:func:`set_clock` / :func:`use_clock`, and every call site that takes a
+``clock=None`` argument resolves it through :func:`resolve`.
+
+The indirection is one module-global read per call -- cheap enough for the
+hot path, and pickling-safe (workers import the module fresh and get the
+real clock, never a test double).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+_DEFAULT = time.perf_counter
+_clock = _DEFAULT
+
+
+def now() -> float:
+    """Seconds from the process-wide monotonic clock (``perf_counter``)."""
+    return _clock()
+
+
+def set_clock(fn=None):
+    """Replace the process-wide clock; ``None`` restores ``perf_counter``.
+
+    Returns the previous clock so callers can restore it.  Prefer
+    :func:`use_clock` in tests -- it restores on exit even on failure.
+    """
+    global _clock
+    previous = _clock
+    _clock = _DEFAULT if fn is None else fn
+    return previous
+
+
+@contextmanager
+def use_clock(fn):
+    """Context manager: install ``fn`` as the clock, restore on exit."""
+    previous = set_clock(fn)
+    try:
+        yield fn
+    finally:
+        set_clock(previous)
+
+
+def resolve(clock=None):
+    """The clock a ``clock=None`` call-site argument should use.
+
+    Explicit clocks win (the scheduler tests drive flushes with fake
+    clocks); ``None`` means "the shared default", returned as :func:`now`
+    so a later :func:`set_clock` still takes effect.
+    """
+    return now if clock is None else clock

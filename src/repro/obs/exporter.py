@@ -1,0 +1,128 @@
+"""Live metrics exposition over stdlib ``http.server``.
+
+:class:`MetricsExporter` serves point-in-time snapshots of a collect
+callable on a localhost port, from a daemon thread, with zero third-party
+dependencies:
+
+* ``GET /metrics``       -- Prometheus text exposition (v0.0.4)
+* ``GET /metrics.json``  -- the raw snapshot dict as JSON
+* ``GET /healthz``       -- ``ok`` (liveness for the smoke job's curl)
+
+The collect callable runs on the HTTP thread, so it must be thread-safe;
+registry snapshots are (every instrument locks), and the engine's merged
+snapshot only reads coordinator-held worker snapshots under a lock.  Binding
+``port=0`` picks a free ephemeral port -- read it back from ``.port`` after
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.log import event, get_logger
+from repro.obs.metrics import render_prometheus
+
+__all__ = ["MetricsExporter"]
+
+_log = get_logger("obs.exporter")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server in MetricsExporter.start()
+    collect = staticmethod(lambda: {"counters": [], "gauges": [], "histograms": []})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(self.collect()).encode("utf-8")
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/metrics.json":
+                body = (json.dumps(self.collect(), sort_keys=True) + "\n").encode("utf-8")
+                ctype = "application/json"
+            elif path == "/healthz":
+                body = b"ok\n"
+                ctype = "text/plain; charset=utf-8"
+            else:
+                self.send_error(404, "unknown endpoint")
+                return
+        except Exception as exc:  # collection must never kill the server
+            self.send_error(500, f"metrics collection failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002 - http.server API
+        pass  # per-request chatter stays out of stderr; use the repro logger
+
+
+class MetricsExporter:
+    """Serve metrics snapshots on a localhost HTTP port (daemon thread)."""
+
+    def __init__(self, collect, host: str = "127.0.0.1", port: int = 0) -> None:
+        if not callable(collect):
+            raise TypeError("collect must be a callable returning a snapshot dict")
+        self._collect = collect
+        self._host = host
+        self._requested_port = int(port)
+        self._server: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    # --------------------------------------------------------------- control
+    def start(self) -> "MetricsExporter":
+        """Bind and serve; idempotent.  Returns self for chaining."""
+        if self._server is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,), {"collect": staticmethod(self._collect)})
+        self._server = ThreadingHTTPServer((self._host, self._requested_port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        event(_log, logging.INFO, "metrics_exporter_started", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        """Shut down the server and join the thread; idempotent."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -69,6 +69,10 @@ class QueryContext:
         stage_seconds: wall-clock seconds per stage name, in execution order.
         stage_work: per-stage :class:`SearchWork` deltas, keyed like
             ``stage_seconds``.
+        trace: optional :class:`~repro.obs.trace.Trace` the pipeline records
+            per-stage spans into; exported as ``extra["trace"]`` by
+            :meth:`to_result` so worker-side spans ride back across the
+            resident IPC boundary for coordinator stitching.
     """
 
     queries: np.ndarray
@@ -93,6 +97,7 @@ class QueryContext:
     extra: dict[str, Any] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_work: dict[str, SearchWork] = field(default_factory=dict)
+    trace: Any = None
 
     @property
     def num_queries(self) -> int:
@@ -137,6 +142,8 @@ class QueryContext:
         extra = dict(self.extra)
         extra["stage_seconds"] = dict(self.stage_seconds)
         extra["stage_work"] = dict(self.stage_work)
+        if self.trace is not None:
+            extra["trace"] = self.trace.to_dict()
         return JunoSearchResult(
             ids=self.ids,
             scores=self.scores,

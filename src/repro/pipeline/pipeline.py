@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import time
 from typing import Iterable
 
+from repro.obs.clock import now as _now
+from repro.obs.metrics import get_registry
 from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
 from repro.pipeline.stages import (
@@ -27,9 +28,18 @@ class QueryPipeline:
     pipelines, so a customised pipeline can be built once and reused across
     search calls (and shipped to process-pool shard workers -- the built-in
     stages are stateless and picklable).
+
+    With ``instrument=True`` (the default) every stage execution also
+    publishes to the process-local metrics registry
+    (:func:`repro.obs.metrics.get_registry`): a ``repro_stage_seconds``
+    latency histogram per stage plus batch/query/cache-counter totals.
+    ``instrument=False`` gives the bare pipeline -- the
+    ``tests/test_obs_perf.py`` slow test pins the instrumented/bare
+    throughput gap.
     """
 
-    def __init__(self, stages: Iterable[QueryStage]) -> None:
+    def __init__(self, stages: Iterable[QueryStage], instrument: bool = True) -> None:
+        self.instrument = bool(instrument)
         self.stages: tuple[QueryStage, ...] = tuple(stages)
         if not self.stages:
             raise ValueError("a QueryPipeline needs at least one stage")
@@ -55,21 +65,27 @@ class QueryPipeline:
     def with_stage_after(self, anchor: str, stage: QueryStage) -> "QueryPipeline":
         """A new pipeline with ``stage`` inserted right after ``anchor``."""
         pos = self._position(anchor) + 1
-        return QueryPipeline(self.stages[:pos] + (stage,) + self.stages[pos:])
+        return QueryPipeline(
+            self.stages[:pos] + (stage,) + self.stages[pos:], instrument=self.instrument
+        )
 
     def with_stage_before(self, anchor: str, stage: QueryStage) -> "QueryPipeline":
         """A new pipeline with ``stage`` inserted right before ``anchor``."""
         pos = self._position(anchor)
-        return QueryPipeline(self.stages[:pos] + (stage,) + self.stages[pos:])
+        return QueryPipeline(
+            self.stages[:pos] + (stage,) + self.stages[pos:], instrument=self.instrument
+        )
 
     def appended(self, stage: QueryStage) -> "QueryPipeline":
         """A new pipeline with ``stage`` appended at the end."""
-        return QueryPipeline(self.stages + (stage,))
+        return QueryPipeline(self.stages + (stage,), instrument=self.instrument)
 
     def without_stage(self, name: str) -> "QueryPipeline":
         """A new pipeline with the named stage removed."""
         self._position(name)
-        return QueryPipeline(s for s in self.stages if s.name != name)
+        return QueryPipeline(
+            (s for s in self.stages if s.name != name), instrument=self.instrument
+        )
 
     # -------------------------------------------------------------- execution
     def run(self, ctx: QueryContext) -> QueryContext:
@@ -84,12 +100,14 @@ class QueryPipeline:
         ``extra["cache_misses"]``) so they travel with ``stage_work`` into
         sweep records and the cost model.
         """
+        registry = get_registry() if self.instrument else None
+        trace = ctx.trace
         for stage in self.stages:
             before = ctx.work.copy()
             before_counts = dict(ctx.extra.get("stage_cache", {}).get(stage.name, {}))
-            started = time.perf_counter()
+            started = _now()
             stage.run(ctx)
-            elapsed = time.perf_counter() - started
+            elapsed = _now() - started
             delta = ctx.work.delta(before)
             cache_counts = ctx.extra.get("stage_cache", {}).get(stage.name)
             if cache_counts is not None:
@@ -102,6 +120,25 @@ class QueryPipeline:
                 ctx.stage_work[stage.name].num_queries = delta.num_queries
             else:
                 ctx.stage_work[stage.name] = delta
+            if registry is not None:
+                registry.histogram("repro_stage_seconds", stage=stage.name).observe(elapsed)
+                if cache_counts is not None:
+                    registry.counter("repro_stage_cache_hits_total", stage=stage.name).inc(
+                        delta.extra["cache_hits"]
+                    )
+                    registry.counter("repro_stage_cache_misses_total", stage=stage.name).inc(
+                        delta.extra["cache_misses"]
+                    )
+            if trace is not None:
+                span = trace.record_span(
+                    f"stage:{stage.name}", started, elapsed, queries=ctx.num_queries
+                )
+                if cache_counts is not None:
+                    span.attributes["cache_hits"] = delta.extra["cache_hits"]
+                    span.attributes["cache_misses"] = delta.extra["cache_misses"]
+        if registry is not None:
+            registry.counter("repro_pipeline_batches_total").inc()
+            registry.counter("repro_pipeline_queries_total").inc(ctx.num_queries)
         return ctx
 
 

@@ -35,6 +35,7 @@ from repro.serving.async_scheduler import AsyncBatchingScheduler
 from repro.serving.config import (
     AdmissionPolicy,
     DurabilityPolicy,
+    ObservabilityConfig,
     ReplicaPolicy,
     ServingConfig,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "DurabilityPolicy",
     "EngineResult",
     "FORMAT_VERSION",
+    "ObservabilityConfig",
     "OverloadError",
     "PersistenceError",
     "ProcessShardExecutor",

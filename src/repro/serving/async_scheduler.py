@@ -22,11 +22,15 @@ runtime.
 from __future__ import annotations
 
 import asyncio
-import time
+import logging
 
 import numpy as np
 
 from repro.errors import OverloadError
+from repro.obs.clock import resolve as resolve_clock
+from repro.obs.log import event as log_event
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.serving.config import AdmissionPolicy
 from repro.serving.scheduler import (
     BatchRecord,
@@ -35,6 +39,8 @@ from repro.serving.scheduler import (
     aggregate_batch_records,
     freeze_result_rows,
 )
+
+_log = get_logger("serving.async_scheduler")
 
 
 class _AsyncPending:
@@ -58,7 +64,9 @@ class AsyncBatchingScheduler:
         max_wait_s: flush when the oldest queued query has waited at least
             this long (enforced by the background flush task and by every
             submit).
-        clock: monotonic time source (injectable for deterministic tests).
+        clock: monotonic time source (injectable for deterministic tests);
+            ``None`` uses the shared :func:`repro.obs.clock.now`
+            (``perf_counter``) source.
         poll_interval_s: how often the background task re-checks the wait
             policy; defaults to a quarter of ``max_wait_s``.  Only the
             *check cadence* -- the policy itself reads ``clock``.
@@ -88,7 +96,7 @@ class AsyncBatchingScheduler:
         k: int = 10,
         max_batch_size: int = 32,
         max_wait_s: float = 0.01,
-        clock=time.monotonic,
+        clock=None,
         poll_interval_s: float | None = None,
         admission: AdmissionPolicy | None = None,
         **search_params,
@@ -105,7 +113,7 @@ class AsyncBatchingScheduler:
         self.k = int(k)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
-        self.clock = clock
+        self.clock = resolve_clock(clock)
         self.poll_interval_s = (
             float(poll_interval_s)
             if poll_interval_s is not None
@@ -158,6 +166,9 @@ class AsyncBatchingScheduler:
         self._pending.futures.append(future)
         self.admitted += 1
         self.peak_queue_depth = max(self.peak_queue_depth, self.num_pending)
+        registry = get_registry()
+        registry.counter("repro_admission_admitted_total").inc()
+        registry.gauge("repro_queue_depth").set(self.num_pending)
         if self.num_pending >= self.max_batch_size:
             self._flush_pending()
         elif self.clock() - self._pending.opened_at >= self.max_wait_s:
@@ -199,6 +210,14 @@ class AsyncBatchingScheduler:
             return
         if self.admission.overload == "reject":
             self.rejected += 1
+            get_registry().counter("repro_admission_rejected_total").inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "query_rejected",
+                pending=self.num_pending,
+                max_queue_depth=self.admission.max_queue_depth,
+            )
             raise OverloadError(
                 f"admission queue is full ({self.num_pending} pending >= "
                 f"max_queue_depth={self.admission.max_queue_depth})"
@@ -208,6 +227,14 @@ class AsyncBatchingScheduler:
             self._pending.queries.pop(0)
             future = self._pending.futures.pop(0)
             self.shed += 1
+            get_registry().counter("repro_admission_shed_total").inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "query_shed",
+                pending=self.num_pending,
+                max_queue_depth=self.admission.max_queue_depth,
+            )
             if not future.done():
                 future.set_exception(
                     OverloadError(
@@ -269,13 +296,16 @@ class AsyncBatchingScheduler:
         for row, future in enumerate(pending.futures):
             if not future.done():
                 future.set_result(freeze_result_rows(ids[row], scores[row]))
-        self.records.append(
-            BatchRecord(
-                batch_size=len(pending.futures),
-                latency_s=max(finished - started, 0.0),
-                queue_wait_s=max(started - pending.opened_at, 0.0),
-            )
+        record = BatchRecord(
+            batch_size=len(pending.futures),
+            latency_s=max(finished - started, 0.0),
+            queue_wait_s=max(started - pending.opened_at, 0.0),
         )
+        self.records.append(record)
+        registry = get_registry()
+        registry.histogram("repro_batch_latency_seconds").observe(record.latency_s)
+        registry.histogram("repro_queue_wait_seconds").observe(record.queue_wait_s)
+        registry.gauge("repro_queue_depth").set(self.num_pending)
         return len(pending.futures)
 
     # ------------------------------------------------------------- lifecycle

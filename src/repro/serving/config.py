@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.obs.config import ObservabilityConfig
 from repro.updates.wal import DurabilityPolicy
 
 #: Sentinel distinguishing "legacy kwarg not passed" from any real value, so
@@ -152,6 +153,10 @@ class ServingConfig:
             group-commit window, segment rotation).  Consumed by
             :meth:`~repro.serving.shard.ShardedJunoIndex.enable_updates`
             when the deployment turns mutable.
+        observability: the :class:`~repro.obs.config.ObservabilityConfig`
+            governing metrics exposition (opt-in HTTP exporter started by
+            :class:`~repro.serving.engine.ServingEngine`) and whether
+            resident workers piggyback registry snapshots on task replies.
         label: display name for engines built over the deployment.
         backend: array-backend name (:mod:`repro.backend`) the deployment's
             score kernels run on; ``None`` keeps the
@@ -164,6 +169,7 @@ class ServingConfig:
     replicas: ReplicaPolicy = field(default_factory=ReplicaPolicy)
     admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
+    observability: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     label: str | None = None
     backend: str | None = None
 
@@ -196,6 +202,7 @@ class ServingConfig:
             "replicas": self.replicas.to_dict(),
             "admission": self.admission.to_dict(),
             "durability": self.durability.to_dict(),
+            "observability": self.observability.to_dict(),
             "label": self.label,
             "backend": self.backend,
         }
@@ -210,6 +217,8 @@ class ServingConfig:
             data["admission"] = AdmissionPolicy.from_dict(data["admission"])
         if "durability" in data:
             data["durability"] = DurabilityPolicy.from_dict(data["durability"])
+        if "observability" in data:
+            data["observability"] = ObservabilityConfig.from_dict(data["observability"])
         return cls(**data)
 
 
@@ -222,4 +231,10 @@ def _checked(cls, data: dict) -> dict:
     return dict(data)
 
 
-__all__ = ["AdmissionPolicy", "DurabilityPolicy", "ReplicaPolicy", "ServingConfig"]
+__all__ = [
+    "AdmissionPolicy",
+    "DurabilityPolicy",
+    "ObservabilityConfig",
+    "ReplicaPolicy",
+    "ServingConfig",
+]

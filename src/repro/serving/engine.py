@@ -39,6 +39,8 @@ from repro.baselines.ivfpq import IVFPQIndex
 from repro.core.index import JunoIndex
 from repro.gpu.cost_model import CostModel
 from repro.gpu.work import SearchWork
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import get_registry, merge_snapshots
 from repro.serving.config import ServingConfig
 from repro.serving.scheduler import BatchingScheduler
 from repro.serving.shard import ShardedJunoIndex
@@ -64,7 +66,7 @@ class EngineResult:
     extra: dict = field(default_factory=dict)
 
 
-_JUNO_PARAMS = frozenset({"nprobs", "quality_mode", "threshold_scale", "pipeline"})
+_JUNO_PARAMS = frozenset({"nprobs", "quality_mode", "threshold_scale", "pipeline", "trace"})
 _IVFPQ_PARAMS = frozenset({"nprobs"})
 _HNSW_PARAMS = frozenset({"ef"})
 _EXACT_PARAMS: frozenset = frozenset()
@@ -140,12 +142,15 @@ class ServingEngine:
         cost_model: optional :class:`CostModel` enabling
             :meth:`modelled_qps`.
         config: optional :class:`~repro.serving.config.ServingConfig`.  The
-            engine reads ``config.label`` (default display name) and
+            engine reads ``config.label`` (default display name),
             ``config.admission`` (default
             :class:`~repro.serving.config.AdmissionPolicy` for schedulers
-            built by :meth:`serve_async`); the deployment-shaped fields
-            (``executor``, ``replicas``, ...) belong to
-            :meth:`ShardedJunoIndex.load` and are ignored here.
+            built by :meth:`serve_async`) and ``config.observability``
+            (when its ``exporter`` flag is set the engine starts a
+            :class:`~repro.obs.exporter.MetricsExporter` over
+            :meth:`metrics_snapshot` and stops it on :meth:`close`); the
+            deployment-shaped fields (``executor``, ``replicas``, ...)
+            belong to :meth:`ShardedJunoIndex.load` and are ignored here.
     """
 
     def __init__(
@@ -171,6 +176,13 @@ class ServingEngine:
             label = config.label
         self.label = label if label is not None else self.backend
         self.cost_model = cost_model
+        self.metrics_exporter: MetricsExporter | None = None
+        if config is not None and config.observability.exporter:
+            self.metrics_exporter = MetricsExporter(
+                self.metrics_snapshot,
+                host=config.observability.host,
+                port=config.observability.port,
+            ).start()
 
     def accepts(self, param: str) -> bool:
         """Whether this backend understands the given search parameter."""
@@ -296,6 +308,44 @@ class ServingEngine:
         self._validate_params(search_params)
         return scheduler_kwargs, search_params
 
+    # --------------------------------------------------------- observability
+    def metrics_snapshot(self) -> dict:
+        """One merged metrics snapshot for the whole deployment.
+
+        Merges this process's default-registry snapshot with the latest
+        per-worker snapshots a resident fan-out executor has collected
+        (piggybacked on task replies), so counters and per-stage latency
+        histograms cover coordinator *and* worker processes.  This is the
+        collect callable behind the engine's :class:`MetricsExporter` when
+        ``config.observability.exporter`` is set; it is also callable
+        directly (e.g. by the bench harness at the end of a run).
+        """
+        snapshots = [get_registry().snapshot()]
+        accessor = getattr(self.index, "resident_executor", None)
+        if callable(accessor):
+            try:
+                executor = accessor()
+            except TypeError:
+                executor = None  # router exists but is not worker-resident
+            if executor is not None:
+                snapshots.append(executor.worker_metrics())
+        return merge_snapshots(snapshots)
+
+    def collect_worker_metrics(self) -> dict:
+        """Explicitly pull fresh registry snapshots from resident workers.
+
+        Unlike :meth:`metrics_snapshot` (which reads the latest piggybacked
+        snapshots without touching the workers), this submits a
+        ``collect_metrics`` task to every live worker and waits for the
+        replies -- use it when piggybacking is disabled or when the
+        freshest possible numbers are needed.  Raises :class:`TypeError`
+        when the backend is not worker-resident.
+        """
+        accessor = getattr(self.index, "resident_executor", None)
+        if not callable(accessor):
+            raise TypeError(f"backend {self.backend!r} is not worker-resident")
+        return accessor().collect_metrics()
+
     def modelled_qps(self, result: EngineResult, pipelined: bool | None = None) -> float:
         """Modelled throughput of a result under the engine's cost model.
 
@@ -337,8 +387,12 @@ class ServingEngine:
         """Release backend resources (idempotent).
 
         Only the sharded backend holds resources today (its fan-out
-        executor); other backends are no-ops.
+        executor), plus the metrics exporter when one was started; other
+        backends are no-ops.
         """
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
+            self.metrics_exporter = None
         index_close = getattr(self.index, "close", None)
         if callable(index_close):
             index_close()

@@ -31,12 +31,18 @@ the resulting op still flows through the replicated op log.
 
 from __future__ import annotations
 
+import logging
 import threading
-import time
 from dataclasses import dataclass
 
 from repro.errors import RecoveryError
+from repro.obs.clock import resolve as resolve_clock
+from repro.obs.log import event as log_event
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.serving.routing import ResidentProcessShardExecutor
+
+_log = get_logger("serving.recovery")
 
 
 @dataclass(frozen=True)
@@ -77,13 +83,14 @@ class ReplicaSupervisor:
             :class:`~repro.serving.engine.ServingEngine` whose index is a
             resident router).  Passing the router additionally lets
             :meth:`maintain` schedule its ``maybe_compact()`` step.
-        clock: monotonic time source for recovery timing (injectable).
+        clock: monotonic time source for recovery timing (injectable);
+            ``None`` uses the shared :func:`repro.obs.clock.now` source.
 
     Attributes:
         events: every :class:`RecoveryEvent` this supervisor completed.
     """
 
-    def __init__(self, target, clock=time.perf_counter) -> None:
+    def __init__(self, target, clock=None) -> None:
         self.router = None
         if isinstance(target, ResidentProcessShardExecutor):
             executor = target
@@ -98,8 +105,24 @@ class ReplicaSupervisor:
             executor = accessor()
             self.router = index
         self.executor = executor
-        self.clock = clock
+        self.clock = resolve_clock(clock)
         self.events: list[RecoveryEvent] = []
+
+    def _record(self, event: RecoveryEvent) -> None:
+        """Append one recovery to :attr:`events` and publish it."""
+        self.events.append(event)
+        registry = get_registry()
+        registry.counter("repro_recoveries_total").inc()
+        registry.histogram("repro_recovery_seconds").observe(event.duration_s)
+        log_event(
+            _log,
+            logging.INFO,
+            "replica_recovered",
+            shard=event.shard_id,
+            replica=event.replica_id,
+            ops_replayed=event.ops_replayed,
+            duration_s=f"{event.duration_s:.6f}",
+        )
 
     # ---------------------------------------------------------------- detection
     def dead_replicas(self, probe: bool = False) -> list[tuple[int, int]]:
@@ -126,15 +149,14 @@ class ReplicaSupervisor:
         for shard_id, replica_id in self.dead_replicas(probe=probe):
             started = self.clock()
             report = self.executor.respawn_replica(shard_id, replica_id)
-            recovered.append(
-                RecoveryEvent(
-                    shard_id=shard_id,
-                    replica_id=replica_id,
-                    ops_replayed=int(report["ops_replayed"]),
-                    duration_s=max(self.clock() - started, 0.0),
-                )
+            event = RecoveryEvent(
+                shard_id=shard_id,
+                replica_id=replica_id,
+                ops_replayed=int(report["ops_replayed"]),
+                duration_s=max(self.clock() - started, 0.0),
             )
-        self.events.extend(recovered)
+            self._record(event)
+            recovered.append(event)
         return recovered
 
     # -------------------------------------------------------------- elasticity
@@ -160,7 +182,7 @@ class ReplicaSupervisor:
                     continue
                 started = self.clock()
                 report = self.executor.respawn_replica(shard_id, replica_id)
-                self.events.append(
+                self._record(
                     RecoveryEvent(
                         shard_id=shard_id,
                         replica_id=replica_id,
@@ -236,7 +258,8 @@ class CompactionWorker:
             built over one (unwrapped via its ``index`` attribute).
         interval_s: seconds between ticks; the worker wakes early on
             :meth:`stop`.
-        clock: monotonic time source for compaction timing (injectable).
+        clock: monotonic time source for compaction timing (injectable);
+            ``None`` uses the shared :func:`repro.obs.clock.now` source.
 
     Attributes:
         compactions: ``(result, duration_s)`` per tick that compacted
@@ -246,7 +269,7 @@ class CompactionWorker:
             silently end maintenance forever).
     """
 
-    def __init__(self, target, interval_s: float = 0.05, clock=time.perf_counter) -> None:
+    def __init__(self, target, interval_s: float = 0.05, clock=None) -> None:
         target = getattr(target, "index", target)  # unwrap a ServingEngine
         if not callable(getattr(target, "maybe_compact", None)):
             raise TypeError(
@@ -258,7 +281,7 @@ class CompactionWorker:
             raise ValueError("interval_s must be positive")
         self.target = target
         self.interval_s = float(interval_s)
-        self.clock = clock
+        self.clock = resolve_clock(clock)
         self.compactions: list[tuple[object, float]] = []
         self.errors: list[Exception] = []
         self.ticks = 0
@@ -297,7 +320,20 @@ class CompactionWorker:
             return None
         compacted = bool(result) if not isinstance(result, (list, tuple)) else bool(len(result))
         if compacted:
-            self.compactions.append((result, max(self.clock() - started, 0.0)))
+            duration = max(self.clock() - started, 0.0)
+            self.compactions.append((result, duration))
+            get_registry().counter("repro_compactions_total").inc()
+            log_event(
+                _log,
+                logging.INFO,
+                "compaction",
+                shards=(
+                    ",".join(str(s) for s in result)
+                    if isinstance(result, (list, tuple))
+                    else "-"
+                ),
+                duration_s=f"{duration:.6f}",
+            )
         return result
 
     def stop(self) -> None:

@@ -27,6 +27,7 @@ replicated op log), keeping replicas bit-identical under streaming updates.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import threading
 from concurrent.futures import BrokenExecutor, Future
@@ -35,9 +36,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import RecoveryError, ServingError
+from repro.obs.log import event as log_event
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry, merge_snapshots
 from repro.serving.executors import ShardExecutor
 from repro.serving.runtime import RESIDENCY_MODES, ResidentWorker
 from repro.serving.shm import ShmArraySet
+
+_log = get_logger("serving.routing")
 
 
 class WorkerFailoverError(ServingError):
@@ -120,6 +126,11 @@ class ResidentProcessShardExecutor(ShardExecutor):
             and mutate state in place, which cannot alias a shared mapping.
         backend: array-backend name for the workers' score kernels
             (:mod:`repro.backend`), or ``None`` for the default.
+        piggyback_metrics: workers attach a metrics-registry snapshot to
+            every search/apply reply, keeping the coordinator's
+            :meth:`worker_metrics` aggregate fresh without extra round
+            trips; the explicit :meth:`collect_metrics` op works either
+            way.
 
     Attributes:
         last_batch_payload_bytes: summed pickled size of the last fan-out's
@@ -148,6 +159,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
         affinity: bool = True,
         residency: str = "copy",
         backend: str | None = None,
+        piggyback_metrics: bool = True,
     ) -> None:
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
@@ -172,12 +184,20 @@ class ResidentProcessShardExecutor(ShardExecutor):
         self.affinity = bool(affinity)
         self.residency = str(residency)
         self.backend = backend
+        self.piggyback_metrics = bool(piggyback_metrics)
         self.last_batch_payload_bytes = 0
         self.retried_batches = 0
         self.ops_broadcast = 0
         self.replicas_respawned = 0
         self.ops_replayed = 0
         self._op_logs: dict[int, list[dict]] = {}
+        # Per-incarnation worker registry snapshots, keyed by
+        # (shard_id, replica_id, pid).  A respawned replica arrives under a
+        # fresh pid with a zeroed registry, so the dead incarnation's last
+        # snapshot keeps counting in the merged view exactly once -- the
+        # aggregate stays monotonic with no double-counting across failover.
+        self._metrics_lock = threading.Lock()
+        self._worker_snapshots: dict[tuple[int, int, int], dict] = {}
         # Serialises op broadcasts across threads: a writer thread and a
         # background CompactionWorker submitting concurrently could reach
         # replicas in different interleavings, and identical op *order* per
@@ -245,6 +265,7 @@ class ResidentProcessShardExecutor(ShardExecutor):
                 {shard_id: shm_set.descriptors} if shm_set is not None else None
             ),
             backend=self.backend,
+            piggyback_metrics=self.piggyback_metrics,
         )
 
     def boot_payload_bytes(self) -> int:
@@ -454,6 +475,14 @@ class ResidentProcessShardExecutor(ShardExecutor):
         worker.close()
         exclude.add(worker.replica_id)
         self.retried_batches += 1
+        get_registry().counter("repro_failover_retries_total").inc()
+        log_event(
+            _log,
+            logging.WARNING,
+            "replica_failover",
+            shards=",".join(str(s) for s in worker.shard_ids),
+            replica=worker.replica_id,
+        )
 
     def _collect(
         self,
@@ -469,12 +498,68 @@ class ResidentProcessShardExecutor(ShardExecutor):
         """Await one shard's result, failing over across replicas on death."""
         while True:
             try:
-                return future.result()
+                result = future.result()
+                self._ingest_worker_metrics(shard_id, result.extra.pop("worker_metrics", None))
+                return result
             except BrokenExecutor:
                 self._retire(worker, exclude)
                 worker, future, exclude = self._dispatch(
                     shard_id, queries, k, params, exclude=exclude, preferred=preferred
                 )
+
+    # ----------------------------------------------------------- observability
+    def _ingest_worker_metrics(self, shard_id: int, payload: "dict | None") -> None:
+        """Store one worker incarnation's registry snapshot (latest wins).
+
+        Snapshots are cumulative per process, so replacing the previous one
+        from the same ``(shard, replica, pid)`` keeps the merged aggregate
+        monotonic; a respawned replica's fresh pid opens a new key instead
+        of overwriting the dead incarnation's final counts.
+        """
+        if not isinstance(payload, dict) or "snapshot" not in payload:
+            return
+        key = (int(shard_id), int(payload.get("replica_id", -1)), int(payload.get("pid", -1)))
+        with self._metrics_lock:
+            self._worker_snapshots[key] = payload["snapshot"]
+
+    def worker_snapshots(self) -> dict:
+        """The stored per-incarnation snapshots, keyed ``(shard, replica, pid)``."""
+        with self._metrics_lock:
+            return dict(self._worker_snapshots)
+
+    def worker_metrics(self) -> dict:
+        """Merged view of every worker snapshot seen so far (incl. dead ones)."""
+        with self._metrics_lock:
+            snapshots = list(self._worker_snapshots.values())
+        return merge_snapshots(snapshots)
+
+    def collect_metrics(self) -> dict:
+        """Explicitly snapshot every live worker, then return the merged view.
+
+        The pull half of cross-process aggregation (the push half is the
+        piggybacked snapshot on task replies): one metrics task per live
+        worker, all submitted before any is awaited.  Workers found dead
+        under the probe are retired exactly like a failed search.  The
+        returned dict merges every incarnation ever seen -- dead replicas'
+        final snapshots included -- so totals never move backwards.
+        """
+        if self._closed:
+            raise RuntimeError("ResidentProcessShardExecutor is closed")
+        probes = []
+        for replica_set in self._replica_sets:
+            for worker in replica_set.alive():
+                try:
+                    probes.append((replica_set.shard_id, worker, worker.submit_metrics()))
+                except BrokenExecutor:
+                    worker.mark_dead()
+                    worker.close()
+        for shard_id, worker, probe in probes:
+            try:
+                self._ingest_worker_metrics(shard_id, probe.result())
+            except BrokenExecutor:
+                worker.mark_dead()
+                worker.close()
+        return self.worker_metrics()
 
     # ---------------------------------------------------------------- mutation
     def apply_ops(self, shard_id: int, ops: list) -> dict:
@@ -525,15 +610,26 @@ class ResidentProcessShardExecutor(ShardExecutor):
             for worker, future in submitted:
                 try:
                     report = future.result()
+                    self._ingest_worker_metrics(
+                        shard_id, report.pop("worker_metrics", None)
+                    )
                 except BrokenExecutor:
                     worker.mark_dead()
                     worker.close()
+                    log_event(
+                        _log,
+                        logging.WARNING,
+                        "replica_died_during_apply",
+                        shard=shard_id,
+                        replica=worker.replica_id,
+                    )
             if report is None:
                 raise WorkerFailoverError(
                     f"no surviving replica could apply ops to shard {shard_id}"
                 )
             self._op_logs.setdefault(shard_id, []).extend(ops)
             self.ops_broadcast += len(ops)
+            get_registry().counter("repro_ops_broadcast_total").inc(len(ops))
             return report
 
     def op_log(self, shard_id: int) -> list:
@@ -591,6 +687,14 @@ class ResidentProcessShardExecutor(ShardExecutor):
             worker.mark_dead()
             worker.close()
             newly_dead.append((replica_set.shard_id, worker.replica_id))
+            log_event(
+                _log,
+                logging.WARNING,
+                "replica_dead",
+                shard=replica_set.shard_id,
+                replica=worker.replica_id,
+                detected_by="probe",
+            )
         return newly_dead
 
     def _boot_caught_up_worker(self, shard_id: int, replica_id: int) -> tuple[ResidentWorker, int]:
@@ -661,6 +765,17 @@ class ResidentProcessShardExecutor(ShardExecutor):
         replica_set.workers[slots[0]] = worker  # re-admitted only now
         self.replicas_respawned += 1
         self.ops_replayed += replayed
+        registry = get_registry()
+        registry.counter("repro_replicas_respawned_total").inc()
+        registry.counter("repro_ops_replayed_total").inc(replayed)
+        log_event(
+            _log,
+            logging.INFO,
+            "replica_respawned",
+            shard=shard_id,
+            replica=replica_id,
+            ops_replayed=replayed,
+        )
         return {
             "shard_id": int(shard_id),
             "replica_id": int(replica_id),
@@ -686,6 +801,15 @@ class ResidentProcessShardExecutor(ShardExecutor):
         worker, replayed = self._boot_caught_up_worker(shard_id, replica_id)
         replica_set.workers.append(worker)
         self.ops_replayed += replayed
+        get_registry().counter("repro_ops_replayed_total").inc(replayed)
+        log_event(
+            _log,
+            logging.INFO,
+            "replica_added",
+            shard=shard_id,
+            replica=replica_id,
+            ops_replayed=replayed,
+        )
         return replica_id
 
     def remove_replica(self, shard_id: int, replica_id: int) -> None:

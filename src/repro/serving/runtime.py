@@ -53,6 +53,8 @@ def resident_worker_init(
     residency: str = "copy",
     shm_descriptors: dict | None = None,
     backend: str | None = None,
+    replica_id: int = 0,
+    piggyback_metrics: bool = True,
 ) -> None:
     """Pool initializer: make the assigned shards resident, once.
 
@@ -76,6 +78,12 @@ def resident_worker_init(
     the worker's score kernels run on (``None`` keeps the
     ``REPRO_BACKEND``-env/NumPy default).
 
+    ``replica_id`` identifies which replica of its shards this worker is;
+    it is stamped (with the pid) into the worker's metrics snapshots and
+    trace spans so coordinator-side aggregation can key per-incarnation
+    data.  ``piggyback_metrics=False`` stops search/apply replies from
+    carrying registry snapshots (the explicit metrics task still works).
+
     A failing load is *recorded* rather than raised: an initializer exception
     would break the whole pool with an untyped
     :class:`~concurrent.futures.process.BrokenProcessPool`; instead every
@@ -93,6 +101,10 @@ def resident_worker_init(
     from repro.serving.shm import ShmArraySet
 
     _RESIDENT_SHARDS.clear()
+    _RESIDENT_SHARDS["__meta__"] = {
+        "replica_id": int(replica_id),
+        "piggyback_metrics": bool(piggyback_metrics),
+    }
     try:
         if residency not in RESIDENCY_MODES:
             raise ValueError(f"residency must be one of {RESIDENCY_MODES}")
@@ -138,6 +150,33 @@ def _check_worker_ready() -> None:
         raise error
 
 
+def _worker_meta() -> dict:
+    return _RESIDENT_SHARDS.get("__meta__", {})
+
+
+def _worker_metrics_payload() -> dict:
+    """This worker's registry snapshot, keyed by its incarnation identity.
+
+    The ``(replica_id, pid)`` pair is the aggregation key at the
+    coordinator: a respawned replica gets a fresh pid (and a fresh
+    zeroed registry), so its snapshots never alias -- or double-count
+    against -- the dead incarnation's last snapshot.
+    """
+    from repro.obs.metrics import get_registry
+
+    return {
+        "pid": os.getpid(),
+        "replica_id": int(_worker_meta().get("replica_id", -1)),
+        "snapshot": get_registry().snapshot(),
+    }
+
+
+def resident_metrics_task() -> dict:
+    """Report this worker's registry snapshot (explicit collection op)."""
+    _check_worker_ready()
+    return _worker_metrics_payload()
+
+
 def resident_ping_task() -> list[int]:
     """Report the shard ids resident in this worker (readiness probe).
 
@@ -157,6 +196,14 @@ def resident_search_task(shard_id: int, queries, k: int, params: dict):
     itself (and its private stage cache) already lives in this process.  An
     explicit ``params["pipeline"]`` (shipped pickled, like the non-resident
     executors) overrides the worker's cached default pipeline.
+
+    A propagated ``params["trace"]`` context is rebuilt into a worker-side
+    :class:`~repro.obs.trace.Trace`: the whole call is wrapped in a
+    ``shard_search`` span (tagged shard/replica/pid) whose children are the
+    pipeline's stage spans, and the finished spans ride back to the
+    coordinator in ``result.extra["trace"]``.  Unless disabled at boot, a
+    registry snapshot piggybacks on the reply as
+    ``result.extra["worker_metrics"]``.
     """
     _check_worker_ready()
     try:
@@ -169,7 +216,25 @@ def resident_search_task(shard_id: int, queries, k: int, params: dict):
     params = dict(params)
     if "pipeline" not in params and pipeline is not None:
         params["pipeline"] = pipeline
-    return index.search(queries, k, **params)
+    trace_ctx = params.pop("trace", None)
+    if trace_ctx is not None:
+        from repro.obs.trace import Trace
+
+        worker_trace = Trace.ensure(trace_ctx)
+        with worker_trace.span(
+            "shard_search",
+            shard=int(shard_id),
+            replica=int(_worker_meta().get("replica_id", -1)),
+            pid=os.getpid(),
+        ):
+            result = index.search(queries, k, trace=worker_trace, **params)
+        # Re-export after the wrapping span closed so it ships too.
+        result.extra["trace"] = worker_trace.to_dict()
+    else:
+        result = index.search(queries, k, **params)
+    if _worker_meta().get("piggyback_metrics", True):
+        result.extra["worker_metrics"] = _worker_metrics_payload()
+    return result
 
 
 def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
@@ -209,7 +274,7 @@ def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
             index.retrain()
         else:
             raise ValueError(f"unknown mutable-index op {kind!r}")
-    return {
+    report = {
         "shard_id": int(shard_id),
         "ops_applied": int(index.ops_applied),
         "live": int(index.num_points),
@@ -223,6 +288,9 @@ def resident_apply_task(shard_id: int, ops: Sequence[dict]) -> dict:
         "delta": int(len(index.delta)),
         "tombstones": int(len(index.tombstones)),
     }
+    if _worker_meta().get("piggyback_metrics", True):
+        report["worker_metrics"] = _worker_metrics_payload()
+    return report
 
 
 def _state_digest(index) -> str:
@@ -316,6 +384,8 @@ class ResidentWorker:
             is ``"shm"``; the coordinator owns the segments.
         backend: array-backend name for the worker's score kernels, or
             ``None`` for the default.
+        piggyback_metrics: have search/apply replies carry the worker's
+            registry snapshot (see :func:`resident_worker_init`).
 
     Attributes:
         boot_payload_bytes: pickled size of the initializer arguments --
@@ -335,6 +405,7 @@ class ResidentWorker:
         residency: str = "copy",
         shm_descriptors: dict | None = None,
         backend: str | None = None,
+        piggyback_metrics: bool = True,
     ) -> None:
         self.bundle_path = str(bundle_path)
         self.shard_ids = tuple(int(s) for s in shard_ids)
@@ -343,6 +414,7 @@ class ResidentWorker:
         self.mutable = bool(mutable)
         self.residency = str(residency)
         self.backend = backend
+        self.piggyback_metrics = bool(piggyback_metrics)
         self.alive = True
         initargs = (
             self.bundle_path,
@@ -352,6 +424,8 @@ class ResidentWorker:
             self.residency,
             shm_descriptors,
             self.backend,
+            self.replica_id,
+            self.piggyback_metrics,
         )
         self.boot_payload_bytes = len(pickle.dumps(initargs))
         self._pool = ProcessPoolExecutor(
@@ -383,6 +457,10 @@ class ResidentWorker:
     def submit_state(self, shard_id: int) -> Future:
         """Queue a state-fingerprint probe (replica-consistency checks)."""
         return self._pool.submit(resident_state_task, shard_id)
+
+    def submit_metrics(self) -> Future:
+        """Queue an explicit registry-snapshot collection on this worker."""
+        return self._pool.submit(resident_metrics_task)
 
     def submit_die(self) -> Future:
         """Queue a hard crash (failure injection); breaks the pool."""

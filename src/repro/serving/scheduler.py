@@ -18,12 +18,12 @@ exposed in the shapes :mod:`repro.metrics.qps` already understands
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.metrics.qps import ThroughputRecord, queries_per_second
+from repro.obs.clock import resolve as resolve_clock
 
 
 class QueryTicket:
@@ -183,7 +183,8 @@ class BatchingScheduler:
         max_batch_size: flush as soon as this many queries are queued.
         max_wait_s: flush on submit when the oldest queued query has waited
             at least this long.
-        clock: monotonic time source (injectable for deterministic tests).
+        clock: monotonic time source (injectable for deterministic tests);
+            ``None`` uses the shared :func:`repro.obs.clock.now` source.
         **search_params: extra keyword arguments forwarded to every batched
             search call (``nprobs``, ``quality_mode``, ...).
     """
@@ -194,7 +195,7 @@ class BatchingScheduler:
         k: int = 10,
         max_batch_size: int = 32,
         max_wait_s: float = 0.01,
-        clock=time.monotonic,
+        clock=None,
         **search_params,
     ) -> None:
         if k <= 0:
@@ -207,7 +208,7 @@ class BatchingScheduler:
         self.k = int(k)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
-        self.clock = clock
+        self.clock = resolve_clock(clock)
         self.search_params = dict(search_params)
         self.records: list[BatchRecord] = []
         self.stage_cache_counters: dict[str, dict[str, int]] = {}

@@ -39,6 +39,7 @@ from repro.core.config import JunoConfig, QualityMode
 from repro.core.index import JunoIndex, JunoSearchResult
 from repro.gpu.work import SearchWork
 from repro.metrics.distances import Metric, padded_top_k
+from repro.obs.trace import Trace
 from repro.pipeline.cache import StageCache
 from repro.pipeline.context import QueryContext
 from repro.pipeline.pipeline import QueryPipeline, default_search_pipeline
@@ -270,6 +271,17 @@ def merge_shard_results(
             merged_counts["misses"] += int(counts.get("misses", 0))
     if stage_cache:
         extra["stage_cache"] = stage_cache
+    # Worker-side trace spans ride back in each shard result's
+    # extra["trace"]; collect them so the coordinator can stitch them under
+    # its own parent span (ShardedJunoIndex.search adopts and re-exports
+    # the full trace as extra["trace"]).
+    trace_spans: list = []
+    for result in results:
+        shard_trace = result.extra.get("trace")
+        if isinstance(shard_trace, dict):
+            trace_spans.extend(shard_trace.get("spans", ()))
+    if trace_spans:
+        extra["trace_spans"] = trace_spans
     return JunoSearchResult(
         ids=merged_ids,
         scores=merged_scores,
@@ -826,6 +838,7 @@ class ShardedJunoIndex:
         quality_mode: QualityMode | str | None = None,
         threshold_scale: float | None = None,
         pipeline: "QueryPipeline | None" = None,
+        trace=None,
     ) -> JunoSearchResult:
         """Fan the batch out to every shard and merge the per-shard top-k.
 
@@ -840,11 +853,20 @@ class ShardedJunoIndex:
         candidates are rescored against the raw corpus and the returned
         scores are exact squared L2 distances / inner products instead of
         the quality mode's native scores.
+
+        Every call carries a trace: ``trace`` may be an existing
+        :class:`~repro.obs.trace.Trace`, a propagated context dict, or
+        ``None`` (a fresh root trace is opened).  The coordinator records
+        ``sharded_search`` / ``fan_out`` / ``merge`` (and ``stage:
+        exact_rerank``) spans, worker-side stage spans ride back with the
+        shard results and are stitched under the fan-out span, and the
+        finished trace is exported as ``extra["trace"]``.
         """
         if not self.is_trained:
             raise RuntimeError("ShardedJunoIndex must be trained before searching")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         executor = self._fanout_executor()
+        trace = Trace.ensure(trace)
         params: dict = {
             "nprobs": nprobs,
             "quality_mode": quality_mode,
@@ -858,20 +880,38 @@ class ShardedJunoIndex:
             if self._cached_pipeline is None:
                 self._cached_pipeline = default_search_pipeline(stage_cache=self._stage_cache)
             params["pipeline"] = self._cached_pipeline
-        results = executor.search_shards(self.shards, queries, k, params)
+        with trace.span(
+            "sharded_search",
+            shards=self.num_shards,
+            queries=int(queries.shape[0]),
+            k=int(k),
+        ):
+            with trace.span("fan_out", shards=self.num_shards):
+                # Workers (or in-process shard legs) rebuild a child trace
+                # from this context, so their spans root under "fan_out".
+                params["trace"] = trace.context()
+                results = executor.search_shards(self.shards, queries, k, params)
 
-        # Mutable shards return global ids natively (their DeltaMergeStage
-        # already remapped); None tells the merge to skip the id remap.
-        mappings = [None] * self.num_shards if self._mutable else self.shard_global_ids
-        if self.exact_rerank and self._rerank_points is not None:
-            depth = self.rerank_depth if self.rerank_depth is not None else self.num_shards * k
-            merge_k = max(k, min(depth, self.num_shards * k))
-            merged = merge_shard_results(results, mappings, merge_k, self.metric)
-            return self._run_exact_rerank(queries, k, nprobs, merged)
-        return merge_shard_results(results, mappings, k, self.metric)
+            # Mutable shards return global ids natively (their
+            # DeltaMergeStage already remapped); None tells the merge to
+            # skip the id remap.
+            mappings = [None] * self.num_shards if self._mutable else self.shard_global_ids
+            rerank = self.exact_rerank and self._rerank_points is not None
+            if rerank:
+                depth = self.rerank_depth if self.rerank_depth is not None else self.num_shards * k
+                merge_k = max(k, min(depth, self.num_shards * k))
+            else:
+                merge_k = k
+            with trace.span("merge", shards=self.num_shards):
+                merged = merge_shard_results(results, mappings, merge_k, self.metric)
+                trace.adopt(merged.extra.pop("trace_spans", None))
+            if rerank:
+                merged = self._run_exact_rerank(queries, k, nprobs, merged, trace=trace)
+        merged.extra["trace"] = trace.to_dict()
+        return merged
 
     def _run_exact_rerank(
-        self, queries: np.ndarray, k: int, nprobs: int, merged: JunoSearchResult
+        self, queries: np.ndarray, k: int, nprobs: int, merged: JunoSearchResult, trace=None
     ) -> JunoSearchResult:
         """Rescore the merged candidates exactly and cut the list back to ``k``.
 
@@ -891,6 +931,7 @@ class ShardedJunoIndex:
             ids=merged.ids,
             scores=merged.scores,
             selected_entry_fraction=merged.selected_entry_fraction,
+            trace=trace,
         )
         ctx.extra = {
             key: value
@@ -1177,6 +1218,7 @@ class ShardedJunoIndex:
                 affinity=replicas.affinity,
                 residency=replicas.residency,
                 backend=config.backend,
+                piggyback_metrics=config.observability.piggyback_metrics,
             )
             owns_executor = True
         try:
@@ -1293,6 +1335,7 @@ class ShardedJunoIndex:
         )
         replicas = config.replicas if config is not None else ReplicaPolicy()
         backend = config.backend if config is not None else None
+        piggyback = config.observability.piggyback_metrics if config is not None else True
         if persist:
             # mmap residency maps raw arrays straight off disk, so the
             # bundle must be written in the uncompressed npy layout.
@@ -1307,6 +1350,7 @@ class ShardedJunoIndex:
             affinity=replicas.affinity,
             residency=replicas.residency,
             backend=backend,
+            piggyback_metrics=piggyback,
         )
         if self._owns_spec_executor and isinstance(self.executor_spec, ShardExecutor):
             self.executor_spec.close()

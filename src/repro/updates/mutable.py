@@ -446,6 +446,7 @@ class MutableJunoIndex:
         quality_mode=None,
         threshold_scale: float | None = None,
         pipeline: "QueryPipeline | None" = None,
+        trace=None,
     ) -> JunoSearchResult:
         """Search the mutated corpus; returns **global** neighbour ids.
 
@@ -479,6 +480,7 @@ class MutableJunoIndex:
             quality_mode=quality_mode,
             threshold_scale=threshold_scale,
             pipeline=active.appended(stage),
+            trace=trace,
         )
 
     # ------------------------------------------------------------ persistence

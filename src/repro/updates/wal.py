@@ -50,6 +50,7 @@ un-snapshotted tail instead of growing forever.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import threading
@@ -59,7 +60,12 @@ from pathlib import Path
 from typing import IO, Iterator
 
 from repro.errors import ServingError
+from repro.obs.log import event as log_event
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
 from repro.storage import fsync_dir, fsync_file
+
+_log = get_logger("updates.wal")
 
 #: Valid :attr:`DurabilityPolicy.fsync` modes.
 FSYNC_MODES = ("never", "batch", "always")
@@ -242,6 +248,15 @@ class WriteAheadLog:
                 if self.durability.fsync != "never":
                     fsync_file(repair)
             self.tail_repairs += 1
+            get_registry().counter("repro_wal_tail_repairs_total").inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "wal_tail_repaired",
+                path=str(self.path),
+                kind="torn",
+                truncated_to_bytes=self._valid_bytes,
+            )
             self._tail = "clean"
         self._handle = self.path.open("a", encoding="utf-8")
         if self._tail == "unterminated":
@@ -250,6 +265,14 @@ class WriteAheadLog:
             self._handle.write("\n")
             self._handle.flush()
             self.tail_repairs += 1
+            get_registry().counter("repro_wal_tail_repairs_total").inc()
+            log_event(
+                _log,
+                logging.WARNING,
+                "wal_tail_repaired",
+                path=str(self.path),
+                kind="unterminated",
+            )
             self._tail = "clean"
 
     def append(self, op: str, **fields) -> int:
@@ -270,6 +293,7 @@ class WriteAheadLog:
             self._flushed_seq = seq
             self._active_records += 1
             self.append_count += 1
+            get_registry().counter("repro_wal_appends_total").inc()
             rotate_due = (
                 self.durability.segment_records is not None
                 and self._active_records >= self.durability.segment_records
@@ -306,6 +330,7 @@ class WriteAheadLog:
         except (ValueError, OSError):
             return  # racing a rotate/close that sealed (and fsynced) the file
         self.fsync_count += 1
+        get_registry().counter("repro_wal_fsyncs_total").inc()
         self._last_fsync = time.monotonic()
         # ``target`` was the flushed watermark -- a contiguous prefix of the
         # sequence -- when the fsync started, so durability never skips a
@@ -355,6 +380,7 @@ class WriteAheadLog:
                 if durable:
                     fsync_file(self._handle)
                     self.fsync_count += 1
+                    get_registry().counter("repro_wal_fsyncs_total").inc()
                     self._last_fsync = time.monotonic()
                     self._durable_seq = max(self._durable_seq, self._flushed_seq)
                 self._handle.close()
